@@ -1,0 +1,61 @@
+// Parameter-sensitivity bench: the paper counts parameters per method (§6)
+// and notes FF's choice function "can be customized". This sweeps the
+// (k, r) parameters of α(t) for FF and tmax for SA — the tuning story
+// behind Table 1.
+#include <cstdio>
+
+#include "atc/core_area.hpp"
+#include "benchlib/budget.hpp"
+#include "core/fusion_fission.hpp"
+#include "metaheuristics/annealing.hpp"
+#include "metaheuristics/percolation.hpp"
+
+int main() {
+  using namespace ffp;
+  const double budget = table_budget_ms();
+
+  const auto core = make_core_area_graph();
+
+  std::printf("=== FF choice-function sweep: slope (paper's k) x offset "
+              "(paper's r) ===\n");
+  std::printf("Mcut, k=32, %.1fs each\n\n", budget / 1000.0);
+  std::printf("%8s", "");
+  for (double offset : {0.1, 0.25, 0.5}) std::printf("  r=%-8.2f", offset);
+  std::printf("\n");
+  for (double slope : {1.0, 4.0, 12.0}) {
+    std::printf("k=%-6.1f", slope);
+    for (double offset : {0.1, 0.25, 0.5}) {
+      FusionFissionOptions opt;
+      opt.objective = ObjectiveKind::MinMaxCut;
+      opt.choice_slope = slope;
+      opt.choice_offset = offset;
+      opt.seed = bench_seed();
+      FusionFission ff(core.graph, 32, opt);
+      const auto res = ff.run(StopCondition::after_millis(budget));
+      std::printf("  %-10.2f", res.best_value);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n=== SA tmax sweep (its single tuned parameter, §6) ===\n\n");
+  const auto init = percolation_partition(core.graph, 32,
+                                          {.max_rounds = 64, .seed = 31});
+  for (double tmax : {0.0 /*auto*/, 1e-3, 1e-1, 10.0}) {
+    AnnealingOptions opt;
+    opt.objective = ObjectiveKind::MinMaxCut;
+    opt.tmax = tmax;
+    opt.seed = bench_seed();
+    SimulatedAnnealing sa(core.graph, 32, opt);
+    const auto res = sa.run(init, StopCondition::after_millis(budget));
+    if (tmax == 0.0) {
+      std::printf("tmax auto-calibrated : Mcut %8.2f\n", res.best_value);
+    } else {
+      std::printf("tmax %-15.3f : Mcut %8.2f\n", tmax, res.best_value);
+    }
+  }
+  std::printf("\nshape check: FF is robust across a wide (k, r) region "
+              "(the paper tuned by\nhand); SA degrades when tmax is far "
+              "from the move-delta scale, which is why\nthe library "
+              "auto-calibrates it.\n");
+  return 0;
+}

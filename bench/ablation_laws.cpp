@@ -1,0 +1,44 @@
+// Ablation: the FF laws (§4.1's learned ejection probabilities). The paper
+// motivates them ("a memory which updates laws: if the law gives a better
+// solution, the process is enforced, else it is weakened") without
+// isolating their effect — this bench does.
+#include <cstdio>
+
+#include "atc/core_area.hpp"
+#include "benchlib/budget.hpp"
+#include "core/fusion_fission.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace ffp;
+  const double budget = table_budget_ms();
+  const int trials = 3;
+
+  std::printf("=== Ablation: FF laws on/off (Mcut, k=32, %d seeds x %.1fs) "
+              "===\n\n",
+              trials, budget / 1000.0);
+  const auto core = make_core_area_graph();
+
+  for (const bool use_laws : {true, false}) {
+    RunningStats stats;
+    std::int64_t ejections = 0;
+    for (int t = 0; t < trials; ++t) {
+      FusionFissionOptions opt;
+      opt.objective = ObjectiveKind::MinMaxCut;
+      opt.use_laws = use_laws;
+      opt.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      FusionFission ff(core.graph, 32, opt);
+      const auto res = ff.run(StopCondition::after_millis(budget));
+      stats.add(res.best_value);
+      ejections += res.ejections;
+    }
+    std::printf("laws %-3s : Mcut mean %8.2f  (min %.2f, max %.2f), "
+                "%lld nucleon ejections\n",
+                use_laws ? "ON" : "off", stats.mean(), stats.min(),
+                stats.max(), static_cast<long long>(ejections));
+  }
+  std::printf("\nshape check: laws ON should be no worse on average — the "
+              "learned ejections\nact as a local repair operator around "
+              "each fusion/fission.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: the FF scaling function (§4.1). The paper requires energies to
+// be comparable across part counts ("after the scaling function … energies
+// are the same for the same quality"); this bench compares the binding-
+// energy normalization against a naive linear scale and no scaling at all.
+#include <cstdio>
+
+#include "atc/core_area.hpp"
+#include "benchlib/budget.hpp"
+#include "core/fusion_fission.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace ffp;
+  const double budget = table_budget_ms();
+  const int trials = 3;
+
+  std::printf("=== Ablation: FF scaling function (Mcut, k=32, %d seeds x "
+              "%.1fs) ===\n\n",
+              trials, budget / 1000.0);
+  const auto core = make_core_area_graph();
+
+  const struct {
+    ScalingKind kind;
+    const char* name;
+  } variants[] = {
+      {ScalingKind::BindingEnergy, "binding-energy"},
+      {ScalingKind::Linear, "linear"},
+      {ScalingKind::Identity, "identity (none)"},
+  };
+  for (const auto& variant : variants) {
+    RunningStats stats;
+    RunningStats visited;  // how many distinct part counts each run explored
+    for (int t = 0; t < trials; ++t) {
+      FusionFissionOptions opt;
+      opt.objective = ObjectiveKind::MinMaxCut;
+      opt.scaling = variant.kind;
+      opt.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      FusionFission ff(core.graph, 32, opt);
+      const auto res = ff.run(StopCondition::after_millis(budget));
+      stats.add(res.best_value);
+      visited.add(static_cast<double>(res.best_by_part_count.size()));
+    }
+    std::printf("%-16s : Mcut mean %8.2f (min %.2f, max %.2f), "
+                "%4.1f part counts visited\n",
+                variant.name, stats.mean(), stats.min(), stats.max(),
+                visited.mean());
+  }
+  std::printf("\nshape check: identity scaling biases the energy toward few "
+              "big atoms (raw\nobjective shrinks with part count), so it "
+              "should explore k poorly; the\nbinding-energy normalization "
+              "keeps exploration centered on the target.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Component microbenchmarks: graph construction, traversal, I/O.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+using namespace ffp;
+
+void BM_GraphFromEdges(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto proto = make_grid2d(side, side);
+  std::vector<WeightedEdge> edges;
+  for (VertexId v = 0; v < proto.num_vertices(); ++v) {
+    for (VertexId u : proto.neighbors(v)) {
+      if (u > v) edges.push_back({v, u, 1.0});
+    }
+  }
+  for (auto _ : state) {
+    auto g = Graph::from_edges(proto.num_vertices(), edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphFromEdges)->Arg(16)->Arg(48);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const auto g = make_random_geometric(2000, 0.04, 3);
+  for (auto _ : state) {
+    Weight total = 0.0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (Weight w : g.neighbor_weights(v)) total += w;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto g = make_random_geometric(3000, 0.03, 5);
+  for (auto _ : state) {
+    auto c = connected_components(g);
+    benchmark::DoNotOptimize(c.count);
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_BfsDistances(benchmark::State& state) {
+  const auto g = make_grid2d(60, 60);
+  for (auto _ : state) {
+    auto d = bfs_distances(g, 0);
+    benchmark::DoNotOptimize(d.back());
+  }
+}
+BENCHMARK(BM_BfsDistances);
+
+void BM_InducedSubgraph(benchmark::State& state) {
+  const auto g = make_grid2d(50, 50);
+  std::vector<VertexId> half;
+  for (VertexId v = 0; v < g.num_vertices() / 2; ++v) half.push_back(v);
+  for (auto _ : state) {
+    auto sub = induced_subgraph(g, half);
+    benchmark::DoNotOptimize(sub.graph.num_edges());
+  }
+}
+BENCHMARK(BM_InducedSubgraph);
+
+void BM_ChacoRoundTrip(benchmark::State& state) {
+  const auto g = with_random_weights(make_grid2d(30, 30), 1.0, 5.0, 7);
+  for (auto _ : state) {
+    std::ostringstream out;
+    write_chaco(g, out);
+    std::istringstream in(out.str());
+    auto g2 = read_chaco(in);
+    benchmark::DoNotOptimize(g2.num_edges());
+  }
+}
+BENCHMARK(BM_ChacoRoundTrip);
+
+}  // namespace

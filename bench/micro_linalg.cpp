@@ -1,0 +1,92 @@
+// Microbenchmarks for the spectral substrate: Laplacian apply, Lanczos,
+// SYMMLQ-family solves, RQI refinement.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/rqi.hpp"
+#include "linalg/symmlq.hpp"
+#include "spectral/fiedler.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ffp;
+
+void BM_LaplacianApply(benchmark::State& state) {
+  const auto g = make_grid2d(60, 60);
+  const LaplacianOperator op(g);
+  std::vector<double> x(static_cast<std::size_t>(g.num_vertices()), 1.0);
+  std::vector<double> y(x.size());
+  Rng rng(3);
+  for (auto& xi : x) xi = rng.uniform(-1.0, 1.0);
+  for (auto _ : state) {
+    op.apply(x, y);
+    benchmark::DoNotOptimize(y[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_arcs());
+}
+BENCHMARK(BM_LaplacianApply);
+
+void BM_LanczosFiedler(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = make_grid2d(side, side);
+  for (auto _ : state) {
+    FiedlerOptions opt;
+    opt.engine = FiedlerEngine::Lanczos;
+    auto r = fiedler_vectors(g, opt);
+    benchmark::DoNotOptimize(r.values[0]);
+  }
+}
+BENCHMARK(BM_LanczosFiedler)->Arg(16)->Arg(28);
+
+void BM_MultilevelRqiFiedler(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const auto g = make_grid2d(side, side);
+  for (auto _ : state) {
+    FiedlerOptions opt;
+    opt.engine = FiedlerEngine::MultilevelRqi;
+    auto r = fiedler_vectors(g, opt);
+    benchmark::DoNotOptimize(r.values[0]);
+  }
+}
+BENCHMARK(BM_MultilevelRqiFiedler)->Arg(16)->Arg(28);
+
+void BM_SymmlqSolve(benchmark::State& state) {
+  const auto g = make_grid2d(30, 30);
+  const LaplacianOperator op(g);
+  Rng rng(5);
+  std::vector<double> b(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& bi : b) bi = rng.uniform(-1.0, 1.0);
+  // Orthogonalize against the kernel so the system is consistent.
+  double mean = 0.0;
+  for (double bi : b) mean += bi;
+  mean /= static_cast<double>(b.size());
+  for (auto& bi : b) bi -= mean;
+  for (auto _ : state) {
+    SymmlqOptions opt;
+    opt.shift = -0.5;  // (L + 0.5 I): SPD, definite solve
+    opt.tolerance = 1e-8;
+    auto r = symmlq_solve(op, b, opt);
+    benchmark::DoNotOptimize(r.x[0]);
+  }
+}
+BENCHMARK(BM_SymmlqSolve);
+
+void BM_RqiRefine(benchmark::State& state) {
+  const auto g = make_grid2d(24, 24);
+  const LaplacianOperator op(g);
+  FiedlerOptions lopt;
+  lopt.tolerance = 1e-2;  // rough start
+  const auto rough = fiedler_vectors(g, lopt);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  for (auto _ : state) {
+    auto r = rqi_refine(op, rough.vectors[0], {}, deflate);
+    benchmark::DoNotOptimize(r.value);
+  }
+}
+BENCHMARK(BM_RqiRefine);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Microbenchmarks for the metaheuristic building blocks: percolation,
+// SA step throughput, ACO iteration, FF operators.
+#include <benchmark/benchmark.h>
+
+#include "core/fusion_fission.hpp"
+#include "graph/generators.hpp"
+#include "metaheuristics/annealing.hpp"
+#include "metaheuristics/ant_colony.hpp"
+#include "metaheuristics/percolation.hpp"
+
+namespace {
+
+using namespace ffp;
+
+const Graph& bench_graph() {
+  static const Graph g =
+      with_random_weights(make_random_geometric(800, 0.055, 3), 1.0, 50.0, 4);
+  return g;
+}
+
+void BM_PercolationPartition(benchmark::State& state) {
+  const auto& g = bench_graph();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    PercolationOptions opt;
+    opt.seed = ++seed;
+    auto p = percolation_partition(g, 16, opt);
+    benchmark::DoNotOptimize(p.edge_cut());
+  }
+}
+BENCHMARK(BM_PercolationPartition);
+
+void BM_PercolationBisect(benchmark::State& state) {
+  const auto& g = bench_graph();
+  std::vector<VertexId> half;
+  for (VertexId v = 0; v < g.num_vertices() / 2; ++v) half.push_back(v);
+  Rng rng(5);
+  for (auto _ : state) {
+    auto side = percolation_bisect(g, half, rng);
+    benchmark::DoNotOptimize(side[0]);
+  }
+}
+BENCHMARK(BM_PercolationBisect);
+
+void BM_AnnealingSteps(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto init = percolation_partition(g, 16, {});
+  AnnealingOptions opt;
+  opt.objective = ObjectiveKind::MinMaxCut;
+  SimulatedAnnealing sa(g, 16, opt);
+  for (auto _ : state) {
+    auto r = sa.run(init, StopCondition::after_steps(20000));
+    benchmark::DoNotOptimize(r.best_value);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_AnnealingSteps);
+
+void BM_AntColonyIterations(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto init = percolation_partition(g, 16, {});
+  AntColonyOptions opt;
+  opt.objective = ObjectiveKind::MinMaxCut;
+  AntColony aco(g, 16, opt);
+  for (auto _ : state) {
+    auto r = aco.run(init, StopCondition::after_steps(20));
+    benchmark::DoNotOptimize(r.best_value);
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_AntColonyIterations);
+
+void BM_FusionFissionInitialize(benchmark::State& state) {
+  const auto& g = bench_graph();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    FusionFissionOptions opt;
+    opt.seed = ++seed;
+    FusionFission ff(g, 16, opt);
+    auto p = ff.initialize();
+    benchmark::DoNotOptimize(p.num_nonempty_parts());
+  }
+}
+BENCHMARK(BM_FusionFissionInitialize);
+
+void BM_FusionFissionSteps(benchmark::State& state) {
+  const auto& g = bench_graph();
+  FusionFissionOptions opt;
+  opt.objective = ObjectiveKind::MinMaxCut;
+  for (auto _ : state) {
+    FusionFission ff(g, 16, opt);
+    auto r = ff.run(StopCondition::after_steps(300));
+    benchmark::DoNotOptimize(r.best_value);
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_FusionFissionSteps);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Microbenchmarks for the refinement and multilevel machinery.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "multilevel/multilevel.hpp"
+#include "refine/fm_bisection.hpp"
+#include "refine/kl_bisection.hpp"
+#include "refine/kway_fm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ffp;
+
+std::vector<int> random_bisection(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> assign(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    assign[i] = static_cast<int>(i % 2);
+  }
+  rng.shuffle(assign);
+  return assign;
+}
+
+void BM_FmBisection(benchmark::State& state) {
+  const auto g = make_grid2d(40, 40);
+  const auto base = random_bisection(g, 3);
+  for (auto _ : state) {
+    auto assign = base;
+    auto r = fm_refine_bisection(g, assign, {});
+    benchmark::DoNotOptimize(r.final_cut);
+  }
+}
+BENCHMARK(BM_FmBisection);
+
+void BM_KlBisection(benchmark::State& state) {
+  const auto g = make_grid2d(24, 24);
+  const auto base = random_bisection(g, 5);
+  for (auto _ : state) {
+    auto p = Partition::from_assignment(g, base, 2);
+    auto r = kl_refine_bisection(p, 0, 1);
+    benchmark::DoNotOptimize(r.final_cut);
+  }
+}
+BENCHMARK(BM_KlBisection);
+
+void BM_KwayFm(benchmark::State& state) {
+  const auto g = make_random_geometric(1200, 0.05, 7);
+  Rng seed_rng(9);
+  std::vector<int> base(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& a : base) a = static_cast<int>(seed_rng.below(16));
+  for (auto _ : state) {
+    auto p = Partition::from_assignment(g, base, 16);
+    Rng rng(11);
+    auto r = kway_fm_refine(p, objective(ObjectiveKind::Cut), {}, rng);
+    benchmark::DoNotOptimize(r.final_objective);
+  }
+}
+BENCHMARK(BM_KwayFm);
+
+void BM_CoarsenChain(benchmark::State& state) {
+  const auto g = make_grid2d(50, 50);
+  for (auto _ : state) {
+    CoarsenOptions opt;
+    opt.min_vertices = 50;
+    auto chain = coarsen_chain(g, opt);
+    benchmark::DoNotOptimize(chain.size());
+  }
+}
+BENCHMARK(BM_CoarsenChain);
+
+void BM_MultilevelPartition(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto g = make_random_geometric(1500, 0.045, 13);
+  for (auto _ : state) {
+    MultilevelOptions opt;
+    auto p = multilevel_partition(g, k, opt);
+    benchmark::DoNotOptimize(p.edge_cut());
+  }
+}
+BENCHMARK(BM_MultilevelPartition)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Extending ffp with a custom criterion: the metaheuristics only see the
+// ObjectiveFn interface, so any partition-quality measure plugs in. This
+// example defines "max-part cut" (minimize the WORST part's boundary — a
+// bottleneck objective the paper does not consider) and optimizes it with
+// simulated annealing and k-way refinement.
+//
+//   $ ./custom_objective
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "metaheuristics/annealing.hpp"
+#include "metaheuristics/percolation.hpp"
+#include "refine/kway_fm.hpp"
+
+namespace {
+
+/// Bottleneck objective: max over parts of cut(A, V−A).
+class MaxPartCut final : public ffp::ObjectiveFn {
+ public:
+  std::string_view name() const override { return "MaxPartCut"; }
+
+  double evaluate(const ffp::Partition& p) const override {
+    double worst = 0.0;
+    for (int q : p.nonempty_parts()) {
+      worst = std::max(worst, p.part_cut(q));
+    }
+    return worst;
+  }
+
+  // A max() objective has no cheap local delta, so reuse the library's
+  // trial-move helper semantics: simulate the move through the partition
+  // statistics the Partition already maintains.
+  double move_delta(const ffp::Partition& p, ffp::VertexId v,
+                    int target) const override {
+    const int from = p.part_of(v);
+    if (from == target) return 0.0;
+    const auto prof = p.move_profile(v, target);
+    const double d = p.graph().weighted_degree(v);
+    const double cut_from_new = p.part_cut(from) + 2.0 * prof.ext_from - d;
+    const double cut_to_new = p.part_cut(target) + d - 2.0 * prof.ext_to;
+    double worst_before = 0.0, worst_after = 0.0;
+    for (int q : p.nonempty_parts()) {
+      worst_before = std::max(worst_before, p.part_cut(q));
+      const double c = q == from ? cut_from_new
+                       : q == target ? cut_to_new
+                                     : p.part_cut(q);
+      worst_after = std::max(worst_after, c);
+    }
+    if (p.part_size(from) == 1) {
+      // The source part disappears; recompute without it.
+      worst_after = cut_to_new;
+      for (int q : p.nonempty_parts()) {
+        if (q != from && q != target) {
+          worst_after = std::max(worst_after, p.part_cut(q));
+        }
+      }
+    }
+    return worst_after - worst_before;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int k = 6;
+  const auto g = ffp::with_random_weights(
+      ffp::make_random_geometric(300, 0.1, 11), 1.0, 8.0, 12);
+  std::printf("graph: %s, k = %d\n\n", g.summary().c_str(), k);
+
+  const MaxPartCut bottleneck;
+  auto p = ffp::percolation_partition(g, k, {});
+  std::printf("percolation start:  MaxPartCut = %8.1f   total cut = %8.1f\n",
+              bottleneck.evaluate(p), p.edge_cut());
+
+  // Local refinement under the custom objective.
+  ffp::Rng rng(13);
+  ffp::KwayFmOptions fm_opt;
+  fm_opt.enforce_balance = false;
+  ffp::kway_fm_refine(p, bottleneck, fm_opt, rng);
+  std::printf("after k-way FM:     MaxPartCut = %8.1f   total cut = %8.1f\n",
+              bottleneck.evaluate(p), p.edge_cut());
+
+  // The library's SA is wired to the built-in kinds (the paper's
+  // protocol), so for custom objectives the idiomatic loop is annealing by
+  // hand on top of Partition::move + ObjectiveFn::move_delta:
+  double current = bottleneck.evaluate(p);
+  double best = current;
+  std::vector<int> best_assign(p.assignment().begin(), p.assignment().end());
+  double temperature = current * 0.01;
+  for (int step = 0; step < 300000; ++step) {
+    const auto v = static_cast<ffp::VertexId>(
+        rng.below(static_cast<std::uint64_t>(g.num_vertices())));
+    const int target = static_cast<int>(rng.below(k));
+    if (target == p.part_of(v) || p.part_size(p.part_of(v)) <= 1) continue;
+    const double delta = bottleneck.move_delta(p, v, target);
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+      p.move(v, target);
+      current += delta;
+      if (current < best) {
+        best = current;
+        best_assign.assign(p.assignment().begin(), p.assignment().end());
+      }
+    }
+    temperature *= 0.99997;  // effectively frozen by the end of the run
+  }
+  p = ffp::Partition::from_assignment(g, best_assign, k);
+  std::printf("after annealing:    MaxPartCut = %8.1f   total cut = %8.1f\n",
+              bottleneck.evaluate(p), p.edge_cut());
+  std::printf("\nany ObjectiveFn works with Partition::move / move_delta —\n"
+              "the paper's point that metaheuristics 'can easily change of "
+              "goals'.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// The classic graph-partitioning motivation (§1): distribute a finite-
+// element-style mesh over processors so per-processor work is balanced and
+// inter-processor communication (edge cut) is small.
+//
+//   $ ./mesh_partitioning [k]
+//
+// Compares the specific tools (spectral, multilevel) with the paper's
+// metaheuristics on a 3D mesh, reporting edge cut, imbalance, communication
+// volume, and wall-clock time — the trade-off the paper's conclusion
+// describes (specific tools are faster; metaheuristics win on quality given
+// time).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fusion_fission.hpp"
+#include "graph/generators.hpp"
+#include "metaheuristics/annealing.hpp"
+#include "metaheuristics/percolation.hpp"
+#include "multilevel/multilevel.hpp"
+#include "partition/balance.hpp"
+#include "spectral/spectral_partition.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Communication volume: for each part, the number of distinct remote
+/// (vertex, part) adjacencies — the ghost cells a solver would exchange.
+double comm_volume(const ffp::Partition& p) {
+  const auto& g = p.graph();
+  double volume = 0.0;
+  std::vector<char> seen(static_cast<std::size_t>(p.num_parts()), 0);
+  for (ffp::VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<int> touched;
+    for (ffp::VertexId u : g.neighbors(v)) {
+      const int q = p.part_of(u);
+      if (q != p.part_of(v) && !seen[static_cast<std::size_t>(q)]) {
+        seen[static_cast<std::size_t>(q)] = 1;
+        touched.push_back(q);
+      }
+    }
+    volume += static_cast<double>(touched.size());
+    for (int q : touched) seen[static_cast<std::size_t>(q)] = 0;
+  }
+  return volume;
+}
+
+void report(const char* name, const ffp::Partition& p, double seconds,
+            int k) {
+  std::printf("  %-18s cut %8.0f   imbalance %5.2f   comm-volume %7.0f   "
+              "%6.2fs\n",
+              name, p.edge_cut(), ffp::imbalance(p, k), comm_volume(p),
+              seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = argc > 1 ? std::atoi(argv[1]) : 16;
+  const ffp::Graph mesh = ffp::make_grid3d(12, 12, 8);
+  std::printf("mesh: %s, partitioning into %d processor domains\n\n",
+              mesh.summary().c_str(), k);
+
+  {
+    ffp::WallTimer t;
+    ffp::MultilevelOptions opt;
+    const auto p = ffp::multilevel_partition(mesh, k, opt);
+    report("multilevel", p, t.elapsed_seconds(), k);
+  }
+  if ((k & (k - 1)) == 0) {
+    ffp::WallTimer t;
+    ffp::SpectralOptions opt;
+    opt.kl_refine = true;
+    const auto p = ffp::spectral_partition(mesh, k, opt);
+    report("spectral+KL", p, t.elapsed_seconds(), k);
+  }
+  {
+    ffp::WallTimer t;
+    const auto p = ffp::percolation_partition(mesh, k, {});
+    report("percolation", p, t.elapsed_seconds(), k);
+  }
+  {
+    ffp::WallTimer t;
+    const auto init = ffp::percolation_partition(mesh, k, {});
+    ffp::AnnealingOptions opt;
+    opt.objective = ffp::ObjectiveKind::Cut;
+    ffp::SimulatedAnnealing sa(mesh, k, opt);
+    const auto res = sa.run(init, ffp::StopCondition::after_millis(2000));
+    report("annealing (2s)", res.best, t.elapsed_seconds(), k);
+  }
+  {
+    ffp::WallTimer t;
+    ffp::FusionFissionOptions opt;
+    opt.objective = ffp::ObjectiveKind::Cut;
+    ffp::FusionFission ff(mesh, k, opt);
+    const auto res = ff.run(ffp::StopCondition::after_millis(2000));
+    report("fusion-fission(2s)", res.best, t.elapsed_seconds(), k);
+  }
+
+  std::printf("\nthe paper's conclusion in miniature: the specific tools "
+              "finish in milliseconds;\nthe metaheuristics spend their "
+              "budget and close in on (or beat) them.\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "atc/airspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+namespace {
+
+// Coarse lon/lat boxes; traffic weights roughly follow 2005 IFR movement
+// shares (Germany/France/UK dominate).
+constexpr CountryBox kCountries[] = {
+    {"Germany", 6.0, 47.5, 15.0, 55.0, 0.20},
+    {"France", -4.5, 42.5, 8.0, 51.0, 0.19},
+    {"UnitedKingdom", -5.5, 50.0, 1.8, 58.5, 0.16},
+    {"Italy", 7.0, 37.5, 18.5, 46.5, 0.11},
+    {"Spain", -9.0, 36.0, 3.0, 43.5, 0.11},
+    {"Netherlands", 3.4, 50.8, 7.2, 53.5, 0.06},
+    {"Belgium", 2.5, 49.5, 6.4, 51.5, 0.05},
+    {"Switzerland", 6.0, 45.8, 10.5, 47.8, 0.05},
+    {"Austria", 9.5, 46.4, 17.0, 49.0, 0.04},
+    {"Denmark", 8.0, 54.5, 12.8, 57.8, 0.02},
+    {"Luxembourg", 5.7, 49.4, 6.5, 50.2, 0.01},
+};
+
+double sq(double v) { return v * v; }
+
+}  // namespace
+
+std::span<const CountryBox> core_area_countries() { return kCountries; }
+
+double sector_distance(const Sector& a, const Sector& b) {
+  // A layer change costs about one sector width (climb/descent).
+  const double layer_penalty = a.layer == b.layer ? 0.0 : 0.6;
+  return std::sqrt(sq(a.x - b.x) + sq(a.y - b.y) + sq(layer_penalty));
+}
+
+Airspace make_airspace(const AirspaceOptions& options) {
+  FFP_CHECK(options.n_sectors >= 8, "need at least 8 sectors");
+  FFP_CHECK(options.lower_fraction > 0.0 && options.lower_fraction < 1.0,
+            "lower_fraction must be in (0,1)");
+  Rng rng(options.seed);
+
+  const auto countries = core_area_countries();
+  double total_area = 0.0;
+  std::vector<double> areas;
+  for (const auto& c : countries) {
+    areas.push_back((c.x1 - c.x0) * (c.y1 - c.y0));
+    total_area += areas.back();
+  }
+
+  auto sample_point = [&](Sector& s) {
+    // Pick a country by area, then uniform in its box: the blobs overlap,
+    // producing the connected multi-lobe footprint of the core area.
+    const auto c = rng.weighted_pick(areas);
+    const auto& box = countries[c];
+    s.x = rng.uniform(box.x0, box.x1);
+    s.y = rng.uniform(box.y0, box.y1);
+    s.country = static_cast<int>(c);
+  };
+
+  Airspace out;
+  out.sectors.resize(static_cast<std::size_t>(options.n_sectors));
+  const int n_lower = std::max(
+      1, static_cast<int>(options.n_sectors * options.lower_fraction));
+
+  // Best-candidate (Mitchell) sampling per layer for an even, irregular
+  // spread — real sectorizations are irregular but non-clumped.
+  std::vector<std::size_t> layer_members[2];
+  for (int i = 0; i < options.n_sectors; ++i) {
+    auto& s = out.sectors[static_cast<std::size_t>(i)];
+    s.layer = i < n_lower ? 0 : 1;
+    const auto& same_layer = layer_members[s.layer];
+    constexpr int kCandidates = 8;
+    double best_d = -1.0;
+    Sector best{};
+    for (int c = 0; c < kCandidates; ++c) {
+      Sector cand;
+      cand.layer = s.layer;
+      sample_point(cand);
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t j : same_layer) {
+        nearest = std::min(nearest, sq(cand.x - out.sectors[j].x) +
+                                        sq(cand.y - out.sectors[j].y));
+      }
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = cand;
+      }
+    }
+    s.x = best.x;
+    s.y = best.y;
+    s.country = best.country;
+    layer_members[s.layer].push_back(static_cast<std::size_t>(i));
+  }
+
+  // Mutual k-nearest adjacency per layer (mutuality keeps it planar-ish),
+  // then each upper sector gets vertical edges to its nearest lower sectors.
+  const int n = options.n_sectors;
+  const int k = options.neighbors_per_sector;
+  std::vector<std::vector<VertexId>> knn(static_cast<std::size_t>(n));
+  for (int layer = 0; layer < 2; ++layer) {
+    const auto& members = layer_members[layer];
+    for (std::size_t ii = 0; ii < members.size(); ++ii) {
+      const auto i = members[ii];
+      std::vector<std::pair<double, VertexId>> dists;
+      dists.reserve(members.size());
+      for (std::size_t jj = 0; jj < members.size(); ++jj) {
+        if (ii == jj) continue;
+        const auto j = members[jj];
+        dists.emplace_back(sq(out.sectors[i].x - out.sectors[j].x) +
+                               sq(out.sectors[i].y - out.sectors[j].y),
+                           static_cast<VertexId>(j));
+      }
+      const auto take = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                              dists.size());
+      std::partial_sort(dists.begin(),
+                        dists.begin() + static_cast<std::ptrdiff_t>(take),
+                        dists.end());
+      for (std::size_t t = 0; t < take; ++t) {
+        knn[i].push_back(dists[t].second);
+      }
+    }
+  }
+  std::vector<WeightedEdge> edges;
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : knn[static_cast<std::size_t>(v)]) {
+      if (u <= v) continue;
+      const auto& back = knn[static_cast<std::size_t>(u)];
+      if (std::find(back.begin(), back.end(), v) != back.end()) {
+        edges.push_back({v, u, 1.0});
+      }
+    }
+  }
+  // Vertical edges: every upper sector to its 2 nearest lower sectors.
+  for (std::size_t iu : layer_members[1]) {
+    std::vector<std::pair<double, VertexId>> dists;
+    for (std::size_t il : layer_members[0]) {
+      dists.emplace_back(sq(out.sectors[iu].x - out.sectors[il].x) +
+                             sq(out.sectors[iu].y - out.sectors[il].y),
+                         static_cast<VertexId>(il));
+    }
+    const auto take = std::min<std::size_t>(2, dists.size());
+    std::partial_sort(dists.begin(),
+                      dists.begin() + static_cast<std::ptrdiff_t>(take),
+                      dists.end());
+    for (std::size_t t = 0; t < take; ++t) {
+      edges.push_back({static_cast<VertexId>(iu), dists[t].second, 1.0});
+    }
+  }
+  out.adjacency = std::move(edges);
+
+  // Relabel sectors in a spatially coherent order — layer, then a coarse
+  // west-to-east column sweep. Real sector identifiers cluster
+  // geographically, which is what gives the paper's "Linear" rows (index-
+  // block partitions) their meaning.
+  std::vector<std::size_t> order(out.sectors.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& sa = out.sectors[a];
+    const auto& sb = out.sectors[b];
+    const int col_a = static_cast<int>(std::floor(sa.x / 2.0));
+    const int col_b = static_cast<int>(std::floor(sb.x / 2.0));
+    if (sa.layer != sb.layer) return sa.layer < sb.layer;
+    if (col_a != col_b) return col_a < col_b;
+    if (sa.y != sb.y) return sa.y < sb.y;
+    return sa.x < sb.x;
+  });
+  std::vector<VertexId> new_id(out.sectors.size());
+  std::vector<Sector> relabeled(out.sectors.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    new_id[order[pos]] = static_cast<VertexId>(pos);
+    relabeled[pos] = out.sectors[order[pos]];
+  }
+  out.sectors = std::move(relabeled);
+  for (auto& e : out.adjacency) {
+    e.u = new_id[static_cast<std::size_t>(e.u)];
+    e.v = new_id[static_cast<std::size_t>(e.v)];
+  }
+  return out;
+}
+
+}  // namespace ffp

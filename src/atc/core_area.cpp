@@ -1,0 +1,169 @@
+#include "atc/core_area.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+namespace {
+
+/// Maximum-weight spanning forest edge mask (Kruskal with a union-find):
+/// these edges are never dropped, so trimming preserves connectivity.
+std::vector<char> max_spanning_edges(VertexId n,
+                                     std::span<const WeightedEdge> edges) {
+  std::vector<std::size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return edges[a].w != edges[b].w ? edges[a].w > edges[b].w : a < b;
+  });
+  std::vector<VertexId> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](VertexId v) {
+    while (parent[static_cast<std::size_t>(v)] != v) {
+      parent[static_cast<std::size_t>(v)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])];
+      v = parent[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  std::vector<char> in_tree(edges.size(), 0);
+  for (std::size_t e : order) {
+    const VertexId ru = find(edges[e].u);
+    const VertexId rv = find(edges[e].v);
+    if (ru != rv) {
+      parent[static_cast<std::size_t>(ru)] = rv;
+      in_tree[e] = 1;
+    }
+  }
+  return in_tree;
+}
+
+}  // namespace
+
+CoreAreaGraph make_core_area_graph(const CoreAreaOptions& options) {
+  FFP_CHECK(options.n_sectors >= 8, "n_sectors too small");
+  FFP_CHECK(options.n_edges >= options.n_sectors - 1,
+            "n_edges cannot even form a spanning tree");
+
+  CoreAreaGraph out;
+  AirspaceOptions aopt;
+  aopt.n_sectors = options.n_sectors;
+  aopt.seed = options.seed;
+  // Overshoot the edge count a little so trimming (never growing) usually
+  // suffices; kNN with k=5 on two layers plus vertical edges lands near
+  // 4.4 edges/vertex.
+  aopt.neighbors_per_sector = 5;
+  out.airspace = make_airspace(aopt);
+
+  FlowOptions fopt;
+  fopt.seed = options.seed ^ 0x51f15eedULL;
+  auto flows = route_flows(out.airspace, fopt);
+  out.hubs = std::move(flows.hubs);
+  std::vector<WeightedEdge> edges = std::move(flows.weighted_edges);
+
+  Rng rng(options.seed ^ 0xc0ffeeULL);
+  const auto n = static_cast<VertexId>(options.n_sectors);
+
+  // Mutual-kNN layers can come out disconnected; bridge components with the
+  // geometrically closest cross-component pair before trimming (the flow
+  // weight on a bridge is base-level, like a quiet border sector).
+  for (;;) {
+    const Graph probe = Graph::from_edges(n, edges);
+    const auto comps = connected_components(probe);
+    if (comps.count <= 1) break;
+    VertexId bu = -1, bv = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (comps.label[static_cast<std::size_t>(u)] ==
+            comps.label[static_cast<std::size_t>(v)]) {
+          continue;
+        }
+        const double d =
+            sector_distance(out.airspace.sectors[static_cast<std::size_t>(u)],
+                            out.airspace.sectors[static_cast<std::size_t>(v)]);
+        if (d < best_d) {
+          best_d = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    FFP_CHECK(bu != -1, "could not bridge components");
+    edges.push_back({bu, bv, 1.0});
+  }
+
+  // Trim: drop the lightest non-spanning edges until the count matches.
+  if (static_cast<int>(edges.size()) > options.n_edges) {
+    const auto keep = max_spanning_edges(n, edges);
+    std::vector<std::size_t> removable;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!keep[e]) removable.push_back(e);
+    }
+    std::sort(removable.begin(), removable.end(),
+              [&](std::size_t a, std::size_t b) {
+                return edges[a].w != edges[b].w ? edges[a].w < edges[b].w
+                                                : a < b;
+              });
+    std::vector<char> drop(edges.size(), 0);
+    const auto excess =
+        static_cast<std::size_t>(static_cast<int>(edges.size()) - options.n_edges);
+    FFP_CHECK(excess <= removable.size(),
+              "cannot trim to requested edge count without disconnecting");
+    for (std::size_t i = 0; i < excess; ++i) drop[removable[i]] = 1;
+    std::vector<WeightedEdge> kept;
+    kept.reserve(static_cast<std::size_t>(options.n_edges));
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (!drop[e]) kept.push_back(edges[e]);
+    }
+    edges = std::move(kept);
+  }
+
+  // Grow: connect nearest not-yet-adjacent same-layer pairs.
+  while (static_cast<int>(edges.size()) < options.n_edges) {
+    // Adjacency lookup set.
+    std::vector<std::vector<VertexId>> adj(static_cast<std::size_t>(n));
+    for (const auto& e : edges) {
+      adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+      adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+    }
+    VertexId bu = -1, bv = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    // Randomized sampling of candidate pairs keeps this O(n·samples).
+    for (int attempt = 0; attempt < 4096; ++attempt) {
+      const auto u = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      const auto& au = adj[static_cast<std::size_t>(u)];
+      if (std::find(au.begin(), au.end(), v) != au.end()) continue;
+      const double d =
+          sector_distance(out.airspace.sectors[static_cast<std::size_t>(u)],
+                          out.airspace.sectors[static_cast<std::size_t>(v)]);
+      if (d < best_d) {
+        best_d = d;
+        bu = u;
+        bv = v;
+      }
+    }
+    FFP_CHECK(bu != -1, "failed to find a new edge to add");
+    edges.push_back({bu, bv, 1.0});
+  }
+
+  out.graph = Graph::from_edges(n, edges);
+  // Keep the geometry view consistent with the final (trimmed/grown and
+  // flow-weighted) edge set, so GeoJSON exports draw the real adjacency.
+  out.airspace.adjacency = std::move(edges);
+  FFP_CHECK(out.graph.num_vertices() == options.n_sectors,
+            "vertex count mismatch");
+  FFP_CHECK(out.graph.num_edges() == options.n_edges,
+            "edge count mismatch: got ", out.graph.num_edges());
+  FFP_CHECK(is_connected(out.graph), "core-area graph must be connected");
+  return out;
+}
+
+}  // namespace ffp

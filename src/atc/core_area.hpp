@@ -1,0 +1,31 @@
+// The paper's evaluation graph, reconstructed: "762 vertices and 3,165
+// edges … the total number of sectors of the country core area". Builds the
+// synthetic airspace, routes gravity flows, then trims/grows the edge set to
+// exactly the published counts while preserving connectivity.
+#pragma once
+
+#include <cstdint>
+
+#include "atc/airspace.hpp"
+#include "atc/flows.hpp"
+#include "graph/graph.hpp"
+
+namespace ffp {
+
+struct CoreAreaOptions {
+  int n_sectors = 762;   ///< the paper's vertex count
+  int n_edges = 3165;    ///< the paper's edge count
+  std::uint64_t seed = 2006;
+};
+
+struct CoreAreaGraph {
+  Graph graph;
+  Airspace airspace;               ///< geometry, for examples/visualization
+  std::vector<VertexId> hubs;
+};
+
+/// Deterministic for a given seed; FFP_CHECKs the exact counts and
+/// connectivity before returning.
+CoreAreaGraph make_core_area_graph(const CoreAreaOptions& options = {});
+
+}  // namespace ffp

@@ -1,0 +1,160 @@
+#include "atc/flows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+namespace {
+
+/// Dijkstra over the adjacency with geometric edge lengths; returns the
+/// predecessor tree.
+std::vector<VertexId> dijkstra_tree(
+    const std::vector<Sector>& sectors,
+    const std::vector<std::vector<std::pair<VertexId, double>>>& adj,
+    VertexId source) {
+  const auto n = sectors.size();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<VertexId> pred(n, -1);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    for (const auto& [u, len] : adj[static_cast<std::size_t>(v)]) {
+      const double nd = d + len;
+      if (nd < dist[static_cast<std::size_t>(u)]) {
+        dist[static_cast<std::size_t>(u)] = nd;
+        pred[static_cast<std::size_t>(u)] = v;
+        pq.push({nd, u});
+      }
+    }
+  }
+  return pred;
+}
+
+}  // namespace
+
+FlowResult route_flows(const Airspace& airspace, const FlowOptions& options) {
+  FFP_CHECK(options.n_hubs >= 2, "need at least two hubs");
+  const auto& sectors = airspace.sectors;
+  const auto n = static_cast<VertexId>(sectors.size());
+  Rng rng(options.seed);
+
+  // Build an adjacency list with geometric lengths and an edge-id map.
+  std::vector<std::vector<std::pair<VertexId, double>>> adj(
+      static_cast<std::size_t>(n));
+  std::unordered_map<std::int64_t, std::size_t> edge_index;
+  for (std::size_t e = 0; e < airspace.adjacency.size(); ++e) {
+    const auto& ed = airspace.adjacency[e];
+    const double len = std::max(
+        1e-3, sector_distance(sectors[static_cast<std::size_t>(ed.u)],
+                              sectors[static_cast<std::size_t>(ed.v)]));
+    adj[static_cast<std::size_t>(ed.u)].emplace_back(ed.v, len);
+    adj[static_cast<std::size_t>(ed.v)].emplace_back(ed.u, len);
+    const std::int64_t key =
+        static_cast<std::int64_t>(std::min(ed.u, ed.v)) * n + std::max(ed.u, ed.v);
+    edge_index[key] = e;
+  }
+
+  // Hubs: lower-layer sectors, spread by best-candidate sampling, weighted
+  // toward high-traffic countries. "Population" follows a Zipf law.
+  std::vector<VertexId> lower;
+  for (VertexId v = 0; v < n; ++v) {
+    if (sectors[static_cast<std::size_t>(v)].layer == 0) lower.push_back(v);
+  }
+  FFP_CHECK(!lower.empty(), "airspace has no lower layer");
+  const auto countries = core_area_countries();
+
+  FlowResult result;
+  std::vector<char> is_hub(static_cast<std::size_t>(n), 0);
+  const int n_hubs = std::min<int>(options.n_hubs,
+                                   static_cast<int>(lower.size()));
+  for (int h = 0; h < n_hubs; ++h) {
+    VertexId best = -1;
+    double best_score = -1.0;
+    for (int c = 0; c < 10; ++c) {
+      const VertexId cand = lower[rng.below(lower.size())];
+      if (is_hub[static_cast<std::size_t>(cand)]) continue;
+      double nearest = std::numeric_limits<double>::infinity();
+      for (VertexId h2 : result.hubs) {
+        const auto& a = sectors[static_cast<std::size_t>(cand)];
+        const auto& b = sectors[static_cast<std::size_t>(h2)];
+        nearest = std::min(nearest, (a.x - b.x) * (a.x - b.x) +
+                                        (a.y - b.y) * (a.y - b.y));
+      }
+      const double country_w =
+          countries[static_cast<std::size_t>(
+                        sectors[static_cast<std::size_t>(cand)].country)]
+              .traffic_weight;
+      const double score = (result.hubs.empty() ? 1.0 : nearest) *
+                           (0.3 + country_w);
+      if (score > best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    if (best == -1) continue;
+    is_hub[static_cast<std::size_t>(best)] = 1;
+    result.hubs.push_back(best);
+  }
+  FFP_CHECK(result.hubs.size() >= 2, "hub selection failed");
+
+  // Hub populations: Zipf over a shuffled rank order.
+  std::vector<double> pop(result.hubs.size());
+  std::vector<std::size_t> rank(result.hubs.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  rng.shuffle(rank);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    pop[i] = std::pow(static_cast<double>(rank[i] + 1), -options.hub_zipf);
+  }
+
+  // Route each ordered hub pair along the shortest path, accumulating
+  // demand on every crossed edge.
+  std::vector<double> flow(airspace.adjacency.size(), 0.0);
+  for (std::size_t a = 0; a < result.hubs.size(); ++a) {
+    const auto pred = dijkstra_tree(sectors, adj, result.hubs[a]);
+    for (std::size_t b = 0; b < result.hubs.size(); ++b) {
+      if (a == b) continue;
+      const auto& sa = sectors[static_cast<std::size_t>(result.hubs[a])];
+      const auto& sb = sectors[static_cast<std::size_t>(result.hubs[b])];
+      const double d = std::max(0.5, sector_distance(sa, sb));
+      const double demand =
+          pop[a] * pop[b] / std::pow(d, options.gravity_exponent);
+      // Walk the predecessor chain from b back to a.
+      VertexId at = result.hubs[b];
+      while (pred[static_cast<std::size_t>(at)] != -1) {
+        const VertexId p = pred[static_cast<std::size_t>(at)];
+        const std::int64_t key =
+            static_cast<std::int64_t>(std::min(at, p)) * n + std::max(at, p);
+        const auto it = edge_index.find(key);
+        FFP_CHECK(it != edge_index.end(), "path uses unknown edge");
+        flow[it->second] += demand;
+        at = p;
+      }
+    }
+  }
+
+  // Scale to the requested total and floor at base_flow.
+  double total = 0.0;
+  for (double f : flow) total += f;
+  const double scale = total > 0.0 ? options.total_flow / total : 0.0;
+  result.weighted_edges = airspace.adjacency;
+  for (std::size_t e = 0; e < flow.size(); ++e) {
+    // Round to whole aircraft counts, as radar data would be.
+    result.weighted_edges[e].w =
+        std::max(options.base_flow, std::round(flow[e] * scale));
+  }
+  return result;
+}
+
+}  // namespace ffp

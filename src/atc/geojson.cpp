@@ -1,0 +1,60 @@
+#include "atc/geojson.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+void write_geojson(const Airspace& airspace, std::span<const int> blocks,
+                   std::ostream& out, const GeoJsonOptions& options) {
+  FFP_CHECK(blocks.empty() || blocks.size() == airspace.sectors.size(),
+            "blocks must be empty or one per sector");
+  const auto countries = core_area_countries();
+  out << std::setprecision(8);
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < airspace.sectors.size(); ++i) {
+    const auto& s = airspace.sectors[i];
+    if (!first) out << ",";
+    first = false;
+    out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        << "\"coordinates\":[" << s.x << "," << s.y << "]},"
+        << "\"properties\":{\"sector\":" << i << ",\"layer\":" << s.layer
+        << ",\"country\":\""
+        << countries[static_cast<std::size_t>(s.country)].name << "\"";
+    if (!blocks.empty()) out << ",\"block\":" << blocks[i];
+    out << "}}";
+  }
+  if (options.include_edges) {
+    for (const auto& e : airspace.adjacency) {
+      if (e.w < options.min_edge_weight) continue;
+      const auto& a = airspace.sectors[static_cast<std::size_t>(e.u)];
+      const auto& b = airspace.sectors[static_cast<std::size_t>(e.v)];
+      out << ",{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+          << "\"coordinates\":[[" << a.x << "," << a.y << "],[" << b.x << ","
+          << b.y << "]]},\"properties\":{\"flow\":" << e.w;
+      if (!blocks.empty()) {
+        out << ",\"crossing\":"
+            << (blocks[static_cast<std::size_t>(e.u)] !=
+                        blocks[static_cast<std::size_t>(e.v)]
+                    ? "true"
+                    : "false");
+      }
+      out << "}}";
+    }
+  }
+  out << "]}";
+}
+
+void write_geojson_file(const Airspace& airspace, std::span<const int> blocks,
+                        const std::string& path,
+                        const GeoJsonOptions& options) {
+  std::ofstream out(path);
+  FFP_CHECK(out.good(), "cannot open for writing: ", path);
+  write_geojson(airspace, blocks, out, options);
+}
+
+}  // namespace ffp

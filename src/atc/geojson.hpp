@@ -1,0 +1,30 @@
+// GeoJSON export of an airspace and its block partition — drop the output
+// into any GeoJSON viewer to see the functional airspace blocks over
+// Europe. Sectors become Point features with block/layer/country
+// properties; block adjacencies with their flow weights become LineString
+// features.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "atc/airspace.hpp"
+
+namespace ffp {
+
+struct GeoJsonOptions {
+  bool include_edges = true;
+  /// Skip edges lighter than this (keeps viewers responsive).
+  Weight min_edge_weight = 0.0;
+};
+
+/// `blocks` may be empty (no partition yet) or one id per sector.
+void write_geojson(const Airspace& airspace, std::span<const int> blocks,
+                   std::ostream& out, const GeoJsonOptions& options = {});
+
+void write_geojson_file(const Airspace& airspace, std::span<const int> blocks,
+                        const std::string& path,
+                        const GeoJsonOptions& options = {});
+
+}  // namespace ffp

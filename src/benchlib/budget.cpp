@@ -1,0 +1,20 @@
+#include "benchlib/budget.hpp"
+
+#include "util/env.hpp"
+
+namespace ffp {
+
+double table_budget_ms() {
+  return env_or("FFP_BENCH_BUDGET_MS", 6000.0);
+}
+
+double fig1_budget_ms() {
+  return env_or("FFP_FIG1_BUDGET_MS", 8000.0);
+}
+
+std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(
+      env_or("FFP_BENCH_SEED", static_cast<std::int64_t>(2006)));
+}
+
+}  // namespace ffp

@@ -1,0 +1,45 @@
+// The Table-1 method registry: every row of the paper's comparison, as a
+// uniform callable. Chaco-family rows (linear / spectral / multilevel /
+// percolation) are deterministic Cut minimizers evaluated under all three
+// criteria; metaheuristic rows take a time budget and optimize the
+// requested criterion directly (DESIGN.md §5.2).
+//
+// All spectral/multilevel rows get a final k-way greedy refinement pass —
+// the analog of Chaco's REFINE_PARTITION, which the paper enables ("we use
+// the REFINE PARTITION parameter which increases considerably the quality
+// of results"). "KL" rows additionally refine inside the recursion.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "metaheuristics/anytime.hpp"
+#include "partition/objectives.hpp"
+#include "partition/partition.hpp"
+
+namespace ffp {
+
+struct MethodContext {
+  int k = 32;
+  ObjectiveKind objective = ObjectiveKind::MinMaxCut;  ///< metaheuristics only
+  double budget_ms = 1500.0;                           ///< metaheuristics only
+  std::uint64_t seed = 1;
+  AnytimeRecorder* recorder = nullptr;                 ///< optional
+};
+
+struct MethodSpec {
+  std::string name;           ///< the paper's row label
+  bool is_metaheuristic;      ///< true: budgeted + objective-aware
+  std::function<Partition(const Graph&, const MethodContext&)> run;
+};
+
+/// All 17 rows of Table 1, in the paper's order.
+std::vector<MethodSpec> table1_methods();
+
+/// Look up a single row by its label (throws if unknown).
+const MethodSpec& method_by_name(const std::vector<MethodSpec>& methods,
+                                 const std::string& name);
+
+}  // namespace ffp

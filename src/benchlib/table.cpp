@@ -1,0 +1,51 @@
+#include "benchlib/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace ffp {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  FFP_CHECK(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << "| " << cells[c]
+          << std::string(width[c] - cells[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string fmt1(double v) { return format("%.1f", v); }
+std::string fmt2(double v) { return format("%.2f", v); }
+std::string fmt3(double v) { return format("%.3f", v); }
+
+}  // namespace ffp

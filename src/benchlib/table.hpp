@@ -1,0 +1,27 @@
+// Fixed-width ASCII table output for the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ffp {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.1f"-style helpers used by the table benches.
+std::string fmt1(double v);
+std::string fmt2(double v);
+std::string fmt3(double v);
+
+}  // namespace ffp

@@ -1,0 +1,25 @@
+#include "core/choice.hpp"
+
+#include <algorithm>
+
+namespace ffp {
+
+double choice_alpha(double t, const ChoiceParams& params) {
+  FFP_CHECK(params.tmax > params.tmin, "tmax must exceed tmin");
+  FFP_CHECK(params.offset > 0.0, "offset r must be > 0 (keeps alpha positive)");
+  const double ratio = (params.tmax - t) / (params.tmax - params.tmin);
+  return params.slope * ratio + params.offset;
+}
+
+double fission_probability(int size, double t, const ChoiceParams& params) {
+  FFP_CHECK(size >= 1, "atom size must be >= 1");
+  const double alpha = choice_alpha(t, params);
+  const double x = size;
+  const double nbar = params.target_size;
+  const double window = 1.0 / (2.0 * alpha);
+  if (x > nbar + window) return 1.0;
+  if (x < nbar - window) return 0.0;
+  return std::clamp(alpha * (x - nbar) + 0.5, 0.0, 1.0);
+}
+
+}  // namespace ffp

@@ -1,0 +1,36 @@
+// The fusion/fission choice function (§4.3). With x the nucleon count of
+// the chosen atom, n̄ = nbv/k the target atom size, and
+//
+//   α(t) = k_slope · (tmax − t) / (tmax − tmin) + r,
+//
+// the probability that the atom undergoes FISSION is
+//
+//   choice(x) = 1                      if x > n̄ + 1/(2α(t))
+//             = 0                      if x < n̄ − 1/(2α(t))
+//             = α(t)·(x − n̄) + 1/2     otherwise.
+//
+// Hot (t ≈ tmax): α ≈ r is small, the window ±1/(2α) is wide and the slope
+// shallow — fission/fusion is nearly a coin flip regardless of size. Cold:
+// α grows, the choice becomes a sharp size thermostat around n̄. k_slope
+// and r are the two user-adjusted parameters the paper calls k and r.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+struct ChoiceParams {
+  double target_size = 1.0;  ///< n̄ = nbv / k
+  double tmax = 1.0;
+  double tmin = 0.0;
+  double slope = 4.0;   ///< the paper's "k" in α(t)
+  double offset = 0.25; ///< the paper's "r" in α(t)
+};
+
+/// α(t) — always > 0 for offset > 0.
+double choice_alpha(double t, const ChoiceParams& params);
+
+/// Probability of fission for an atom with `size` nucleons at temperature t.
+double fission_probability(int size, double t, const ChoiceParams& params);
+
+}  // namespace ffp

@@ -1,0 +1,121 @@
+// The fusion-fission metaheuristic (§4, Algorithms 1 & 2) — the paper's
+// contribution. Vertices are nucleons, parts are atoms, the partition is
+// the molecule; the search repeatedly fuses and fissions atoms, so the part
+// count drifts around the target k instead of being fixed.
+//
+// One step (Algorithm 1):
+//   1. choose a random atom;
+//   2. choice(x) (core/choice) decides fusion or fission by atom size and
+//      temperature;
+//   3. FUSION: pick a partner by connection strength (inverse "distance":
+//      "the inverse of the sum of the weights of connected edges"), size
+//      and temperature; merge; the law for the merged size ejects 0..3
+//      nucleons, each absorbed by its best-connected atom ("incorporated
+//      into different atoms connected with them");
+//      FISSION: cut the atom in two by percolation (§4.4); the law ejects
+//      0..3 nucleons; hot nucleons trigger a simple (no-ejection) fission
+//      of a connected atom, cold ones are absorbed (§4.2);
+//   4. the law is updated (reinforced on success), temperature decreases
+//      linearly (decrease(t) = t − (tmax−tmin)/nbt);
+//   5. the new partition is always accepted ("even if energy is higher");
+//      at the freezing point the search reheats from the best partition.
+//
+// Energy = objective / scaling(p) (core/scaling): comparable across part
+// counts. The best partition *at the target k* is the result; the best
+// seen for each nearby k is also kept (§6: "if fusion fission returns a
+// 32-partition, it returns good solutions from 27 to 38 partitions").
+//
+// Initialization (Algorithm 2) starts from singleton atoms and runs a
+// simplified loop (no temperature, no nucleon-triggered fission, a
+// fusion-biased choice) until the atom count first reaches k.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/choice.hpp"
+#include "core/laws.hpp"
+#include "core/scaling.hpp"
+#include "metaheuristics/anytime.hpp"
+#include "partition/objectives.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ffp {
+
+struct FusionFissionOptions {
+  ObjectiveKind objective = ObjectiveKind::MinMaxCut;
+
+  // The paper's five parameters (§6): tmax, tmin, nbt, and (k, r) of α(t).
+  double tmax = 1.0;
+  double tmin = 0.05;
+  int nbt = 400;          ///< temperature steps from tmax to tmin
+  double choice_slope = 4.0;
+  double choice_offset = 0.25;
+
+  double law_delta = 0.05;  ///< law reinforcement input value
+
+  /// Experimental "customized" choice-function variant (§ conclusion
+  /// mentions such variants): bias the fusion/fission decision by the
+  /// atom's own leak ratio relative to the molecule average. Our ablation
+  /// (bench/ablation_choice) found it HURTS on the core-area instance, so
+  /// the default 0 keeps the paper's pure size-based choice(x).
+  double choice_term_bias = 0.0;
+
+  // Ablation switches (paper-faithful pure Algorithm 1 when
+  // choice_term_bias = 0 and the rest are left at defaults).
+  bool use_laws = true;               ///< frozen uniform laws when false
+  bool percolation_fission = true;    ///< random halving when false
+  ScalingKind scaling = ScalingKind::BindingEnergy;
+
+  std::uint64_t seed = 17;
+};
+
+struct FusionFissionResult {
+  Partition best;            ///< best partition with exactly k parts
+  double best_value = 0.0;   ///< its objective value
+  double best_energy = 0.0;  ///< its scaled energy
+  /// Best objective seen at every visited part count (the §6 k-range claim).
+  std::map<int, double> best_by_part_count;
+  std::int64_t steps = 0;
+  std::int64_t fusions = 0;
+  std::int64_t fissions = 0;
+  std::int64_t ejections = 0;
+  int reheats = 0;
+};
+
+class FusionFission {
+ public:
+  FusionFission(const Graph& g, int k, FusionFissionOptions options);
+
+  /// Full run: Algorithm 2 initialization, then Algorithm 1 until `stop`.
+  FusionFissionResult run(const StopCondition& stop,
+                          AnytimeRecorder* recorder = nullptr);
+
+  /// Algorithm 2 only (exposed for tests/benches): a near-k partition grown
+  /// from singletons.
+  Partition initialize();
+
+ private:
+  struct State;
+  void step(State& s);
+  void do_fusion(State& s, int atom);
+  void do_fission(State& s, int atom);
+  int absorb_nucleon(State& s, VertexId v);          // nfusion
+  void simple_fission(State& s, int atom);           // nfission, no ejection
+  int select_fusion_partner(State& s, int atom);
+  std::vector<VertexId> pick_ejected(State& s, int atom, int count);
+  void split_atom(State& s, int atom, bool allow_percolation);
+  double energy_of(const Partition& p) const;
+  void note_partition(State& s, AnytimeRecorder* recorder);
+
+  const Graph* g_;
+  int k_;
+  FusionFissionOptions options_;
+  ChoiceParams choice_;
+  std::unique_ptr<ScalingFunction> scaling_;
+};
+
+}  // namespace ffp

@@ -1,0 +1,86 @@
+#include "core/laws.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+namespace {
+constexpr double kMinProb = 0.01;
+constexpr double kMaxProb = 0.97;
+}  // namespace
+
+LawTable::LawTable(int max_atom_size, double delta)
+    : max_size_(max_atom_size), delta_(delta) {
+  FFP_CHECK(max_atom_size >= 1, "max_atom_size must be >= 1");
+  FFP_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  probs_.resize(2 * static_cast<std::size_t>(max_atom_size));
+  for (int size = 1; size <= max_atom_size; ++size) {
+    for (LawKind kind : {LawKind::Fusion, LawKind::Fission}) {
+      const int c = choices(kind, size);
+      auto& law = probs_[index(kind, size)];
+      law.fill(0.0);
+      for (int i = 0; i < c; ++i) {
+        law[static_cast<std::size_t>(i)] = 1.0 / c;
+      }
+    }
+  }
+}
+
+int LawTable::choices(LawKind kind, int size) const {
+  FFP_CHECK(size >= 1 && size <= max_size_, "atom size out of range: ", size);
+  // Result atoms must stay non-empty: fusion leaves one atom (>= 1 nucleon),
+  // fission leaves two (>= 2 nucleons).
+  const int room = kind == LawKind::Fusion ? size - 1 : size - 2;
+  return std::clamp(room, 0, kMaxEjected) + 1;
+}
+
+std::size_t LawTable::index(LawKind kind, int size) const {
+  FFP_DCHECK(size >= 1 && size <= max_size_);
+  const std::size_t base =
+      kind == LawKind::Fusion ? 0 : static_cast<std::size_t>(max_size_);
+  return base + static_cast<std::size_t>(size - 1);
+}
+
+int LawTable::sample(LawKind kind, int size, Rng& rng) const {
+  const int c = choices(kind, size);
+  const auto& law = probs_[index(kind, size)];
+  const auto pick = rng.weighted_pick(
+      std::span<const double>(law.data(), static_cast<std::size_t>(c)));
+  return pick >= static_cast<std::size_t>(c) ? 0 : static_cast<int>(pick);
+}
+
+std::span<const double> LawTable::probabilities(LawKind kind, int size) const {
+  const int c = choices(kind, size);
+  return {probs_[index(kind, size)].data(), static_cast<std::size_t>(c)};
+}
+
+void LawTable::update(LawKind kind, int size, int chosen, bool success) {
+  const int c = choices(kind, size);
+  FFP_CHECK(chosen >= 0 && chosen < c, "chosen ejection count out of range");
+  if (c <= 1) return;  // nothing to learn from a single-entry law
+
+  auto& law = probs_[index(kind, size)];
+  // §4.1: add delta to the winner, remove delta/3 from the others (the paper
+  // fixes /3 because laws have four entries; for truncated laws the same
+  // total is spread over the remaining entries). Failure reverses the flow.
+  const double gain = success ? delta_ : -delta_;
+  const double spread = gain / (c - 1);
+  law[static_cast<std::size_t>(chosen)] += gain;
+  for (int i = 0; i < c; ++i) {
+    if (i != chosen) law[static_cast<std::size_t>(i)] -= spread;
+  }
+  // Clamp strictly inside (0,1) and renormalize.
+  double total = 0.0;
+  for (int i = 0; i < c; ++i) {
+    auto& p = law[static_cast<std::size_t>(i)];
+    p = std::clamp(p, kMinProb, kMaxProb);
+    total += p;
+  }
+  for (int i = 0; i < c; ++i) {
+    law[static_cast<std::size_t>(i)] /= total;
+  }
+}
+
+}  // namespace ffp

@@ -1,0 +1,60 @@
+// Fusion-fission "laws" (§4.1): for every atom size there are two laws —
+// one for fusion, one for fission — each a probability vector over how many
+// nucleons the event ejects (0..3, truncated so that result atoms stay
+// non-empty: "each law is composed of four probabilities, less if the sum
+// of nucleons is lower").
+//
+// The laws learn: "if the law gives a better solution, the process is
+// enforced, else it is weakened" — on success the chosen entry gains delta
+// and the others lose delta/3 (the paper's rule: "we add to its probability
+// an input value and remove to the other probabilities the third of this
+// input value"); on failure the signs flip. Every probability is kept
+// strictly inside (0,1) and the vector renormalized.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ffp {
+
+enum class LawKind { Fusion, Fission };
+
+/// Maximum nucleons a single event may eject.
+inline constexpr int kMaxEjected = 3;
+
+class LawTable {
+ public:
+  /// max_atom_size: largest atom the table must cover (= vertex count:
+  /// "the number of laws is twice the number of vertices").
+  /// delta: the reinforcement input value.
+  LawTable(int max_atom_size, double delta);
+
+  /// Number of valid ejection counts for an atom of `size` under `kind`:
+  /// fission of size s needs s − m >= 2, fusion needs s − m >= 1.
+  int choices(LawKind kind, int size) const;
+
+  /// Samples an ejection count from the law.
+  int sample(LawKind kind, int size, Rng& rng) const;
+
+  /// Probability vector (size = choices(kind, size)).
+  std::span<const double> probabilities(LawKind kind, int size) const;
+
+  /// Reinforces (success) or weakens (failure) the entry `chosen`.
+  void update(LawKind kind, int size, int chosen, bool success);
+
+  int max_atom_size() const { return max_size_; }
+  double delta() const { return delta_; }
+
+ private:
+  std::size_t index(LawKind kind, int size) const;
+
+  int max_size_;
+  double delta_;
+  // Flat storage: [fusion laws | fission laws], each law kMaxEjected+1 wide.
+  std::vector<std::array<double, kMaxEjected + 1>> probs_;
+};
+
+}  // namespace ffp

@@ -1,0 +1,75 @@
+#include "core/scaling.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+namespace {
+
+class BindingEnergyScaling final : public ScalingFunction {
+ public:
+  BindingEnergyScaling(ObjectiveKind objective, double total_edge_weight)
+      : objective_(objective), two_m_(2.0 * total_edge_weight) {}
+
+  std::string_view name() const override { return "binding-energy"; }
+
+  double scale(int p) const override {
+    if (p < 2) return 0.0;  // caller maps to +inf energy
+    const double pd = p;
+    switch (objective_) {
+      case ObjectiveKind::Cut:
+        return std::max(two_m_, 1.0) * (1.0 - 1.0 / pd);
+      case ObjectiveKind::NormalizedCut:
+      case ObjectiveKind::RatioCut:
+        return pd - 1.0;
+      case ObjectiveKind::MinMaxCut:
+        return pd * (pd - 1.0);
+    }
+    throw Error("unknown ObjectiveKind in scaling");
+  }
+
+ private:
+  ObjectiveKind objective_;
+  double two_m_;
+};
+
+class LinearScaling final : public ScalingFunction {
+ public:
+  std::string_view name() const override { return "linear"; }
+  double scale(int p) const override { return p < 2 ? 0.0 : static_cast<double>(p); }
+};
+
+class IdentityScaling final : public ScalingFunction {
+ public:
+  std::string_view name() const override { return "identity"; }
+  double scale(int p) const override { return p < 2 ? 0.0 : 1.0; }
+};
+
+}  // namespace
+
+std::unique_ptr<ScalingFunction> make_scaling(ScalingKind kind,
+                                              ObjectiveKind objective,
+                                              double total_edge_weight) {
+  switch (kind) {
+    case ScalingKind::BindingEnergy:
+      return std::make_unique<BindingEnergyScaling>(objective,
+                                                    total_edge_weight);
+    case ScalingKind::Linear:
+      return std::make_unique<LinearScaling>();
+    case ScalingKind::Identity:
+      return std::make_unique<IdentityScaling>();
+  }
+  throw Error("unknown ScalingKind");
+}
+
+double partition_energy(double objective_value, int nonempty_parts,
+                        const ScalingFunction& scaling) {
+  const double s = scaling.scale(nonempty_parts);
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return objective_value / s;
+}
+
+}  // namespace ffp

@@ -1,0 +1,131 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ffp {
+
+std::vector<std::vector<VertexId>> Components::groups() const {
+  std::vector<std::vector<VertexId>> out(static_cast<std::size_t>(count));
+  for (VertexId v = 0; v < static_cast<VertexId>(label.size()); ++v) {
+    out[static_cast<std::size_t>(label[v])].push_back(v);
+  }
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.label.assign(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<VertexId> stack;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (c.label[s] != -1) continue;
+    const int id = c.count++;
+    c.label[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId u : g.neighbors(v)) {
+        if (c.label[u] == -1) {
+          c.label[u] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+std::vector<int> bfs_distances(const Graph& g, VertexId source) {
+  const VertexId sources[1] = {source};
+  return bfs_distances(g, std::span<const VertexId>(sources));
+}
+
+std::vector<int> bfs_distances(const Graph& g,
+                               std::span<const VertexId> sources) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<VertexId> q;
+  for (VertexId s : sources) {
+    FFP_CHECK(s >= 0 && s < g.num_vertices(), "BFS source out of range");
+    if (dist[s] == -1) {
+      dist[s] = 0;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.neighbors(v)) {
+      if (dist[u] == -1) {
+        dist[u] = dist[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::pair<VertexId, VertexId> pseudo_peripheral_pair(const Graph& g,
+                                                     VertexId start) {
+  FFP_CHECK(g.num_vertices() > 0, "empty graph");
+  FFP_CHECK(start >= 0 && start < g.num_vertices(), "start out of range");
+  VertexId a = start;
+  VertexId b = start;
+  int best = -1;
+  // Two BFS sweeps reach a good approximation of the diameter endpoints.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const auto dist = bfs_distances(g, a);
+    VertexId far = a;
+    int far_d = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (dist[v] > far_d) {
+        far_d = dist[v];
+        far = v;
+      }
+    }
+    if (far_d > best) {
+      best = far_d;
+      b = a;
+      a = far;
+    } else {
+      break;
+    }
+  }
+  return {a, b == a && g.num_vertices() > 1 ? (a == 0 ? 1 : 0) : b};
+}
+
+Subgraph induced_subgraph(const Graph& g, std::span<const VertexId> vertices) {
+  Subgraph out;
+  out.to_parent.assign(vertices.begin(), vertices.end());
+  std::vector<VertexId> to_local(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    FFP_CHECK(v >= 0 && v < g.num_vertices(), "subgraph vertex out of range");
+    FFP_CHECK(to_local[v] == -1, "duplicate vertex ", v, " in subgraph set");
+    to_local[v] = static_cast<VertexId>(i);
+  }
+  std::vector<WeightedEdge> edges;
+  std::vector<Weight> vw(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    vw[i] = g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId lu = to_local[nbrs[j]];
+      if (lu != -1 && lu > static_cast<VertexId>(i)) {
+        edges.push_back({static_cast<VertexId>(i), lu, ws[j]});
+      }
+    }
+  }
+  out.graph = Graph::from_edges(static_cast<VertexId>(vertices.size()), edges,
+                                std::move(vw));
+  return out;
+}
+
+}  // namespace ffp

@@ -1,0 +1,44 @@
+// Connectivity utilities: components, BFS, peripheral vertices, and induced
+// subgraph extraction (with the mapping back to parent vertices).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ffp {
+
+struct Components {
+  std::vector<int> label;  ///< component id per vertex, in [0, count)
+  int count = 0;
+
+  /// Vertices of each component, grouped.
+  std::vector<std::vector<VertexId>> groups() const;
+};
+
+Components connected_components(const Graph& g);
+bool is_connected(const Graph& g);
+
+/// Unweighted BFS hop distances from source (-1 where unreachable).
+std::vector<int> bfs_distances(const Graph& g, VertexId source);
+
+/// Unweighted BFS distances from a set of sources.
+std::vector<int> bfs_distances(const Graph& g, std::span<const VertexId> sources);
+
+/// A pair of far-apart vertices found by repeated BFS sweeps from `start`
+/// (the classic pseudo-peripheral heuristic). Used to seed bisections.
+std::pair<VertexId, VertexId> pseudo_peripheral_pair(const Graph& g,
+                                                     VertexId start = 0);
+
+/// Result of extracting the subgraph induced by a vertex subset.
+struct Subgraph {
+  Graph graph;
+  std::vector<VertexId> to_parent;  ///< local id -> parent id
+};
+
+/// Induced subgraph over `vertices` (need not be connected; order defines
+/// local ids). Edges internal to the set are kept with their weights.
+Subgraph induced_subgraph(const Graph& g, std::span<const VertexId> vertices);
+
+}  // namespace ffp

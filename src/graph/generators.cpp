@@ -1,0 +1,269 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ffp {
+
+namespace {
+VertexId grid_id(int r, int c, int cols) { return r * cols + c; }
+}  // namespace
+
+Graph make_grid2d(int rows, int cols, Weight edge_weight) {
+  FFP_CHECK(rows > 0 && cols > 0, "grid dimensions must be positive");
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        edges.push_back({grid_id(r, c, cols), grid_id(r, c + 1, cols), edge_weight});
+      if (r + 1 < rows)
+        edges.push_back({grid_id(r, c, cols), grid_id(r + 1, c, cols), edge_weight});
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph make_grid3d(int nx, int ny, int nz, Weight edge_weight) {
+  FFP_CHECK(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+  auto id = [&](int x, int y, int z) {
+    return static_cast<VertexId>((z * ny + y) * nx + x);
+  };
+  std::vector<WeightedEdge> edges;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        if (x + 1 < nx) edges.push_back({id(x, y, z), id(x + 1, y, z), edge_weight});
+        if (y + 1 < ny) edges.push_back({id(x, y, z), id(x, y + 1, z), edge_weight});
+        if (z + 1 < nz) edges.push_back({id(x, y, z), id(x, y, z + 1), edge_weight});
+      }
+    }
+  }
+  return Graph::from_edges(nx * ny * nz, edges);
+}
+
+Graph make_torus(int rows, int cols, Weight edge_weight) {
+  FFP_CHECK(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+  std::vector<WeightedEdge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      edges.push_back(
+          {grid_id(r, c, cols), grid_id(r, (c + 1) % cols, cols), edge_weight});
+      edges.push_back(
+          {grid_id(r, c, cols), grid_id((r + 1) % rows, c, cols), edge_weight});
+    }
+  }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph make_path(int n, Weight edge_weight) {
+  FFP_CHECK(n > 0, "path needs n > 0");
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, edge_weight});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_cycle(int n, Weight edge_weight) {
+  FFP_CHECK(n >= 3, "cycle needs n >= 3");
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, edge_weight});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_complete(int n, Weight edge_weight) {
+  FFP_CHECK(n > 0, "complete graph needs n > 0");
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back({i, j, edge_weight});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_star(int leaves, Weight edge_weight) {
+  FFP_CHECK(leaves >= 1, "star needs >= 1 leaf");
+  std::vector<WeightedEdge> edges;
+  for (int i = 1; i <= leaves; ++i) edges.push_back({0, i, edge_weight});
+  return Graph::from_edges(leaves + 1, edges);
+}
+
+Graph make_barbell(int clique, int bridge) {
+  FFP_CHECK(clique >= 2 && bridge >= 0, "barbell needs clique >= 2");
+  std::vector<WeightedEdge> edges;
+  const int n = 2 * clique + bridge;
+  auto add_clique = [&](int base) {
+    for (int i = 0; i < clique; ++i) {
+      for (int j = i + 1; j < clique; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(clique + bridge);
+  // Bridge path from the last vertex of clique A to the first of clique B.
+  int prev = clique - 1;
+  for (int b = 0; b < bridge; ++b) {
+    edges.push_back({prev, clique + b, 1.0});
+    prev = clique + b;
+  }
+  edges.push_back({prev, clique + bridge, 1.0});
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_geometric(int n, double radius, std::uint64_t seed) {
+  FFP_CHECK(n > 0 && radius > 0.0, "bad geometric graph parameters");
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n)), y(x.size());
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = rng.uniform();
+    y[static_cast<std::size_t>(i)] = rng.uniform();
+  }
+  // Uniform grid bucketing keeps this O(n) for fixed expected degree.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  std::vector<std::vector<VertexId>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](int i) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[static_cast<std::size_t>(i)] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[static_cast<std::size_t>(i)] * cells));
+    return cy * cells + cx;
+  };
+  for (int i = 0; i < n; ++i) {
+    grid[static_cast<std::size_t>(cell_of(i))].push_back(i);
+  }
+  const double r2 = radius * radius;
+  std::vector<WeightedEdge> edges;
+  std::vector<char> has_edge(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[static_cast<std::size_t>(i)] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[static_cast<std::size_t>(i)] * cells));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (VertexId j : grid[static_cast<std::size_t>(ny * cells + nx)]) {
+          if (j <= i) continue;
+          const double ddx = x[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(j)];
+          const double ddy = y[static_cast<std::size_t>(i)] - y[static_cast<std::size_t>(j)];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            edges.push_back({i, j, 1.0});
+            has_edge[static_cast<std::size_t>(i)] = 1;
+            has_edge[static_cast<std::size_t>(j)] = 1;
+          }
+        }
+      }
+    }
+  }
+  // Attach isolated vertices to their nearest neighbor.
+  for (int i = 0; i < n; ++i) {
+    if (has_edge[static_cast<std::size_t>(i)] || n == 1) continue;
+    int best = -1;
+    double best_d = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double ddx = x[static_cast<std::size_t>(i)] - x[static_cast<std::size_t>(j)];
+      const double ddy = y[static_cast<std::size_t>(i)] - y[static_cast<std::size_t>(j)];
+      const double d = ddx * ddx + ddy * ddy;
+      if (best == -1 || d < best_d) {
+        best = j;
+        best_d = d;
+      }
+    }
+    edges.push_back({i, best, 1.0});
+    has_edge[static_cast<std::size_t>(i)] = 1;
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_power_law(int n, double avg_deg, double gamma, std::uint64_t seed) {
+  FFP_CHECK(n > 1 && avg_deg > 0 && gamma > 2.0, "bad power-law parameters");
+  Rng rng(seed);
+  // Chung–Lu: P(edge ij) ~ w_i w_j / W with w_i = c * (i+1)^(-1/(gamma-1)).
+  std::vector<double> w(static_cast<std::size_t>(n));
+  const double exponent = -1.0 / (gamma - 1.0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), exponent);
+    total += w[static_cast<std::size_t>(i)];
+  }
+  const double scale = avg_deg * n / total;
+  for (auto& wi : w) wi *= scale;
+  const double wsum = avg_deg * n;
+
+  std::vector<WeightedEdge> edges;
+  // Efficient Chung-Lu sampling (Miller & Hagberg): walk j with skips.
+  for (int i = 0; i < n - 1; ++i) {
+    int j = i + 1;
+    double p = std::min(1.0, w[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(j)] / wsum);
+    while (j < n && p > 0) {
+      if (p != 1.0) {
+        const double r = std::max(rng.uniform(), 1e-300);
+        j += static_cast<int>(std::floor(std::log(r) / std::log(1.0 - p)));
+      }
+      if (j < n) {
+        const double q = std::min(
+            1.0, w[static_cast<std::size_t>(i)] * w[static_cast<std::size_t>(j)] / wsum);
+        if (rng.uniform() < q / p) {
+          edges.push_back({i, j, 1.0});
+        }
+        p = q;
+        ++j;
+      }
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_random_graph(int n, std::int64_t m, std::uint64_t seed) {
+  FFP_CHECK(n > 1, "random graph needs n > 1");
+  const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  FFP_CHECK(m >= 0 && m <= max_m, "edge count out of range");
+  Rng rng(seed);
+  std::unordered_set<std::int64_t> seen;
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  while (static_cast<std::int64_t>(edges.size()) < m) {
+    const auto u = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const std::int64_t key =
+        static_cast<std::int64_t>(std::min(u, v)) * n + std::max(u, v);
+    if (seen.insert(key).second) edges.push_back({u, v, 1.0});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_caterpillar(int spine, int legs) {
+  FFP_CHECK(spine >= 1 && legs >= 0, "bad caterpillar parameters");
+  std::vector<WeightedEdge> edges;
+  const int n = spine + spine * legs;
+  for (int i = 0; i + 1 < spine; ++i) edges.push_back({i, i + 1, 1.0});
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) edges.push_back({i, next++, 1.0});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph with_random_weights(const Graph& g, double lo, double hi,
+                          std::uint64_t seed) {
+  FFP_CHECK(lo >= 0.0 && hi > lo, "bad weight range");
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()));
+  std::vector<Weight> vw(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vw[static_cast<std::size_t>(v)] = g.vertex_weight(v);
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) edges.push_back({v, u, rng.uniform(lo, hi)});
+    }
+  }
+  return Graph::from_edges(g.num_vertices(), edges, std::move(vw));
+}
+
+}  // namespace ffp

@@ -1,0 +1,54 @@
+// Deterministic graph generators.
+//
+// These stand in for the Walshaw benchmark archive (public but not available
+// offline): the same structural families — finite-element-style meshes, tori,
+// geometric graphs, power-law graphs — at laptop scale. All generators are
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+/// rows x cols 4-neighbor mesh (the classic FE-mesh shape).
+Graph make_grid2d(int rows, int cols, Weight edge_weight = 1.0);
+
+/// nx x ny x nz 6-neighbor mesh.
+Graph make_grid3d(int nx, int ny, int nz, Weight edge_weight = 1.0);
+
+/// rows x cols mesh with wraparound in both dimensions.
+Graph make_torus(int rows, int cols, Weight edge_weight = 1.0);
+
+Graph make_path(int n, Weight edge_weight = 1.0);
+Graph make_cycle(int n, Weight edge_weight = 1.0);
+Graph make_complete(int n, Weight edge_weight = 1.0);
+Graph make_star(int leaves, Weight edge_weight = 1.0);
+
+/// Two cliques of size `clique` joined by a path of `bridge` vertices — a
+/// graph with an obvious optimal bisection, used heavily in tests.
+Graph make_barbell(int clique, int bridge = 1);
+
+/// n points uniform in the unit square, edges between pairs closer than
+/// `radius`. Isolated vertices are connected to their nearest neighbor so
+/// the result is usable (not necessarily connected overall).
+Graph make_random_geometric(int n, double radius, std::uint64_t seed);
+
+/// Chung–Lu style power-law graph: expected degrees ~ (i+1)^(-1/(gamma-1))
+/// scaled to average degree `avg_deg`.
+Graph make_power_law(int n, double avg_deg, double gamma, std::uint64_t seed);
+
+/// Erdos–Renyi G(n, m): exactly m distinct random edges.
+Graph make_random_graph(int n, std::int64_t m, std::uint64_t seed);
+
+/// Caterpillar: a spine path of `spine` vertices with `legs` pendant
+/// vertices each — a worst case for naive growing heuristics.
+Graph make_caterpillar(int spine, int legs);
+
+/// Replace all edge weights with uniform values in [lo, hi) (deterministic).
+Graph with_random_weights(const Graph& g, double lo, double hi,
+                          std::uint64_t seed);
+
+}  // namespace ffp

@@ -1,0 +1,102 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ffp {
+
+Graph Graph::from_edges(VertexId n, std::span<const WeightedEdge> edges,
+                        std::vector<Weight> vertex_weights) {
+  FFP_CHECK(n >= 0, "negative vertex count");
+  Graph g;
+  g.n_ = n;
+
+  if (vertex_weights.empty()) {
+    g.vwgt_.assign(static_cast<std::size_t>(n), 1.0);
+  } else {
+    FFP_CHECK(static_cast<VertexId>(vertex_weights.size()) == n,
+              "vertex_weights size ", vertex_weights.size(), " != n ", n);
+    for (Weight w : vertex_weights) FFP_CHECK(w > 0.0, "vertex weight must be > 0");
+    g.vwgt_ = std::move(vertex_weights);
+  }
+  g.total_vwgt_ = 0.0;
+  for (Weight w : g.vwgt_) g.total_vwgt_ += w;
+
+  // Count arcs per vertex (validating as we go).
+  std::vector<ArcId> count(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& e : edges) {
+    FFP_CHECK(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+              "edge endpoint out of range: (", e.u, ",", e.v, ") with n=", n);
+    FFP_CHECK(e.u != e.v, "self loop on vertex ", e.u);
+    FFP_CHECK(e.w >= 0.0, "negative edge weight on (", e.u, ",", e.v, ")");
+    ++count[static_cast<std::size_t>(e.u) + 1];
+    ++count[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) count[v + 1] += count[v];
+
+  std::vector<VertexId> adj(static_cast<std::size_t>(count[n]));
+  std::vector<Weight> wgt(adj.size());
+  std::vector<ArcId> cursor(count.begin(), count.end() - 1);
+  for (const auto& e : edges) {
+    adj[static_cast<std::size_t>(cursor[e.u])] = e.v;
+    wgt[static_cast<std::size_t>(cursor[e.u]++)] = e.w;
+    adj[static_cast<std::size_t>(cursor[e.v])] = e.u;
+    wgt[static_cast<std::size_t>(cursor[e.v]++)] = e.w;
+  }
+
+  // Sort each neighbor list and merge duplicates (parallel edges).
+  g.xadj_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.adj_.reserve(adj.size());
+  g.wgt_.reserve(wgt.size());
+  std::vector<std::pair<VertexId, Weight>> row;
+  for (VertexId v = 0; v < n; ++v) {
+    row.clear();
+    for (ArcId a = count[v]; a < cursor[v]; ++a) {
+      row.emplace_back(adj[static_cast<std::size_t>(a)],
+                       wgt[static_cast<std::size_t>(a)]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!g.adj_.empty() &&
+          static_cast<ArcId>(g.adj_.size()) > g.xadj_[v] &&
+          g.adj_.back() == row[i].first) {
+        g.wgt_.back() += row[i].second;  // merge parallel edge
+      } else {
+        g.adj_.push_back(row[i].first);
+        g.wgt_.push_back(row[i].second);
+      }
+    }
+    g.xadj_[v + 1] = static_cast<ArcId>(g.adj_.size());
+  }
+
+  g.wdeg_.assign(static_cast<std::size_t>(n), 0.0);
+  g.total_ewgt_ = 0.0;
+  g.max_ewgt_ = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    for (ArcId a = g.xadj_[v]; a < g.xadj_[v + 1]; ++a) {
+      const Weight w = g.wgt_[static_cast<std::size_t>(a)];
+      g.wdeg_[v] += w;
+      g.max_ewgt_ = std::max(g.max_ewgt_, w);
+      if (g.adj_[static_cast<std::size_t>(a)] > v) g.total_ewgt_ += w;
+    }
+  }
+  return g;
+}
+
+Weight Graph::edge_weight(VertexId u, VertexId v) const {
+  bounds_check(u);
+  bounds_check(v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  return neighbor_weights(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << num_edges()
+     << ", total_edge_weight=" << total_ewgt_ << ")";
+  return os.str();
+}
+
+}  // namespace ffp

@@ -1,0 +1,254 @@
+#include "graph/io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace ffp {
+
+namespace {
+
+[[noreturn]] void fail(std::int64_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "graph I/O error at line " << line_no << ": " << msg;
+  throw Error(os.str());
+}
+
+bool is_comment(std::string_view line) {
+  const auto t = trim(line);
+  return !t.empty() && (t[0] == '%' || t[0] == '#');
+}
+
+/// Reads the next non-comment line; returns false at EOF.
+bool next_line(std::istream& in, std::string& line, std::int64_t& line_no) {
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!is_comment(line)) return true;
+  }
+  return false;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  FFP_CHECK(out.good(), "cannot open for writing: ", path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  FFP_CHECK(in.good(), "cannot open for reading: ", path);
+  return in;
+}
+
+}  // namespace
+
+Graph read_chaco(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  if (!next_line(in, line, line_no)) fail(line_no, "missing header line");
+
+  const auto header = split_ws(line);
+  if (header.size() < 2 || header.size() > 4) {
+    fail(line_no, "header must be 'n m [fmt [ncon]]'");
+  }
+  const auto n_opt = parse_int(header[0]);
+  const auto m_opt = parse_int(header[1]);
+  if (!n_opt || !m_opt || *n_opt < 0 || *m_opt < 0) {
+    fail(line_no, "invalid n or m in header");
+  }
+  const auto n = static_cast<VertexId>(*n_opt);
+  const std::int64_t m = *m_opt;
+
+  int fmt = 0;
+  if (header.size() >= 3) {
+    const auto f = parse_int(header[2]);
+    if (!f) fail(line_no, "invalid fmt field");
+    fmt = static_cast<int>(*f);
+  }
+  const bool has_vertex_sizes = (fmt / 100) % 10 != 0;
+  const bool has_vertex_weights = (fmt / 10) % 10 != 0;
+  const bool has_edge_weights = fmt % 10 != 0;
+  int ncon = has_vertex_weights ? 1 : 0;
+  if (header.size() == 4) {
+    const auto c = parse_int(header[3]);
+    if (!c || *c < 0) fail(line_no, "invalid ncon field");
+    ncon = static_cast<int>(*c);
+  }
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  std::vector<Weight> vweights;
+  if (has_vertex_weights) vweights.reserve(static_cast<std::size_t>(n));
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (!next_line(in, line, line_no)) {
+      fail(line_no, "unexpected EOF: expected " + std::to_string(n) +
+                        " vertex lines");
+    }
+    const auto tok = split_ws(line);
+    std::size_t i = 0;
+    if (has_vertex_sizes) ++i;  // accept and ignore vertex size
+    if (has_vertex_weights) {
+      if (i + static_cast<std::size_t>(ncon) > tok.size()) {
+        fail(line_no, "missing vertex weight(s)");
+      }
+      // Multi-constraint files: use the first weight (ffp is single
+      // constraint; documented in the header).
+      const auto w = parse_double(tok[i]);
+      if (!w || *w <= 0) fail(line_no, "invalid vertex weight");
+      vweights.push_back(*w);
+      i += static_cast<std::size_t>(ncon);
+    }
+    while (i < tok.size()) {
+      const auto u = parse_int(tok[i++]);
+      if (!u || *u < 1 || *u > n) {
+        fail(line_no, "neighbor id out of range (ids are 1-based)");
+      }
+      Weight w = 1.0;
+      if (has_edge_weights) {
+        if (i >= tok.size()) fail(line_no, "missing edge weight");
+        const auto we = parse_double(tok[i++]);
+        if (!we || *we < 0) fail(line_no, "invalid edge weight");
+        w = *we;
+      }
+      const auto nb = static_cast<VertexId>(*u - 1);
+      if (nb == v) fail(line_no, "self loop");
+      if (nb > v) edges.push_back({v, nb, w});  // each edge appears twice
+    }
+  }
+
+  if (static_cast<std::int64_t>(edges.size()) != m) {
+    fail(line_no, "header declared " + std::to_string(m) + " edges, found " +
+                      std::to_string(edges.size()));
+  }
+  return Graph::from_edges(n, edges, std::move(vweights));
+}
+
+Graph read_chaco_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_chaco(in);
+}
+
+void write_chaco(const Graph& g, std::ostream& out) {
+  // Decide the fmt field: emit weights only when non-trivial.
+  bool vw = false;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex_weight(v) != 1.0) {
+      vw = true;
+      break;
+    }
+  }
+  bool ew = false;
+  for (Weight w : g.arc_weights()) {
+    if (w != 1.0) {
+      ew = true;
+      break;
+    }
+  }
+  const int fmt = (vw ? 10 : 0) + (ew ? 1 : 0);
+  out << std::setprecision(17);  // round-trip doubles exactly
+  out << g.num_vertices() << ' ' << g.num_edges();
+  if (fmt != 0) out << ' ' << (fmt < 10 ? "0" : "") << fmt;
+  out << '\n';
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    if (vw) {
+      out << g.vertex_weight(v);
+      first = false;
+    }
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!first) out << ' ';
+      first = false;
+      out << (nbrs[i] + 1);
+      if (ew) out << ' ' << ws[i];
+    }
+    out << '\n';
+  }
+}
+
+void write_chaco_file(const Graph& g, const std::string& path) {
+  auto out = open_out(path);
+  write_chaco(g, out);
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  std::vector<WeightedEdge> edges;
+  VertexId max_v = -1;
+  while (next_line(in, line, line_no)) {
+    const auto tok = split_ws(line);
+    if (tok.empty()) continue;
+    if (tok.size() != 2 && tok.size() != 3) {
+      fail(line_no, "expected 'u v [w]'");
+    }
+    const auto u = parse_int(tok[0]);
+    const auto v = parse_int(tok[1]);
+    if (!u || !v || *u < 0 || *v < 0) fail(line_no, "invalid endpoint");
+    Weight w = 1.0;
+    if (tok.size() == 3) {
+      const auto wd = parse_double(tok[2]);
+      if (!wd || *wd < 0) fail(line_no, "invalid weight");
+      w = *wd;
+    }
+    edges.push_back(
+        {static_cast<VertexId>(*u), static_cast<VertexId>(*v), w});
+    max_v = std::max(max_v, std::max(static_cast<VertexId>(*u),
+                                     static_cast<VertexId>(*v)));
+  }
+  return Graph::from_edges(max_v + 1, edges);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << std::setprecision(17);  // round-trip doubles exactly
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) out << v << ' ' << nbrs[i] << ' ' << ws[i] << '\n';
+    }
+  }
+}
+
+std::vector<int> read_partition(std::istream& in) {
+  std::string line;
+  std::int64_t line_no = 0;
+  std::vector<int> parts;
+  while (next_line(in, line, line_no)) {
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    const auto p = parse_int(t);
+    if (!p || *p < 0) fail(line_no, "invalid part id");
+    parts.push_back(static_cast<int>(*p));
+  }
+  return parts;
+}
+
+std::vector<int> read_partition_file(const std::string& path) {
+  auto in = open_in(path);
+  return read_partition(in);
+}
+
+void write_partition(std::span<const int> parts, std::ostream& out) {
+  for (int p : parts) out << p << '\n';
+}
+
+void write_partition_file(std::span<const int> parts,
+                          const std::string& path) {
+  auto out = open_out(path);
+  write_partition(parts, out);
+}
+
+}  // namespace ffp

@@ -1,0 +1,38 @@
+// Graph and partition file I/O.
+//
+// Supported formats:
+//  - Chaco / METIS graph format (they share the same layout): a header line
+//    "n m [fmt]" followed by one line per vertex listing its neighbors
+//    (1-indexed), optionally interleaved with vertex/edge weights depending
+//    on fmt (0, 1, 10, 11, 100, 110, 111 — leading digit enables vertex
+//    sizes, which we accept and ignore). '%' or '#' start comment lines.
+//    This is the format of the Walshaw benchmark archive.
+//  - Plain edge list: "u v [w]" per line, 0-indexed.
+//  - Partition files: one part id per line, as written by Chaco/METIS.
+//
+// All readers throw ffp::Error with a line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ffp {
+
+Graph read_chaco(std::istream& in);
+Graph read_chaco_file(const std::string& path);
+void write_chaco(const Graph& g, std::ostream& out);
+void write_chaco_file(const Graph& g, const std::string& path);
+
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+void write_edge_list(const Graph& g, std::ostream& out);
+
+std::vector<int> read_partition(std::istream& in);
+std::vector<int> read_partition_file(const std::string& path);
+void write_partition(std::span<const int> parts, std::ostream& out);
+void write_partition_file(std::span<const int> parts, const std::string& path);
+
+}  // namespace ffp

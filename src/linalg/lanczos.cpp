@@ -1,0 +1,113 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/tridiag.hpp"
+#include "util/check.hpp"
+
+namespace ffp {
+
+LanczosResult lanczos_smallest(const SymmetricOperator& op,
+                               const LanczosOptions& options,
+                               std::span<const std::vector<double>> deflate) {
+  const auto n = static_cast<std::size_t>(op.dim());
+  FFP_CHECK(op.dim() >= 1, "operator dimension must be >= 1");
+  FFP_CHECK(options.nev >= 1, "nev must be >= 1");
+
+  const int usable_dim = op.dim() - static_cast<int>(deflate.size());
+  const int nev = std::min(options.nev, std::max(1, usable_dim));
+  const int max_iter =
+      std::min<int>(options.max_iterations, std::max(1, usable_dim));
+
+  LanczosResult result;
+
+  // Random start vector orthogonal to the deflation space.
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> basis;  // Lanczos vectors q_1..q_j
+  basis.emplace_back(n);
+  for (auto& x : basis[0]) x = rng.uniform(-1.0, 1.0);
+  orthogonalize_against(basis[0], deflate);
+  if (normalize(basis[0]) == 0.0) {
+    // Deflation space spans everything useful; return a zero pair.
+    result.pairs.push_back({0.0, std::vector<double>(n, 0.0)});
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<double> alpha;  // tridiagonal diagonal
+  std::vector<double> beta;   // tridiagonal off-diagonal
+  std::vector<double> w(n);
+
+  double op_scale = 1.0;  // running estimate of ‖A‖ for the tolerance
+  TridiagEigen te;
+
+  for (int j = 0; j < max_iter; ++j) {
+    const auto& q = basis.back();
+    op.apply(q, w);
+    const double a = dot(w, q);
+    alpha.push_back(a);
+    op_scale = std::max({op_scale, std::abs(a), j > 0 ? beta.back() : 0.0});
+
+    // w ← w − a q − β q_{j−1}, then full reorthogonalization against the
+    // whole basis and the deflation space (twice is enough — Kahan).
+    axpy(-a, q, w);
+    if (j > 0) axpy(-beta.back(), basis[static_cast<std::size_t>(j) - 1], w);
+    for (int pass = 0; pass < 2; ++pass) {
+      orthogonalize_against(w, deflate);
+      orthogonalize_against(w, basis);
+    }
+    const double b = norm2(w);
+
+    // Convergence check every few steps once we have enough directions.
+    const bool last = (j + 1 == max_iter) || b <= 1e-14 * op_scale;
+    if (static_cast<int>(alpha.size()) >= nev && (last || (j % 5 == 4))) {
+      te = tridiag_eigen(alpha, beta);
+      // Residual of Ritz pair i is |beta_j * s_{ji}| (last component).
+      bool all_converged = true;
+      for (int i = 0; i < nev; ++i) {
+        const double res =
+            b * std::abs(te.vectors[static_cast<std::size_t>(i)].back());
+        if (res > options.tolerance * op_scale) {
+          all_converged = false;
+          break;
+        }
+      }
+      if (all_converged || last) {
+        result.converged = all_converged || b <= 1e-14 * op_scale;
+        result.iterations = j + 1;
+        break;
+      }
+    }
+    if (b <= 1e-14 * op_scale) {
+      // Invariant subspace found; restart direction is not needed because
+      // usable_dim bounds max_iter.
+      te = tridiag_eigen(alpha, beta);
+      result.converged = true;
+      result.iterations = j + 1;
+      break;
+    }
+    beta.push_back(b);
+    basis.emplace_back(w);
+    scale(basis.back(), 1.0 / b);
+  }
+  if (te.values.empty()) te = tridiag_eigen(alpha, beta);
+  if (result.iterations == 0) result.iterations = static_cast<int>(alpha.size());
+
+  // Assemble Ritz vectors x_i = Σ_j s_{ji} q_j.
+  const int available = static_cast<int>(te.values.size());
+  for (int i = 0; i < std::min(nev, available); ++i) {
+    Eigenpair pair;
+    pair.value = te.values[static_cast<std::size_t>(i)];
+    pair.vector.assign(n, 0.0);
+    const auto& s = te.vectors[static_cast<std::size_t>(i)];
+    for (std::size_t jj = 0; jj < basis.size() && jj < s.size(); ++jj) {
+      axpy(s[jj], basis[jj], pair.vector);
+    }
+    normalize(pair.vector);
+    result.pairs.push_back(std::move(pair));
+  }
+  return result;
+}
+
+}  // namespace ffp

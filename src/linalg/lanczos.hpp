@@ -1,0 +1,44 @@
+// Lanczos eigensolver with full reorthogonalization (§2.1 of the paper:
+// "the Lanczos method is probably the most known method to solve it").
+//
+// Computes the `nev` algebraically smallest eigenpairs of a symmetric
+// operator, optionally deflating a known invariant subspace (for graph
+// Laplacians: the constant vector). Full reorthogonalization keeps the
+// Krylov basis numerically orthogonal, which is affordable at the problem
+// sizes the paper uses (hundreds to tens of thousands of vertices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/operators.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+struct LanczosOptions {
+  int nev = 1;                 ///< number of smallest eigenpairs wanted
+  int max_iterations = 300;    ///< Krylov dimension cap
+  double tolerance = 1e-8;     ///< residual tolerance ‖Ax−λx‖ ≤ tol·‖A‖ estimate
+  std::uint64_t seed = 12345;  ///< start vector seed
+};
+
+struct Eigenpair {
+  double value = 0.0;
+  std::vector<double> vector;
+};
+
+struct LanczosResult {
+  std::vector<Eigenpair> pairs;  ///< ascending by eigenvalue
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Smallest eigenpairs of `op`, orthogonal to all vectors in `deflate`
+/// (which must be orthonormal). The deflation subspace is removed from the
+/// start vector and re-projected out every iteration.
+LanczosResult lanczos_smallest(const SymmetricOperator& op,
+                               const LanczosOptions& options,
+                               std::span<const std::vector<double>> deflate = {});
+
+}  // namespace ffp

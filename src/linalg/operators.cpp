@@ -1,0 +1,97 @@
+#include "linalg/operators.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+void LaplacianOperator::apply(std::span<const double> x,
+                              std::span<double> y) const {
+  const VertexId n = g_->num_vertices();
+  FFP_DCHECK(static_cast<VertexId>(x.size()) == n &&
+             static_cast<VertexId>(y.size()) == n);
+  const auto xadj = g_->xadj();
+  const auto adj = g_->adj();
+  const auto wgt = g_->arc_weights();
+  for (VertexId v = 0; v < n; ++v) {
+    double acc = g_->weighted_degree(v) * x[static_cast<std::size_t>(v)];
+    for (ArcId a = xadj[static_cast<std::size_t>(v)];
+         a < xadj[static_cast<std::size_t>(v) + 1]; ++a) {
+      acc -= wgt[static_cast<std::size_t>(a)] *
+             x[static_cast<std::size_t>(adj[static_cast<std::size_t>(a)])];
+    }
+    y[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
+double LaplacianOperator::eigenvalue_upper_bound() const {
+  double max_deg = 0.0;
+  for (VertexId v = 0; v < g_->num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g_->weighted_degree(v));
+  }
+  return 2.0 * max_deg;
+}
+
+NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& g)
+    : g_(&g) {
+  inv_sqrt_deg_.resize(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const double d = g.weighted_degree(v);
+    inv_sqrt_deg_[static_cast<std::size_t>(v)] = d > 0.0 ? 1.0 / std::sqrt(d) : 0.0;
+  }
+}
+
+void NormalizedLaplacianOperator::apply(std::span<const double> x,
+                                        std::span<double> y) const {
+  const VertexId n = g_->num_vertices();
+  FFP_DCHECK(static_cast<VertexId>(x.size()) == n &&
+             static_cast<VertexId>(y.size()) == n);
+  const auto xadj = g_->xadj();
+  const auto adj = g_->adj();
+  const auto wgt = g_->arc_weights();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto sv = static_cast<std::size_t>(v);
+    double acc = 0.0;
+    for (ArcId a = xadj[sv]; a < xadj[sv + 1]; ++a) {
+      const auto su = static_cast<std::size_t>(adj[static_cast<std::size_t>(a)]);
+      acc += wgt[static_cast<std::size_t>(a)] * inv_sqrt_deg_[su] * x[su];
+    }
+    y[sv] = x[sv] - inv_sqrt_deg_[sv] * acc;
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  FFP_DCHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  FFP_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (auto& xi : x) xi *= alpha;
+}
+
+double normalize(std::span<double> x) {
+  const double n = norm2(x);
+  if (n > 0.0) scale(x, 1.0 / n);
+  return n;
+}
+
+void orthogonalize_against(std::span<double> x,
+                           std::span<const std::vector<double>> basis) {
+  for (const auto& b : basis) {
+    FFP_DCHECK(b.size() == x.size());
+    const double c = dot(x, b);
+    axpy(-c, b, x);
+  }
+}
+
+}  // namespace ffp

@@ -1,0 +1,88 @@
+// Matrix-free symmetric linear operators over graphs, plus small dense
+// vector kernels. The eigensolvers (Lanczos, RQI) and SYMMLQ only touch
+// operators through apply(), so the graph Laplacian never needs to be
+// materialized.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ffp {
+
+/// Abstract symmetric operator y = A x on R^n.
+class SymmetricOperator {
+ public:
+  virtual ~SymmetricOperator() = default;
+  virtual VertexId dim() const = 0;
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+};
+
+/// Combinatorial graph Laplacian L = D − W:
+///   (Lx)_v = d(v) x_v − Σ_u w(u,v) x_u.
+class LaplacianOperator final : public SymmetricOperator {
+ public:
+  explicit LaplacianOperator(const Graph& g) : g_(&g) {}
+  VertexId dim() const override { return g_->num_vertices(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// Gershgorin upper bound on the largest eigenvalue: max_v 2 d(v).
+  double eigenvalue_upper_bound() const;
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+};
+
+/// Normalized Laplacian Lsym = I − D^{-1/2} W D^{-1/2}. Eigenvectors map to
+/// the generalized problem (D − W)x = λ D x via x = D^{-1/2} y; the same
+/// problem also covers the Mcut relaxation (D−W)x = λ W x, because the two
+/// are related by the monotone transform λ → λ/(1+λ). Vertices with zero
+/// degree act as isolated (row of the identity).
+class NormalizedLaplacianOperator final : public SymmetricOperator {
+ public:
+  explicit NormalizedLaplacianOperator(const Graph& g);
+  VertexId dim() const override { return g_->num_vertices(); }
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// 1/sqrt(d(v)) per vertex (0 for isolated vertices).
+  std::span<const double> inv_sqrt_degree() const { return inv_sqrt_deg_; }
+
+ private:
+  const Graph* g_;
+  std::vector<double> inv_sqrt_deg_;
+};
+
+/// y = (sigma I − A) x — turns "smallest eigenvalues of A" into "largest of
+/// the shifted operator", which is where Lanczos converges fastest.
+class ShiftedNegatedOperator final : public SymmetricOperator {
+ public:
+  ShiftedNegatedOperator(const SymmetricOperator& inner, double sigma)
+      : inner_(&inner), sigma_(sigma) {}
+  VertexId dim() const override { return inner_->dim(); }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    inner_->apply(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = sigma_ * x[i] - y[i];
+  }
+
+ private:
+  const SymmetricOperator* inner_;
+  double sigma_;
+};
+
+// ---- dense vector kernels ----
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scale(std::span<double> x, double alpha);
+/// x <- x / ||x||; returns the prior norm (0 leaves x unchanged).
+double normalize(std::span<double> x);
+/// Removes the components of x along each (assumed orthonormal) basis vector.
+void orthogonalize_against(std::span<double> x,
+                           std::span<const std::vector<double>> basis);
+
+}  // namespace ffp

@@ -1,0 +1,73 @@
+#include "linalg/rqi.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+RqiResult rqi_refine(const SymmetricOperator& op, std::span<const double> x0,
+                     const RqiOptions& options,
+                     std::span<const std::vector<double>> deflate) {
+  const auto n = static_cast<std::size_t>(op.dim());
+  FFP_CHECK(x0.size() == n, "x0 size mismatch");
+
+  RqiResult result;
+  result.vector.assign(x0.begin(), x0.end());
+  const double input_norm = norm2(result.vector);
+  orthogonalize_against(result.vector, deflate);
+  // A start vector (numerically) inside the deflation span carries no
+  // information — refining rounding dust would converge to an arbitrary
+  // eigenpair.
+  if (normalize(result.vector) <= 1e-10 * input_norm) {
+    result.vector.assign(n, 0.0);
+    return result;
+  }
+
+  std::vector<double> ax(n);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    op.apply(result.vector, ax);
+    const double mu = dot(result.vector, ax);
+    result.value = mu;
+
+    // Residual ‖Ax − μx‖.
+    double res2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ax[i] - mu * result.vector[i];
+      res2 += r * r;
+    }
+    if (std::sqrt(res2) <= options.tolerance * (std::abs(mu) + 1e-12)) {
+      result.converged = true;
+      return result;
+    }
+
+    SymmlqOptions sopt;
+    sopt.shift = mu;
+    sopt.tolerance = options.solver_tolerance;
+    sopt.max_iterations = options.solver_max_iterations;
+    auto solve = symmlq_solve(op, result.vector, sopt);
+    // Near convergence (A − μI) is nearly singular and the solve blows up
+    // along the eigendirection — which is exactly what we want: the
+    // normalized solution is the improved eigenvector.
+    orthogonalize_against(solve.x, deflate);
+    if (normalize(solve.x) == 0.0) {
+      return result;  // solver returned something entirely in deflate span
+    }
+    result.vector = std::move(solve.x);
+  }
+
+  // Final Rayleigh quotient for the returned vector.
+  op.apply(result.vector, ax);
+  result.value = dot(result.vector, ax);
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ax[i] - result.value * result.vector[i];
+    res2 += r * r;
+  }
+  result.converged =
+      std::sqrt(res2) <= options.tolerance * (std::abs(result.value) + 1e-12);
+  return result;
+}
+
+}  // namespace ffp

@@ -1,0 +1,36 @@
+// Rayleigh quotient iteration: refines an approximate eigenvector of a
+// symmetric operator to high accuracy, with cubic local convergence. Each
+// step solves the (indefinite) system (A − μI) y = x via symmlq_solve.
+//
+// This is the "RQI/Symmlq" engine of Chaco: a coarse-grid Fiedler vector is
+// interpolated to the fine grid and RQI polishes it (see spectral/fiedler).
+#pragma once
+
+#include <vector>
+
+#include "linalg/operators.hpp"
+#include "linalg/symmlq.hpp"
+
+namespace ffp {
+
+struct RqiOptions {
+  int max_iterations = 30;
+  double tolerance = 1e-8;       ///< stop when ‖Ax − μx‖ ≤ tol·|μ|+tiny
+  double solver_tolerance = 1e-6;
+  int solver_max_iterations = 0; ///< 0 = solver default
+};
+
+struct RqiResult {
+  double value = 0.0;
+  std::vector<double> vector;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Refines `x0` toward the eigenpair of `op` nearest its Rayleigh quotient,
+/// keeping the iterate orthogonal to `deflate` (orthonormal set) throughout.
+RqiResult rqi_refine(const SymmetricOperator& op, std::span<const double> x0,
+                     const RqiOptions& options,
+                     std::span<const std::vector<double>> deflate = {});
+
+}  // namespace ffp

@@ -1,0 +1,109 @@
+#include "linalg/symmlq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+// MINRES recurrences after the reference minres.m of Paige & Saunders
+// (C. C. Paige and M. A. Saunders, "Solution of sparse indefinite systems
+// of linear equations", SINUM 12(4), 1975), unpreconditioned.
+SymmlqResult symmlq_solve(const SymmetricOperator& op,
+                          std::span<const double> b,
+                          const SymmlqOptions& options) {
+  const auto n = static_cast<std::size_t>(op.dim());
+  FFP_CHECK(b.size() == n, "rhs size mismatch (", b.size(), " vs ", n, ")");
+
+  SymmlqResult result;
+  result.x.assign(n, 0.0);
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const int max_iter = options.max_iterations > 0
+                           ? options.max_iterations
+                           : static_cast<int>(4 * n) + 10;
+
+  auto apply_shifted = [&](std::span<const double> x, std::span<double> out) {
+    op.apply(x, out);
+    if (options.shift != 0.0) axpy(-options.shift, x, out);
+  };
+
+  std::vector<double> y(b.begin(), b.end());
+  std::vector<double> r1(b.begin(), b.end());
+  std::vector<double> r2(b.begin(), b.end());
+  std::vector<double> v(n), w(n, 0.0), w1(n, 0.0), w2(n, 0.0);
+
+  double beta1 = bnorm;
+  double oldb = 0.0;
+  double beta = beta1;
+  double dbar = 0.0;
+  double epsln = 0.0;
+  double phibar = beta1;
+  double cs = -1.0;
+  double sn = 0.0;
+  double tnorm2 = 0.0;
+
+  int itn = 0;
+  while (itn < max_iter) {
+    ++itn;
+    const double s = 1.0 / beta;
+    for (std::size_t i = 0; i < n; ++i) v[i] = s * y[i];
+
+    apply_shifted(v, y);
+    if (itn >= 2) axpy(-beta / oldb, r1, y);
+    const double alfa = dot(v, y);
+    axpy(-alfa / beta, r2, y);
+    r1 = r2;
+    r2 = y;
+    oldb = beta;
+    beta = norm2(y);
+    tnorm2 += alfa * alfa + oldb * oldb + beta * beta;
+
+    // Apply previous rotation; compute and apply the new one.
+    const double oldeps = epsln;
+    const double delta = cs * dbar + sn * alfa;
+    double gbar = sn * dbar - cs * alfa;
+    epsln = sn * beta;
+    dbar = -cs * beta;
+
+    double gamma = std::hypot(gbar, beta);
+    gamma = std::max(gamma, 1e-300);
+    cs = gbar / gamma;
+    sn = beta / gamma;
+    const double phi = cs * phibar;
+    phibar = sn * phibar;
+
+    // Update solution.
+    const double denom = 1.0 / gamma;
+    w1 = w2;
+    w2 = w;
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = (v[i] - oldeps * w1[i] - delta * w2[i]) * denom;
+      result.x[i] += phi * w[i];
+    }
+
+    // Convergence: estimated residual against scaled norms.
+    const double anorm = std::sqrt(tnorm2);
+    const double xnorm = norm2(result.x);
+    const double qrnorm = phibar;
+    if (qrnorm <= options.tolerance * (anorm * xnorm + bnorm)) break;
+    if (beta <= 1e-15 * anorm) break;  // invariant subspace — exact solve
+  }
+
+  // Recompute the true residual so callers get an honest number.
+  std::vector<double> res(n);
+  apply_shifted(result.x, res);
+  for (std::size_t i = 0; i < n; ++i) res[i] = b[i] - res[i];
+  result.relative_residual = norm2(res) / bnorm;
+  result.iterations = itn;
+  result.converged =
+      result.relative_residual <= std::max(options.tolerance * 100, 1e-8);
+  return result;
+}
+
+}  // namespace ffp

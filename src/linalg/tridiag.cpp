@@ -1,0 +1,89 @@
+#include "linalg/tridiag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+TridiagEigen tridiag_eigen(std::span<const double> diag,
+                           std::span<const double> offdiag) {
+  const std::size_t m = diag.size();
+  FFP_CHECK(m >= 1, "empty tridiagonal matrix");
+  FFP_CHECK(offdiag.size() + 1 == m, "offdiag must have m-1 entries");
+
+  std::vector<double> d(diag.begin(), diag.end());
+  std::vector<double> e(offdiag.begin(), offdiag.end());
+  e.push_back(0.0);
+
+  // z: eigenvector matrix accumulated from identity, row-major z[i][j] is
+  // component i of eigenvector j.
+  std::vector<std::vector<double>> z(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) z[i][i] = 1.0;
+
+  for (std::size_t l = 0; l < m; ++l) {
+    int iter = 0;
+    std::size_t mm;
+    do {
+      // Find a small subdiagonal element to split the problem.
+      for (mm = l; mm + 1 < m; ++mm) {
+        const double dd = std::abs(d[mm]) + std::abs(d[mm + 1]);
+        if (std::abs(e[mm]) <= 1e-15 * dd) break;
+      }
+      if (mm != l) {
+        FFP_CHECK(iter++ < 64, "tridiag_eigen failed to converge");
+        // Wilkinson shift.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[mm] - d[l] + e[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = mm; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[mm] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < m; ++k) {
+            f = z[k][i + 1];
+            z[k][i + 1] = s * z[k][i] + c * f;
+            z[k][i] = c * z[k][i] - s * f;
+          }
+        }
+        if (r == 0.0 && mm - 1 >= l + 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[mm] = 0.0;
+      }
+    } while (mm != l);
+  }
+
+  // Sort ascending, carrying eigenvectors along.
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+
+  TridiagEigen out;
+  out.values.resize(m);
+  out.vectors.assign(m, std::vector<double>(m));
+  for (std::size_t j = 0; j < m; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < m; ++i) out.vectors[j][i] = z[i][order[j]];
+  }
+  return out;
+}
+
+}  // namespace ffp

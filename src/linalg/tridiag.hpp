@@ -1,0 +1,21 @@
+// Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts, the
+// classic EISPACK tql2 routine). Used to diagonalize the small tridiagonal
+// matrix the Lanczos process produces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ffp {
+
+struct TridiagEigen {
+  std::vector<double> values;               ///< ascending
+  std::vector<std::vector<double>> vectors; ///< vectors[i] pairs with values[i]
+};
+
+/// diag has m entries, offdiag has m-1 (offdiag[i] couples i and i+1).
+/// Always returns eigenvectors (m is small in our use: Lanczos steps).
+TridiagEigen tridiag_eigen(std::span<const double> diag,
+                           std::span<const double> offdiag);
+
+}  // namespace ffp

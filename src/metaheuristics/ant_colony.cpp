@@ -1,0 +1,149 @@
+#include "metaheuristics/ant_colony.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+AntColony::AntColony(const Graph& g, int k, AntColonyOptions options)
+    : g_(&g), k_(k), options_(options) {
+  FFP_CHECK(k >= 2, "k must be >= 2");
+  FFP_CHECK(g.num_vertices() >= k, "graph has fewer vertices than parts");
+  FFP_CHECK(options.evaporation > 0.0 && options.evaporation < 1.0,
+            "evaporation must be in (0,1)");
+  FFP_CHECK(options.ants_per_colony >= 1, "need at least one ant per colony");
+}
+
+AntColonyResult AntColony::run(const Partition& initial,
+                               const StopCondition& stop,
+                               AnytimeRecorder* recorder) {
+  FFP_CHECK(&initial.graph() == g_, "initial partition is for another graph");
+  const ObjectiveFn& fn = objective(options_.objective);
+  const Graph& g = *g_;
+  Rng rng(options_.seed);
+
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto arcs = static_cast<std::size_t>(g.num_arcs());
+  const auto kk = static_cast<std::size_t>(k_);
+
+  // tau[c * arcs + a]: pheromone of colony c on arc a. Seeded from the
+  // initial ownership: arcs internal to part c carry trail for colony c.
+  std::vector<double> tau(kk * arcs, 0.05);
+  {
+    const auto xadj = g.xadj();
+    const auto adj = g.adj();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const int c = initial.part_of(v);
+      for (ArcId a = xadj[static_cast<std::size_t>(v)];
+           a < xadj[static_cast<std::size_t>(v) + 1]; ++a) {
+        if (initial.part_of(adj[static_cast<std::size_t>(a)]) == c) {
+          tau[static_cast<std::size_t>(c) * arcs + static_cast<std::size_t>(a)] = 1.0;
+        }
+      }
+    }
+  }
+
+  Partition ownership = initial;
+  double current_value = fn.evaluate(ownership);
+  AntColonyResult result{ownership, current_value, 0};
+  if (recorder != nullptr) recorder->record(result.best_value);
+
+  std::vector<std::vector<ArcId>> colony_walks(kk);
+  std::vector<double> probs;           // per-arc choice weights
+  std::vector<double> mass(kk);        // per-colony pheromone mass at a vertex
+
+  while (!stop.done(result.iterations)) {
+    ++result.iterations;
+
+    // --- 1. Motion of ants (forward trail is laid immediately — "ants
+    //        always update the pheromone trails they are using").
+    for (std::size_t c = 0; c < kk; ++c) {
+      colony_walks[c].clear();
+      auto members = ownership.members(static_cast<int>(c));
+      for (int ant = 0; ant < options_.ants_per_colony; ++ant) {
+        // Start on an owned vertex (or anywhere if the colony lost all).
+        VertexId at =
+            !members.empty()
+                ? members[rng.below(members.size())]
+                : static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n)));
+        for (int step = 0; step < options_.walk_length; ++step) {
+          const auto xadj = g.xadj();
+          const ArcId first = xadj[static_cast<std::size_t>(at)];
+          const ArcId last = xadj[static_cast<std::size_t>(at) + 1];
+          if (first == last) break;  // isolated vertex
+          probs.clear();
+          for (ArcId a = first; a < last; ++a) {
+            const double t = tau[c * arcs + static_cast<std::size_t>(a)];
+            const double w =
+                g.arc_weights()[static_cast<std::size_t>(a)];
+            double score = std::pow(t + 1e-6, options_.alpha) *
+                           std::pow(w + 1e-9, options_.beta);
+            if (t <= 0.05) score *= options_.explore_bonus;  // unexplored arc
+            probs.push_back(score);
+          }
+          const auto pick = rng.weighted_pick(probs);
+          if (pick >= probs.size()) break;
+          const ArcId arc = first + static_cast<ArcId>(pick);
+          colony_walks[c].push_back(arc);
+          tau[c * arcs + static_cast<std::size_t>(arc)] += options_.deposit * 0.2;
+          at = g.adj()[static_cast<std::size_t>(arc)];
+        }
+      }
+    }
+
+    // --- 2. Ownership update: vertex belongs to the colony with the most
+    //        pheromone on its incident arcs.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto xadj = g.xadj();
+      std::fill(mass.begin(), mass.end(), 0.0);
+      for (ArcId a = xadj[static_cast<std::size_t>(v)];
+           a < xadj[static_cast<std::size_t>(v) + 1]; ++a) {
+        for (std::size_t c = 0; c < kk; ++c) {
+          mass[c] += tau[c * arcs + static_cast<std::size_t>(a)];
+        }
+      }
+      int best_c = ownership.part_of(v);
+      double best_m = mass[static_cast<std::size_t>(best_c)];
+      for (std::size_t c = 0; c < kk; ++c) {
+        if (mass[c] > best_m) {
+          best_m = mass[c];
+          best_c = static_cast<int>(c);
+        }
+      }
+      // Never empty a colony entirely (keeps k parts alive, as the
+      // objective is defined for k parts).
+      if (best_c != ownership.part_of(v) &&
+          ownership.part_size(ownership.part_of(v)) > 1) {
+        ownership.move(v, best_c);
+      }
+    }
+
+    // --- 3. Evaluation + backward update ("if a path leads to food, the
+    //        ant can update backward the path it used"): colonies reinforce
+    //        their walks when the global partition improved.
+    const double value = fn.evaluate(ownership);
+    const bool improved = value < current_value;
+    current_value = value;
+    if (value < result.best_value) {
+      result.best_value = value;
+      result.best = ownership;
+      if (recorder != nullptr) recorder->record(result.best_value);
+    }
+    const double reinforce =
+        improved ? options_.deposit : options_.deposit * 0.15;
+    for (std::size_t c = 0; c < kk; ++c) {
+      for (ArcId a : colony_walks[c]) {
+        tau[c * arcs + static_cast<std::size_t>(a)] += reinforce;
+      }
+    }
+
+    // Trail evaporation ("pheromone trail intensity decreases over time").
+    const double keep = 1.0 - options_.evaporation;
+    for (auto& t : tau) t *= keep;
+  }
+  return result;
+}
+
+}  // namespace ffp

@@ -1,0 +1,46 @@
+// Anytime trajectory recording: every metaheuristic reports its best
+// objective value over wall-clock time so the Figure-1 bench can print the
+// same curves the paper plots.
+#pragma once
+
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace ffp {
+
+class AnytimeRecorder {
+ public:
+  struct Point {
+    double seconds;
+    double best_value;
+  };
+
+  void start() {
+    timer_.reset();
+    points_.clear();
+  }
+
+  /// Record an improvement (callers pass the new best value).
+  void record(double best_value) {
+    points_.push_back({timer_.elapsed_seconds(), best_value});
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Best value achieved at or before `seconds` (NaN if none yet).
+  double value_at(double seconds) const {
+    double best = std::numeric_limits<double>::quiet_NaN();
+    for (const auto& pt : points_) {
+      if (pt.seconds <= seconds) best = pt.best_value;
+      else break;
+    }
+    return best;
+  }
+
+ private:
+  WallTimer timer_;
+  std::vector<Point> points_;
+};
+
+}  // namespace ffp

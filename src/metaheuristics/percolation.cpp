@@ -1,0 +1,298 @@
+#include "metaheuristics/percolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "graph/connectivity.hpp"
+#include "util/check.hpp"
+
+namespace ffp {
+
+namespace {
+
+/// Multi-source Dijkstra with flow-aware edge lengths 1/(1+w): heavy flows
+/// make regions "close", so farthest-point seeding puts more seeds where
+/// traffic is dense — which is what balances the liquids' catchment areas.
+std::vector<double> flow_distances(const Graph& g,
+                                   std::span<const VertexId> sources) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (VertexId s : sources) {
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    pq.push({0.0, s});
+  }
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(v)]) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + 1.0 / (1.0 + ws[i]);
+      if (nd < dist[static_cast<std::size_t>(nbrs[i])]) {
+        dist[static_cast<std::size_t>(nbrs[i])] = nd;
+        pq.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<VertexId> spread_seeds(const Graph& g, int k, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  FFP_CHECK(k >= 1 && k <= n, "seed count out of range");
+  std::vector<VertexId> seeds;
+  seeds.reserve(static_cast<std::size_t>(k));
+  seeds.push_back(static_cast<VertexId>(rng.below(static_cast<std::uint64_t>(n))));
+
+  // Greedy farthest point in flow distance; unreachable vertices (infinite
+  // distance) are the farthest of all.
+  for (int i = 1; i < k; ++i) {
+    const auto dist = flow_distances(g, seeds);
+    VertexId best = -1;
+    double best_d = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (std::find(seeds.begin(), seeds.end(), v) != seeds.end()) continue;
+      const double d = dist[static_cast<std::size_t>(v)];
+      if (d > best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    FFP_CHECK(best != -1, "not enough distinct vertices for seeds");
+    seeds.push_back(best);
+  }
+  return seeds;
+}
+
+std::vector<int> percolate(const Graph& g, std::span<const VertexId> seeds,
+                           const PercolationOptions& options) {
+  const VertexId n = g.num_vertices();
+  const int k = static_cast<int>(seeds.size());
+  FFP_CHECK(k >= 1, "need at least one seed");
+
+  // Phase 1 — synchronized dripping: all liquids advance one hop per round
+  // ("the liquid starts on a place, and then drips gradually"). A liquid
+  // only flows through territory it owns; a vertex reached by several
+  // liquids in the same round goes to the strongest bond, where the bond
+  // accumulates w(e)/2^d along the claiming path (§4.4's formula).
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  std::vector<double> bond(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::int32_t> depth(static_cast<std::size_t>(n), -1);
+
+  std::vector<VertexId> frontier;
+  for (int c = 0; c < k; ++c) {
+    const VertexId s = seeds[static_cast<std::size_t>(c)];
+    FFP_CHECK(s >= 0 && s < n, "seed out of range");
+    FFP_CHECK(owner[static_cast<std::size_t>(s)] == -1, "duplicate seed");
+    owner[static_cast<std::size_t>(s)] = c;
+    bond[static_cast<std::size_t>(s)] = 0.0;  // path sum starts empty
+    depth[static_cast<std::size_t>(s)] = 0;
+    frontier.push_back(s);
+  }
+
+  std::vector<double> cand_bond(static_cast<std::size_t>(n), -1.0);
+  std::vector<int> cand_owner(static_cast<std::size_t>(n), -1);
+  std::vector<VertexId> touched;
+  while (!frontier.empty()) {
+    touched.clear();
+    for (VertexId u : frontier) {
+      const auto su = static_cast<std::size_t>(u);
+      const double decay = std::ldexp(1.0, -std::min(depth[su], 50));
+      const auto nbrs = g.neighbors(u);
+      const auto ws = g.neighbor_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const auto sv = static_cast<std::size_t>(nbrs[i]);
+        if (owner[sv] != -1) continue;  // already claimed
+        const double b = bond[su] + ws[i] * decay;
+        if (b > cand_bond[sv]) {
+          if (cand_bond[sv] < 0.0) touched.push_back(nbrs[i]);
+          cand_bond[sv] = b;
+          cand_owner[sv] = owner[su];
+        }
+      }
+    }
+    frontier.clear();
+    for (VertexId v : touched) {
+      const auto sv = static_cast<std::size_t>(v);
+      owner[sv] = cand_owner[sv];
+      bond[sv] = cand_bond[sv];
+      // Depth of the new vertex: one past the round it was claimed in —
+      // approximate via the claiming neighbor's depth. Track max depth seen.
+      std::int32_t d = 0;
+      for (VertexId u : g.neighbors(v)) {
+        const auto su = static_cast<std::size_t>(u);
+        if (owner[su] == owner[sv] && depth[su] >= 0) {
+          d = std::max(d, depth[su]);
+        }
+      }
+      depth[sv] = d + 1;
+      cand_bond[sv] = -1.0;
+      cand_owner[sv] = -1;
+      frontier.push_back(v);
+    }
+  }
+
+  // Unreached vertices (disconnected from every seed): round-robin.
+  int rr = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (owner[static_cast<std::size_t>(v)] == -1) owner[static_cast<std::size_t>(v)] = rr++ % k;
+  }
+
+  // Phase 2 — fixed point ("all bonds are recomputed at each step … stops
+  // when no vertex moves"): boundary vertices re-attach to the neighboring
+  // liquid that binds them hardest (direct attachment weight), seeds stay.
+  std::vector<char> is_seed(static_cast<std::size_t>(n), 0);
+  for (VertexId s : seeds) is_seed[static_cast<std::size_t>(s)] = 1;
+  std::vector<int> part_size(static_cast<std::size_t>(k), 0);
+  for (VertexId v = 0; v < n; ++v) ++part_size[static_cast<std::size_t>(owner[static_cast<std::size_t>(v)])];
+  std::vector<double> attach(static_cast<std::size_t>(k), 0.0);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool moved = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto sv = static_cast<std::size_t>(v);
+      if (is_seed[sv]) continue;
+      const int own = owner[sv];
+      if (part_size[static_cast<std::size_t>(own)] <= 1) continue;
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.neighbor_weights(v);
+      static thread_local std::vector<int> colors;
+      colors.clear();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const int c = owner[static_cast<std::size_t>(nbrs[i])];
+        if (attach[static_cast<std::size_t>(c)] == 0.0) colors.push_back(c);
+        attach[static_cast<std::size_t>(c)] += ws[i];
+      }
+      int best_c = own;
+      double best_a = attach[static_cast<std::size_t>(own)];
+      for (int c : colors) {
+        if (attach[static_cast<std::size_t>(c)] > best_a + 1e-12) {
+          best_a = attach[static_cast<std::size_t>(c)];
+          best_c = c;
+        }
+      }
+      for (int c : colors) attach[static_cast<std::size_t>(c)] = 0.0;
+      attach[static_cast<std::size_t>(own)] = 0.0;
+      if (best_c != own) {
+        owner[sv] = best_c;
+        --part_size[static_cast<std::size_t>(own)];
+        ++part_size[static_cast<std::size_t>(best_c)];
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return owner;
+}
+
+Partition percolation_partition(const Graph& g, int k,
+                                const PercolationOptions& options) {
+  FFP_CHECK(k >= 1 && k <= g.num_vertices(), "k out of range");
+  Rng rng(options.seed);
+  const auto seeds = spread_seeds(g, k, rng);
+  const auto assign = percolate(g, seeds, options);
+  auto part = Partition::from_assignment(g, assign, k);
+
+  // A liquid can end up holding only its seed (no internal edge at all),
+  // which the ratio criteria treat as degenerate. Feed such starved parts
+  // the most-attached neighboring vertex from a well-fed part.
+  for (int round = 0; round < k; ++round) {
+    int starving = -1;
+    for (int q : part.nonempty_parts()) {
+      if (part.part_internal(q) <= 0.0) {
+        starving = q;
+        break;
+      }
+    }
+    if (starving == -1) break;
+    VertexId best_v = -1;
+    Weight best_w = -1.0;
+    for (VertexId v : part.members(starving)) {
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.neighbor_weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const int q = part.part_of(nbrs[i]);
+        if (q == starving || part.part_size(q) < 3) continue;
+        if (ws[i] > best_w) {
+          best_w = ws[i];
+          best_v = nbrs[i];
+        }
+      }
+    }
+    if (best_v == -1) break;  // isolated seed: nothing reasonable to feed it
+    part.move(best_v, starving);
+  }
+  return part;
+}
+
+std::vector<int> percolation_bisect(const Graph& g,
+                                    std::span<const VertexId> vertices,
+                                    Rng& rng) {
+  FFP_CHECK(vertices.size() >= 2, "cannot bisect fewer than two vertices");
+  const auto sub = induced_subgraph(g, vertices);
+
+  const auto comps = connected_components(sub.graph);
+  if (comps.count > 1) {
+    // Assign whole components to sides, heaviest first, lighter side first —
+    // a balanced split that never cuts an edge.
+    auto groups = comps.groups();
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a.size() > b.size(); });
+    std::vector<int> side(vertices.size(), 0);
+    double w0 = 0.0, w1 = 0.0;
+    for (const auto& grp : groups) {
+      double gw = 0.0;
+      for (VertexId v : grp) gw += sub.graph.vertex_weight(v);
+      const int s = w0 <= w1 ? 0 : 1;
+      (s == 0 ? w0 : w1) += gw;
+      for (VertexId v : grp) side[static_cast<std::size_t>(v)] = s;
+    }
+    // Both sides must be non-empty (single component impossible here).
+    return side;
+  }
+
+  // Connected: percolate from a flow-far-apart pair (two farthest-point
+  // sweeps in flow distance, so the cut falls along weak-flow boundaries).
+  VertexId a = static_cast<VertexId>(
+      rng.below(static_cast<std::uint64_t>(sub.graph.num_vertices())));
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    const VertexId src[1] = {a};
+    const auto dist = flow_distances(sub.graph, src);
+    VertexId far = a;
+    double far_d = -1.0;
+    for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
+      const double d = dist[static_cast<std::size_t>(v)];
+      if (std::isfinite(d) && d > far_d) {
+        far_d = d;
+        far = v;
+      }
+    }
+    if (sweep == 0) a = far;  // second sweep finds the partner
+    else if (far != a) {
+      const VertexId seeds2[2] = {a, far};
+      auto side2 = percolate(sub.graph,
+                             std::span<const VertexId>(seeds2, 2), {});
+      if (std::count(side2.begin(), side2.end(), 0) == 0)
+        side2[static_cast<std::size_t>(a)] = 0;
+      if (std::count(side2.begin(), side2.end(), 1) == 0)
+        side2[static_cast<std::size_t>(far)] = 1;
+      return side2;
+    }
+  }
+  const VertexId seeds[2] = {a, a == 0 ? VertexId{1} : VertexId{0}};
+  PercolationOptions popt;
+  auto side = percolate(sub.graph, std::span<const VertexId>(seeds, 2), popt);
+  // Guarantee non-empty sides.
+  if (std::count(side.begin(), side.end(), 0) == 0) side[static_cast<std::size_t>(seeds[0])] = 0;
+  if (std::count(side.begin(), side.end(), 1) == 0) side[static_cast<std::size_t>(seeds[1])] = 1;
+  return side;
+}
+
+}  // namespace ffp

@@ -1,0 +1,92 @@
+#include "multilevel/coarsen.hpp"
+
+#include <unordered_map>
+
+namespace ffp {
+
+CoarseLevel contract_matching(const Graph& g, std::span<const VertexId> match) {
+  const VertexId n = g.num_vertices();
+  FFP_CHECK(static_cast<VertexId>(match.size()) == n, "match size mismatch");
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(n), -1);
+  VertexId next = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    FFP_CHECK(m >= 0 && m < n && match[static_cast<std::size_t>(m)] == v,
+              "matching is not symmetric at vertex ", v);
+    if (level.fine_to_coarse[static_cast<std::size_t>(v)] != -1) continue;
+    level.fine_to_coarse[static_cast<std::size_t>(v)] = next;
+    if (m != v) level.fine_to_coarse[static_cast<std::size_t>(m)] = next;
+    ++next;
+  }
+
+  std::vector<Weight> cvw(static_cast<std::size_t>(next), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    cvw[static_cast<std::size_t>(level.fine_to_coarse[static_cast<std::size_t>(v)])] +=
+        g.vertex_weight(v);
+  }
+
+  // Combine fine edges into coarse edges, summing weights of parallels.
+  std::unordered_map<std::int64_t, Weight> acc;
+  acc.reserve(static_cast<std::size_t>(g.num_edges()));
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId cv = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId cu = level.fine_to_coarse[static_cast<std::size_t>(nbrs[i])];
+      if (cu == cv || nbrs[i] < v) continue;  // self-loop or already counted
+      const std::int64_t key =
+          static_cast<std::int64_t>(std::min(cv, cu)) * next + std::max(cv, cu);
+      acc[key] += ws[i];
+    }
+  }
+  std::vector<WeightedEdge> edges;
+  edges.reserve(acc.size());
+  for (const auto& [key, w] : acc) {
+    edges.push_back({static_cast<VertexId>(key / next),
+                     static_cast<VertexId>(key % next), w});
+  }
+  level.coarse = Graph::from_edges(next, edges, std::move(cvw));
+  return level;
+}
+
+std::vector<CoarseLevel> coarsen_chain(const Graph& g,
+                                       const CoarsenOptions& options) {
+  FFP_CHECK(options.min_vertices >= 2, "min_vertices must be >= 2");
+  Rng rng(options.seed);
+  std::vector<CoarseLevel> chain;
+  const Graph* current = &g;
+  for (int lvl = 0; lvl < options.max_levels; ++lvl) {
+    if (current->num_vertices() <= options.min_vertices) break;
+    const auto match = options.matching == MatchingKind::HeavyEdge
+                           ? heavy_edge_matching(*current, rng)
+                           : random_matching(*current, rng);
+    CoarseLevel level = contract_matching(*current, match);
+    const double shrink = static_cast<double>(level.coarse.num_vertices()) /
+                          current->num_vertices();
+    if (shrink > options.min_shrink) break;  // matching stalled (e.g. star)
+    chain.push_back(std::move(level));
+    current = &chain.back().coarse;
+  }
+  return chain;
+}
+
+std::vector<double> prolong_to_finest(const std::vector<CoarseLevel>& chain,
+                                      std::size_t levels,
+                                      std::span<const double> coarse_values) {
+  FFP_CHECK(levels <= chain.size(), "levels out of range");
+  std::vector<double> values(coarse_values.begin(), coarse_values.end());
+  for (std::size_t l = levels; l-- > 0;) {
+    const auto& map = chain[l].fine_to_coarse;
+    std::vector<double> fine(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      fine[v] = values[static_cast<std::size_t>(map[v])];
+    }
+    values = std::move(fine);
+  }
+  return values;
+}
+
+}  // namespace ffp

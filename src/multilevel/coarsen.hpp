@@ -1,0 +1,45 @@
+// Graph coarsening (§2.2, Hendrickson–Leland / Karypis–Kumar style):
+// contract a matching — the merged vertex weight is the sum of the pair's
+// weights, and edges to common neighbors combine by summing weights, exactly
+// as the paper describes the Chaco contraction step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "multilevel/matching.hpp"
+
+namespace ffp {
+
+/// One coarsening level: the coarse graph plus the fine→coarse map.
+struct CoarseLevel {
+  Graph coarse;
+  std::vector<VertexId> fine_to_coarse;  ///< indexed by fine vertex id
+};
+
+/// Contract the given matching of g.
+CoarseLevel contract_matching(const Graph& g, std::span<const VertexId> match);
+
+enum class MatchingKind { HeavyEdge, Random };
+
+struct CoarsenOptions {
+  int min_vertices = 64;        ///< stop when the coarse graph is this small
+  double min_shrink = 0.95;     ///< stop if a level shrinks less than this factor
+  int max_levels = 60;
+  MatchingKind matching = MatchingKind::HeavyEdge;
+  std::uint64_t seed = 1;
+};
+
+/// Coarsening chain: levels[0] contracts the input graph, levels[i]
+/// contracts levels[i-1].coarse. May be empty if g is already small.
+std::vector<CoarseLevel> coarsen_chain(const Graph& g,
+                                       const CoarsenOptions& options);
+
+/// Projects a per-coarse-vertex value vector back to the finest level
+/// through a chain prefix [0, levels): piecewise-constant interpolation.
+std::vector<double> prolong_to_finest(const std::vector<CoarseLevel>& chain,
+                                      std::size_t levels,
+                                      std::span<const double> coarse_values);
+
+}  // namespace ffp

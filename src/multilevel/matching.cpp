@@ -1,0 +1,59 @@
+#include "multilevel/matching.hpp"
+
+#include <numeric>
+
+namespace ffp {
+
+namespace {
+
+std::vector<VertexId> shuffled_order(VertexId n, Rng& rng) {
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> heavy_edge_matching(const Graph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n), -1);
+  for (VertexId v : shuffled_order(n, rng)) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    VertexId best = v;  // stay unmatched if no free neighbor
+    Weight best_w = -1.0;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (match[static_cast<std::size_t>(nbrs[i])] == -1 && ws[i] > best_w) {
+        best_w = ws[i];
+        best = nbrs[i];
+      }
+    }
+    match[static_cast<std::size_t>(v)] = best;
+    match[static_cast<std::size_t>(best)] = v;
+  }
+  return match;
+}
+
+std::vector<VertexId> random_matching(const Graph& g, Rng& rng) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> match(static_cast<std::size_t>(n), -1);
+  for (VertexId v : shuffled_order(n, rng)) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    // Collect free neighbors, pick one uniformly.
+    VertexId chosen = v;
+    std::int64_t free_count = 0;
+    for (VertexId u : g.neighbors(v)) {
+      if (match[static_cast<std::size_t>(u)] == -1) {
+        ++free_count;
+        if (rng.below(static_cast<std::uint64_t>(free_count)) == 0) chosen = u;
+      }
+    }
+    match[static_cast<std::size_t>(v)] = chosen;
+    if (chosen != v) match[static_cast<std::size_t>(chosen)] = v;
+  }
+  return match;
+}
+
+}  // namespace ffp

@@ -1,0 +1,19 @@
+// Edge matchings for multilevel coarsening (§2.2): heavy-edge matching
+// (Karypis–Kumar HEM — match each vertex to its heaviest unmatched
+// neighbor) and random matching, both visiting vertices in random order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+/// match[v] = partner vertex, or v itself if unmatched. Symmetric:
+/// match[match[v]] == v.
+std::vector<VertexId> heavy_edge_matching(const Graph& g, Rng& rng);
+std::vector<VertexId> random_matching(const Graph& g, Rng& rng);
+
+}  // namespace ffp

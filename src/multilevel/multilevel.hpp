@@ -1,0 +1,43 @@
+// Multilevel partitioning driver (§2.2): coarsen with heavy-edge matching,
+// partition the coarse graph (spectral bisection/octasection or greedy graph
+// growing), then uncoarsen with FM refinement at every level — the
+// Hendrickson–Leland / Karypis–Kumar scheme behind the "Multilevel (…)"
+// rows of Table 1. Arbitrary k is reached by recursive division with
+// weight-proportional targets; a final k-way FM pass plays the role of
+// Chaco's REFINE_PARTITION.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "multilevel/coarsen.hpp"
+#include "partition/partition.hpp"
+#include "spectral/spectral_partition.hpp"
+
+namespace ffp {
+
+enum class InitialPartitioner {
+  SpectralBisection,  ///< Lanczos on the coarsest graph (Chaco's choice)
+  GreedyGrowing,      ///< BFS region growing from a peripheral vertex
+};
+
+struct MultilevelOptions {
+  SectionArity arity = SectionArity::Bisection;  ///< Bi vs Oct rows
+  InitialPartitioner initial = InitialPartitioner::SpectralBisection;
+  int coarsest_vertices = 48;   ///< per bisection subproblem
+  double max_imbalance = 1.05;
+  bool final_kway_refine = true;
+  std::uint64_t seed = 99;
+};
+
+Partition multilevel_partition(const Graph& g, int k,
+                               const MultilevelOptions& options);
+
+/// Single multilevel bisection of `g` (exposed for tests and as a building
+/// block): returns a 0/1 assignment with the given target weight fraction
+/// for side 0 (0.5 = balanced).
+std::vector<int> multilevel_bisect(const Graph& g, double target_fraction,
+                                   const MultilevelOptions& options,
+                                   std::uint64_t seed);
+
+}  // namespace ffp

@@ -1,0 +1,35 @@
+// Balance measurement and enforcement.
+//
+// imbalance(P) = max_A vweight(A) / (total_vweight / p) over non-empty parts
+// — 1.0 is perfect balance. Spectral/multilevel methods enforce a balance
+// tolerance; the paper's metaheuristics do not ("connectivity between
+// sectors is not forced" and neither is balance), so the harness reports
+// imbalance alongside each objective.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+/// Max part weight over average part weight across non-empty parts.
+double imbalance(const Partition& p);
+
+/// Same but against an explicit target part count (empty parts count as 0).
+double imbalance(const Partition& p, int k);
+
+/// Greedy repair: repeatedly moves the boundary vertex with the smallest cut
+/// damage from the heaviest part to the lightest adjacent part until
+/// imbalance(p, k) <= max_imbalance or no move helps. Used to post-process
+/// sign-based spectral splits.
+void rebalance(Partition& p, int k, double max_imbalance, Rng& rng);
+
+/// Guarantees exactly k non-empty parts (requires k <= num_parts() slots and
+/// k <= vertex count): splits the largest part's member list in half into an
+/// empty slot until the count is reached. Used by the recursive drivers,
+/// whose section steps can starve a part id on degenerate subgraphs.
+void force_k_nonempty(Partition& p, int k);
+
+}  // namespace ffp

@@ -1,0 +1,69 @@
+#include "partition/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "partition/balance.hpp"
+#include "partition/objectives.hpp"
+#include "util/strings.hpp"
+
+namespace ffp {
+
+PartitionReport analyze(const Partition& p) {
+  PartitionReport report;
+  report.num_parts = p.num_nonempty_parts();
+  report.cut = p.total_cut_pairs();
+  report.edge_cut = p.edge_cut();
+  report.ncut = objective(ObjectiveKind::NormalizedCut).evaluate(p);
+  report.mcut = objective(ObjectiveKind::MinMaxCut).evaluate(p);
+  report.ratio_cut = objective(ObjectiveKind::RatioCut).evaluate(p);
+  report.imbalance = imbalance(p);
+
+  std::vector<int> parts(p.nonempty_parts().begin(), p.nonempty_parts().end());
+  std::sort(parts.begin(), parts.end());
+  const Graph& g = p.graph();
+  for (int q : parts) {
+    PartReport pr;
+    pr.part = q;
+    pr.size = p.part_size(q);
+    pr.vertex_weight = p.part_vertex_weight(q);
+    pr.internal_weight = p.part_internal(q) / 2.0;
+    pr.cut_weight = p.part_cut(q);
+    pr.mcut_term = p.part_internal(q) > 0.0
+                       ? p.part_cut(q) / p.part_internal(q)
+                       : (p.part_cut(q) > 0.0 ? kZeroDenominatorPenalty : 0.0);
+    for (VertexId v : p.members(q)) {
+      for (VertexId u : g.neighbors(v)) {
+        if (p.part_of(u) != q) {
+          ++pr.boundary_vertices;
+          break;
+        }
+      }
+    }
+    report.parts.push_back(pr);
+  }
+  return report;
+}
+
+std::string PartitionReport::to_string() const {
+  std::ostringstream os;
+  os << format(
+      "partition: %d parts  edge-cut %.1f  Ncut %.3f  Mcut %.3f  "
+      "RatioCut %.3f  imbalance %.3f\n",
+      num_parts, edge_cut, ncut, mcut, ratio_cut, imbalance);
+  os << format("%6s %8s %10s %12s %10s %10s %9s\n", "part", "size", "vweight",
+               "internal", "cut", "cut/W", "boundary");
+  for (const auto& pr : parts) {
+    os << format("%6d %8d %10.1f %12.1f %10.1f %10.4f %9d\n", pr.part,
+                 pr.size, pr.vertex_weight, pr.internal_weight, pr.cut_weight,
+                 pr.mcut_term, pr.boundary_vertices);
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PartitionReport& report) {
+  return os << report.to_string();
+}
+
+}  // namespace ffp

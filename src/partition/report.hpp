@@ -1,0 +1,41 @@
+// Partition quality reporting: one call that gathers everything a user
+// (or the tools/examples) wants to print about a partition.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace ffp {
+
+struct PartReport {
+  int part = 0;
+  int size = 0;
+  Weight vertex_weight = 0.0;
+  Weight internal_weight = 0.0;  ///< undirected internal edge weight
+  Weight cut_weight = 0.0;       ///< cut(A, V−A)
+  double mcut_term = 0.0;        ///< cut / W (the paper's per-part ratio)
+  int boundary_vertices = 0;     ///< members with at least one foreign edge
+};
+
+struct PartitionReport {
+  int num_parts = 0;
+  double cut = 0.0;          ///< paper convention: Σ_A cut(A)
+  double edge_cut = 0.0;     ///< each cut edge once
+  double ncut = 0.0;
+  double mcut = 0.0;
+  double ratio_cut = 0.0;
+  double imbalance = 0.0;    ///< vs the non-empty part count
+  std::vector<PartReport> parts;  ///< non-empty parts, ascending id
+
+  /// Fixed-width text rendering (used by ffp_part and the examples).
+  std::string to_string() const;
+};
+
+PartitionReport analyze(const Partition& p);
+
+std::ostream& operator<<(std::ostream& os, const PartitionReport& report);
+
+}  // namespace ffp

@@ -1,0 +1,154 @@
+#include "refine/fm_bisection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+namespace {
+
+/// Lazy max-heap entry: stamped so stale gains pop harmlessly.
+struct HeapEntry {
+  double gain;
+  std::int64_t stamp;
+  VertexId v;
+  bool operator<(const HeapEntry& o) const { return gain < o.gain; }
+};
+
+}  // namespace
+
+FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
+                             const FmOptions& options) {
+  FFP_CHECK(side_a != side_b, "sides must differ");
+  FFP_CHECK(side_a >= 0 && side_a < p.num_parts(), "side_a out of range");
+  FFP_CHECK(side_b >= 0 && side_b < p.num_parts(), "side_b out of range");
+  const Graph& g = p.graph();
+
+  FmResult result;
+  result.initial_cut = p.edge_cut();
+
+  // Vertices on the two sides (fixed set per call; moves only swap sides).
+  std::vector<VertexId> scope;
+  for (VertexId v : p.members(side_a)) scope.push_back(v);
+  for (VertexId v : p.members(side_b)) scope.push_back(v);
+  if (scope.size() < 2) {
+    result.final_cut = result.initial_cut;
+    return result;
+  }
+
+  const double scope_weight = [&] {
+    double w = 0.0;
+    for (VertexId v : scope) w += g.vertex_weight(v);
+    return w;
+  }();
+  double max_vertex_weight = 0.0;
+  for (VertexId v : scope) {
+    max_vertex_weight = std::max(max_vertex_weight, g.vertex_weight(v));
+  }
+  // Strict cap defines which states count as balanced (best-prefix
+  // eligibility); the move cap adds one vertex of slack so a perfectly
+  // balanced start is not deadlocked — the classic FM formulation lets the
+  // sequence pass through mildly unbalanced states and the rollback keeps
+  // only balanced prefixes.
+  const double cap = scope_weight / 2.0 * options.max_imbalance;
+  const double move_cap = cap + max_vertex_weight;
+
+  std::vector<double> gain(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  std::vector<std::int64_t> stamp(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<char> locked(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::int64_t epoch = 0;
+
+  auto other = [&](int side) { return side == side_a ? side_b : side_a; };
+  auto compute_gain = [&](VertexId v) {
+    // Gain of moving v across: cut decreases by ext-to-other minus
+    // connection kept inside (standard FM gain with weights).
+    const int from = p.part_of(v);
+    const auto prof = p.move_profile(v, other(from));
+    return prof.ext_to - prof.ext_from;
+  };
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    std::priority_queue<HeapEntry> heap;
+    ++epoch;
+    for (VertexId v : scope) {
+      locked[static_cast<std::size_t>(v)] = 0;
+      gain[static_cast<std::size_t>(v)] = compute_gain(v);
+      stamp[static_cast<std::size_t>(v)] = epoch;
+      heap.push({gain[static_cast<std::size_t>(v)], epoch, v});
+    }
+
+    // Tentative move sequence with best-prefix rollback. An unbalanced
+    // starting state makes any balanced prefix preferable, whatever its
+    // gain; otherwise only strict improvements are kept.
+    std::vector<VertexId> sequence;
+    sequence.reserve(scope.size());
+    const bool start_balanced = p.part_vertex_weight(side_a) <= cap &&
+                                p.part_vertex_weight(side_b) <= cap;
+    double cumulative = 0.0;
+    double best_cumulative =
+        start_balanced ? 0.0 : -std::numeric_limits<double>::infinity();
+    std::size_t best_prefix = 0;
+
+    while (!heap.empty()) {
+      const auto top = heap.top();
+      heap.pop();
+      const auto sv = static_cast<std::size_t>(top.v);
+      if (locked[sv] || top.stamp != stamp[sv] || top.gain != gain[sv]) {
+        continue;  // stale
+      }
+      const int from = p.part_of(top.v);
+      const int to = other(from);
+      if (p.part_vertex_weight(to) + g.vertex_weight(top.v) > move_cap ||
+          p.part_size(from) == 1) {  // never overload or empty a side
+        locked[sv] = 1;
+        continue;
+      }
+
+      p.move(top.v, to);
+      locked[sv] = 1;
+      cumulative += top.gain;
+      sequence.push_back(top.v);
+      const bool balanced = p.part_vertex_weight(side_a) <= cap &&
+                            p.part_vertex_weight(side_b) <= cap;
+      if (balanced && cumulative > best_cumulative + 1e-15) {
+        best_cumulative = cumulative;
+        best_prefix = sequence.size();
+      }
+      // Update neighbor gains.
+      for (VertexId u : g.neighbors(top.v)) {
+        const auto su = static_cast<std::size_t>(u);
+        if (locked[su] || stamp[su] != epoch) continue;
+        const int pu = p.part_of(u);
+        if (pu != side_a && pu != side_b) continue;
+        gain[su] = compute_gain(u);
+        heap.push({gain[su], epoch, u});
+      }
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t i = sequence.size(); i-- > best_prefix;) {
+      const VertexId v = sequence[i];
+      p.move(v, other(p.part_of(v)));
+    }
+    result.moves += static_cast<std::int64_t>(best_prefix);
+    if (best_cumulative <= options.min_gain_per_pass && start_balanced) break;
+    if (best_prefix == 0 && !start_balanced) break;  // cannot repair balance
+  }
+
+  result.final_cut = p.edge_cut();
+  return result;
+}
+
+FmResult fm_refine_bisection(const Graph& g, std::vector<int>& assignment,
+                             const FmOptions& options) {
+  auto p = Partition::from_assignment(g, assignment, 2);
+  const auto result = fm_refine_bisection(p, 0, 1, options);
+  std::copy(p.assignment().begin(), p.assignment().end(), assignment.begin());
+  return result;
+}
+
+}  // namespace ffp

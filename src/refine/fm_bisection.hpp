@@ -1,0 +1,39 @@
+// Fiduccia–Mattheyses bisection refinement (§2.3, [9] in the paper): the
+// linear-time single-vertex-move formulation of Kernighan–Lin. Each pass
+// tentatively moves every vertex once in best-gain order under a balance
+// constraint, then rolls back to the best prefix; passes repeat until no
+// improvement. Gains are real-valued (flow weights), so a lazy max-heap
+// replaces the classic integer bucket array — same behaviour, O(m log n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ffp {
+
+struct FmOptions {
+  double max_imbalance = 1.05;  ///< heavier side / average side cap
+  int max_passes = 16;
+  double min_gain_per_pass = 1e-12;  ///< stop when a pass improves less
+};
+
+struct FmResult {
+  double initial_cut = 0.0;   ///< conventional edge cut before
+  double final_cut = 0.0;     ///< and after
+  int passes = 0;
+  std::int64_t moves = 0;     ///< committed moves
+};
+
+/// Refines a 2-part partition in place. Part ids other than {side_a, side_b}
+/// are untouched (lets the k-way recursive drivers refine pairs).
+FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
+                             const FmOptions& options);
+
+/// Convenience for a whole 2-part assignment vector.
+FmResult fm_refine_bisection(const Graph& g, std::vector<int>& assignment,
+                             const FmOptions& options);
+
+}  // namespace ffp

@@ -1,0 +1,44 @@
+// Kernighan–Lin refinement (§2.3, [20] in the paper): pairwise swaps
+// between two sides with best-prefix rollback. The classic O(n³) pair
+// selection is tamed by restricting candidates to the top-T vertices by D
+// value on each side (a standard speedup that preserves behaviour on the
+// graphs KL is good at).
+//
+// kl_refine_kway applies KL to every adjacent pair of parts in a k-way
+// partition until no pair improves — the role Chaco's KL option plays for
+// octasections and what REFINE_PARTITION does across the final partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ffp {
+
+struct KlOptions {
+  int max_passes = 8;
+  int candidate_window = 24;  ///< top-T by D value considered per side
+  double min_gain_per_pass = 1e-12;
+};
+
+struct KlResult {
+  double initial_cut = 0.0;
+  double final_cut = 0.0;
+  int passes = 0;
+  std::int64_t swaps = 0;
+};
+
+/// Refines the two given sides of a partition in place by KL swaps.
+/// Swaps preserve side sizes exactly (KL's invariant).
+KlResult kl_refine_bisection(Partition& p, int side_a, int side_b,
+                             const KlOptions& options = {});
+
+/// Sweeps KL over every connected pair of parts until a sweep yields no
+/// improvement (bounded rounds). Returns total cut improvement.
+double kl_refine_kway(const Graph& g, std::vector<int>& assignment, int k,
+                      double max_imbalance, std::uint64_t seed,
+                      const KlOptions& options = {});
+
+}  // namespace ffp

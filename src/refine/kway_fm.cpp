@@ -1,0 +1,67 @@
+#include "refine/kway_fm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ffp {
+
+KwayFmResult kway_fm_refine(Partition& p, const ObjectiveFn& objective,
+                            const KwayFmOptions& options, Rng& rng) {
+  const Graph& g = p.graph();
+  KwayFmResult result;
+  result.initial_objective = objective.evaluate(p);
+
+  const int k = std::max(1, p.num_nonempty_parts());
+  const double cap =
+      g.total_vertex_weight() / k * options.max_imbalance;
+
+  std::vector<VertexId> order(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<int> tried_parts;  // scratch: adjacent parts of a vertex
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++result.passes;
+    rng.shuffle(order);
+    double pass_gain = 0.0;
+    for (VertexId v : order) {
+      const int from = p.part_of(v);
+      if (p.part_size(from) <= 1) continue;  // never empty a part
+
+      // Candidate targets: parts adjacent to v.
+      tried_parts.clear();
+      for (VertexId u : g.neighbors(v)) {
+        const int t = p.part_of(u);
+        if (t != from &&
+            std::find(tried_parts.begin(), tried_parts.end(), t) ==
+                tried_parts.end()) {
+          tried_parts.push_back(t);
+        }
+      }
+      int best_t = -1;
+      double best_delta = -1e-13;  // strict improvement only
+      for (int t : tried_parts) {
+        if (options.enforce_balance &&
+            p.part_vertex_weight(t) + g.vertex_weight(v) > cap) {
+          continue;
+        }
+        const double delta = objective.move_delta(p, v, t);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_t = t;
+        }
+      }
+      if (best_t != -1) {
+        p.move(v, best_t);
+        pass_gain -= best_delta;  // delta is negative
+        ++result.moves;
+      }
+    }
+    if (pass_gain <= options.min_gain_per_pass) break;
+  }
+
+  result.final_objective = objective.evaluate(p);
+  return result;
+}
+
+}  // namespace ffp

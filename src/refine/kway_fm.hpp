@@ -1,0 +1,34 @@
+// Greedy k-way boundary refinement (the METIS-style generalization of FM
+// that Chaco's REFINE_PARTITION option corresponds to): sweep boundary
+// vertices, moving each to the adjacent part with the best objective delta
+// when the move improves the objective and respects the balance cap.
+// Works for any ObjectiveFn, so the bench can also refine Ncut/Mcut
+// partitions directly.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/objectives.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+
+struct KwayFmOptions {
+  double max_imbalance = 1.10;
+  int max_passes = 12;
+  double min_gain_per_pass = 1e-12;
+  bool enforce_balance = true;  ///< metaheuristic post-passes turn this off
+};
+
+struct KwayFmResult {
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+  int passes = 0;
+  std::int64_t moves = 0;
+};
+
+KwayFmResult kway_fm_refine(Partition& p, const ObjectiveFn& objective,
+                            const KwayFmOptions& options, Rng& rng);
+
+}  // namespace ffp

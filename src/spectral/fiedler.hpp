@@ -1,0 +1,46 @@
+// Fiedler vectors (and higher Laplacian eigenvectors) by two engines:
+//
+//  - Lanczos on the full graph (the paper's "Spectral (Lanc, …)" rows), and
+//  - multilevel RQI/SYMMLQ (the "Spectral (RQI, …)" rows): coarsen the
+//    graph, solve the small coarse eigenproblem with Lanczos, interpolate,
+//    and polish with Rayleigh quotient iteration at every level — the Chaco
+//    scheme of Hendrickson & Leland.
+//
+// Both return the eigenvectors after the trivial one (constant for L,
+// D^{1/2}·1 for the normalized variant), ascending by eigenvalue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ffp {
+
+enum class FiedlerEngine { Lanczos, MultilevelRqi };
+
+/// Which eigenproblem supplies the embedding: the combinatorial Laplacian
+/// minimizes the Cut relaxation; the normalized variant targets Ncut (and,
+/// through the λ → λ/(1+λ) transform, Mcut — see linalg/operators.hpp).
+enum class SpectralProblem { Combinatorial, Normalized };
+
+struct FiedlerOptions {
+  FiedlerEngine engine = FiedlerEngine::Lanczos;
+  SpectralProblem problem = SpectralProblem::Combinatorial;
+  int count = 1;             ///< number of nontrivial eigenvectors
+  double tolerance = 1e-7;
+  int coarse_vertices = 80;  ///< multilevel engine: coarsest solve size
+  std::uint64_t seed = 7;
+};
+
+struct FiedlerResult {
+  /// vectors[i] is the (i+2)-th eigenvector of the chosen problem
+  /// (vectors[0] = the Fiedler vector), each of size n.
+  std::vector<std::vector<double>> vectors;
+  std::vector<double> values;
+  bool converged = false;
+};
+
+FiedlerResult fiedler_vectors(const Graph& g, const FiedlerOptions& options);
+
+}  // namespace ffp

@@ -1,0 +1,22 @@
+#include "spectral/laplacian.hpp"
+
+#include <cmath>
+
+#include "linalg/operators.hpp"
+
+namespace ffp {
+
+std::vector<double> trivial_eigenvector(const Graph& g,
+                                        SpectralProblem problem) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<double> v(n, 1.0);
+  if (problem == SpectralProblem::Normalized) {
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      v[static_cast<std::size_t>(u)] = std::sqrt(g.weighted_degree(u));
+    }
+  }
+  normalize(v);
+  return v;
+}
+
+}  // namespace ffp

@@ -1,0 +1,17 @@
+// Helpers shared by the spectral code: deflation vectors for the trivial
+// eigenspace of each spectral problem.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace ffp {
+
+/// The (normalized) trivial eigenvector: constant for the combinatorial
+/// Laplacian, D^{1/2}·1 for the normalized one.
+std::vector<double> trivial_eigenvector(const Graph& g,
+                                        SpectralProblem problem);
+
+}  // namespace ffp

@@ -1,0 +1,28 @@
+#include "spectral/linear_partition.hpp"
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+Partition linear_partition(const Graph& g, int k) {
+  FFP_CHECK(k >= 1, "k must be >= 1");
+  FFP_CHECK(g.num_vertices() >= k, "graph has fewer vertices than parts");
+
+  const double per_part = g.total_vertex_weight() / k;
+  std::vector<int> assign(static_cast<std::size_t>(g.num_vertices()), 0);
+  double acc = 0.0;
+  int part = 0;
+  VertexId remaining = g.num_vertices();
+  for (VertexId v = 0; v < g.num_vertices(); ++v, --remaining) {
+    // Never let the tail of parts outnumber the remaining vertices.
+    if ((acc >= per_part * (part + 1) && part + 1 < k) ||
+        (k - part - 1 >= remaining && part + 1 < k)) {
+      ++part;
+    }
+    assign[static_cast<std::size_t>(v)] = part;
+    acc += g.vertex_weight(v);
+  }
+  return Partition::from_assignment(g, assign, k);
+}
+
+}  // namespace ffp

@@ -1,0 +1,14 @@
+// Chaco's "linear" scheme (the "Linear (…)" rows of Table 1): assign
+// vertices to parts in natural index order, in contiguous blocks of
+// near-equal vertex weight. Trivially fast, usually poor — the table's
+// baseline floor.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ffp {
+
+Partition linear_partition(const Graph& g, int k);
+
+}  // namespace ffp

@@ -1,0 +1,48 @@
+// Spectral partitioning (§2.1): bisection by the Fiedler vector's weighted
+// median, quadrisection/octasection by the sign pattern of 2–3 eigenvectors
+// ("to simultaneously cut the graph into 2^n sets, use the n top
+// eigenvectors in the Fiedler order"), and a recursive driver that reaches
+// any k = 2^a by mixing section arities, with optional KL refinement at
+// every division — the Chaco-style method matrix of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "spectral/fiedler.hpp"
+
+namespace ffp {
+
+/// Splits vertices at the weighted median of `values`: the lower half goes
+/// to side 0. Guarantees both sides non-empty for n >= 2 and near-equal
+/// vertex weight.
+std::vector<int> median_split(const Graph& g, std::span<const double> values);
+
+/// 2^d-section by sign pattern of d eigenvectors (d in 1..3), followed by a
+/// greedy rebalance since sign cells can be lopsided.
+std::vector<int> sign_section(const Graph& g,
+                              std::span<const std::vector<double>> vectors,
+                              double max_imbalance, std::uint64_t seed);
+
+enum class SectionArity { Bisection = 2, Quadrisection = 4, Octasection = 8 };
+
+struct SpectralOptions {
+  FiedlerEngine engine = FiedlerEngine::Lanczos;
+  SpectralProblem problem = SpectralProblem::Combinatorial;
+  SectionArity arity = SectionArity::Bisection;
+  bool kl_refine = false;       ///< KL after every division (Table 1 "KL")
+  double max_imbalance = 1.05;
+  double tolerance = 1e-7;
+  std::uint64_t seed = 7;
+};
+
+/// Recursive spectral partitioning into k parts (k >= 1). k must be a power
+/// of two (the paper: "this method is not appropriate for partitioning into
+/// k != 2^n sets"); arities greater than the remaining factor degrade to
+/// smaller sections.
+Partition spectral_partition(const Graph& g, int k,
+                             const SpectralOptions& options);
+
+}  // namespace ffp

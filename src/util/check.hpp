@@ -1,0 +1,57 @@
+// Invariant checking and the library-wide error type.
+//
+// FFP_CHECK is always on and is used at API boundaries (bad input is a user
+// error and must surface as ffp::Error, never UB). FFP_DCHECK compiles out in
+// release builds and guards internal invariants in hot loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ffp {
+
+/// Exception thrown by all ffp components on invalid input or broken
+/// invariants. Carries a human-readable message with source location.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Folds any streamable operands into one message string.
+template <typename... Ts>
+std::string check_message(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FFP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ffp
+
+#define FFP_CHECK(cond, ...)                                       \
+  do {                                                             \
+    if (!(cond)) [[unlikely]] {                                    \
+      ::ffp::detail::check_failed(                                 \
+          #cond, __FILE__, __LINE__,                               \
+          ::ffp::detail::check_message("" __VA_ARGS__));           \
+    }                                                              \
+  } while (false)
+
+#ifdef NDEBUG
+#define FFP_DCHECK(cond, ...) \
+  do {                        \
+  } while (false)
+#else
+#define FFP_DCHECK(cond, ...) FFP_CHECK(cond, __VA_ARGS__)
+#endif

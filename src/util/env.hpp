@@ -1,0 +1,30 @@
+// Environment-variable configuration knobs for the bench harness.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace ffp {
+
+inline std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+inline double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const auto parsed = parse_double(v);
+  return parsed ? *parsed : fallback;
+}
+
+inline std::int64_t env_or(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const auto parsed = parse_int(v);
+  return parsed ? *parsed : fallback;
+}
+
+}  // namespace ffp

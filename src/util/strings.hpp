@@ -1,0 +1,63 @@
+// Small string helpers used by the I/O layer and bench formatting.
+#pragma once
+
+#include <charconv>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ffp {
+
+inline std::string_view trim(std::string_view s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Whitespace-split into non-empty tokens.
+inline std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t' && s[j] != '\r') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+inline std::optional<std::int64_t> parse_int(std::string_view s) {
+  std::int64_t v = 0;
+  const auto* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc() || p != end) return std::nullopt;
+  return v;
+}
+
+inline std::optional<double> parse_double(std::string_view s) {
+  double v = 0.0;
+  const auto* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc() || p != end) return std::nullopt;
+  return v;
+}
+
+inline bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// printf-style formatting into std::string (bench tables).
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  const int n = std::snprintf(nullptr, 0, fmt, args...);
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+
+}  // namespace ffp

@@ -1,0 +1,71 @@
+// Wall-clock timing and time/step budget control for anytime algorithms.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace ffp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Stop condition shared by all anytime metaheuristics: whichever of the
+/// wall-clock and step budgets runs out first ends the search. Either budget
+/// may be unlimited.
+class StopCondition {
+ public:
+  StopCondition() = default;
+
+  static StopCondition after_millis(double ms) {
+    StopCondition s;
+    s.max_millis_ = ms;
+    return s;
+  }
+  static StopCondition after_steps(std::int64_t steps) {
+    StopCondition s;
+    s.max_steps_ = steps;
+    return s;
+  }
+  static StopCondition either(double ms, std::int64_t steps) {
+    StopCondition s;
+    s.max_millis_ = ms;
+    s.max_steps_ = steps;
+    return s;
+  }
+
+  /// Arms the wall-clock. Algorithms call this once at the top of run().
+  void start() { timer_.reset(); }
+
+  bool done(std::int64_t steps_taken) const {
+    if (steps_taken >= max_steps_) return true;
+    // Checking the clock is ~20ns; amortize it in callers' hot loops by
+    // testing only every few hundred steps if profiling ever shows it.
+    return timer_.elapsed_millis() >= max_millis_;
+  }
+
+  double max_millis() const { return max_millis_; }
+  std::int64_t max_steps() const { return max_steps_; }
+  double elapsed_millis() const { return timer_.elapsed_millis(); }
+
+ private:
+  double max_millis_ = std::numeric_limits<double>::infinity();
+  std::int64_t max_steps_ = std::numeric_limits<std::int64_t>::max();
+  WallTimer timer_;
+};
+
+}  // namespace ffp

@@ -1,0 +1,117 @@
+#include "metaheuristics/ant_colony.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metaheuristics/percolation.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(AntColony, ImprovesOrMatchesInitialPartition) {
+  const auto g = with_random_weights(make_grid2d(8, 8), 1.0, 6.0, 3);
+  const auto init = percolation_partition(g, 4, {});
+  AntColonyOptions opt;
+  opt.objective = ObjectiveKind::MinMaxCut;
+  opt.seed = 5;
+  AntColony aco(g, 4, opt);
+  const auto res = aco.run(init, StopCondition::after_steps(200));
+  const double init_value = objective(opt.objective).evaluate(init);
+  EXPECT_LE(res.best_value, init_value + 1e-9);
+  ffp::testing::expect_valid_partition(res.best);
+}
+
+TEST(AntColony, KeepsKColoniesAlive) {
+  const auto g = make_torus(7, 7);
+  const auto init = percolation_partition(g, 5, {});
+  AntColonyOptions opt;
+  opt.seed = 7;
+  AntColony aco(g, 5, opt);
+  const auto res = aco.run(init, StopCondition::after_steps(120));
+  EXPECT_EQ(res.best.num_nonempty_parts(), 5);
+}
+
+TEST(AntColony, RespectsIterationBudget) {
+  const auto g = make_grid2d(6, 6);
+  const auto init = percolation_partition(g, 3, {});
+  AntColonyOptions opt;
+  AntColony aco(g, 3, opt);
+  const auto res = aco.run(init, StopCondition::after_steps(25));
+  EXPECT_LE(res.iterations, 26);
+}
+
+TEST(AntColony, DeterministicForSeed) {
+  const auto g = make_grid2d(7, 7);
+  const auto init = percolation_partition(g, 4, {});
+  AntColonyOptions opt;
+  opt.seed = 11;
+  AntColony a(g, 4, opt), b(g, 4, opt);
+  const auto ra = a.run(init, StopCondition::after_steps(60));
+  const auto rb = b.run(init, StopCondition::after_steps(60));
+  EXPECT_DOUBLE_EQ(ra.best_value, rb.best_value);
+}
+
+TEST(AntColony, BestValueMatchesBestPartition) {
+  const auto g = make_grid2d(6, 6);
+  const auto init = percolation_partition(g, 3, {});
+  AntColonyOptions opt;
+  opt.objective = ObjectiveKind::Cut;
+  opt.seed = 13;
+  AntColony aco(g, 3, opt);
+  const auto res = aco.run(init, StopCondition::after_steps(80));
+  EXPECT_NEAR(objective(ObjectiveKind::Cut).evaluate(res.best),
+              res.best_value, 1e-9);
+}
+
+TEST(AntColony, RecorderCapturesImprovements) {
+  const auto g = with_random_weights(make_grid2d(7, 7), 1.0, 5.0, 15);
+  const auto init = percolation_partition(g, 4, {});
+  AntColonyOptions opt;
+  opt.seed = 17;
+  AntColony aco(g, 4, opt);
+  AnytimeRecorder rec;
+  rec.start();
+  aco.run(init, StopCondition::after_steps(150), &rec);
+  ASSERT_GE(rec.points().size(), 1u);
+  for (std::size_t i = 1; i < rec.points().size(); ++i) {
+    EXPECT_LE(rec.points()[i].best_value, rec.points()[i - 1].best_value);
+  }
+}
+
+TEST(AntColony, WorksOnDifferentObjectives) {
+  const auto g = make_grid2d(6, 6);
+  const auto init = percolation_partition(g, 3, {});
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut}) {
+    AntColonyOptions opt;
+    opt.objective = kind;
+    opt.seed = 19;
+    AntColony aco(g, 3, opt);
+    const auto res = aco.run(init, StopCondition::after_steps(40));
+    EXPECT_TRUE(std::isfinite(res.best_value)) << objective_name(kind);
+  }
+}
+
+TEST(AntColony, RejectsBadConfiguration) {
+  const auto g = make_grid2d(4, 4);
+  AntColonyOptions opt;
+  EXPECT_THROW(AntColony(g, 1, opt), Error);
+  opt.evaporation = 1.5;
+  EXPECT_THROW(AntColony(g, 4, opt), Error);
+  opt.evaporation = 0.1;
+  opt.ants_per_colony = 0;
+  EXPECT_THROW(AntColony(g, 4, opt), Error);
+}
+
+TEST(AntColony, RejectsForeignInitialPartition) {
+  const auto g = make_grid2d(4, 4);
+  const auto other = make_grid2d(4, 4);
+  AntColonyOptions opt;
+  AntColony aco(g, 2, opt);
+  const Partition foreign(other, 2);
+  EXPECT_THROW(aco.run(foreign, StopCondition::after_steps(5)), Error);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,165 @@
+#include "atc/core_area.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/connectivity.hpp"
+
+namespace ffp {
+namespace {
+
+// The full 762/3165 build is a few hundred ms; share one instance.
+const CoreAreaGraph& shared_core() {
+  static const CoreAreaGraph core = make_core_area_graph();
+  return core;
+}
+
+TEST(Airspace, SectorCountAndLayers) {
+  AirspaceOptions opt;
+  opt.n_sectors = 200;
+  const auto a = make_airspace(opt);
+  EXPECT_EQ(a.sectors.size(), 200u);
+  int lower = 0, upper = 0;
+  for (const auto& s : a.sectors) {
+    EXPECT_TRUE(s.layer == 0 || s.layer == 1);
+    (s.layer == 0 ? lower : upper)++;
+  }
+  EXPECT_NEAR(static_cast<double>(lower) / 200.0, opt.lower_fraction, 0.05);
+  EXPECT_GT(upper, 0);
+}
+
+TEST(Airspace, SectorsInsideCountryBoxes) {
+  AirspaceOptions opt;
+  opt.n_sectors = 150;
+  const auto a = make_airspace(opt);
+  const auto countries = core_area_countries();
+  for (const auto& s : a.sectors) {
+    ASSERT_GE(s.country, 0);
+    ASSERT_LT(s.country, static_cast<int>(countries.size()));
+    const auto& box = countries[static_cast<std::size_t>(s.country)];
+    EXPECT_GE(s.x, box.x0);
+    EXPECT_LE(s.x, box.x1);
+    EXPECT_GE(s.y, box.y0);
+    EXPECT_LE(s.y, box.y1);
+  }
+}
+
+TEST(Airspace, SpatiallyOrderedIds) {
+  // After relabeling, lower-layer ids precede upper-layer ids.
+  AirspaceOptions opt;
+  opt.n_sectors = 120;
+  const auto a = make_airspace(opt);
+  int last_layer = 0;
+  for (const auto& s : a.sectors) {
+    EXPECT_GE(s.layer, last_layer);
+    last_layer = s.layer;
+  }
+}
+
+TEST(Airspace, DeterministicForSeed) {
+  AirspaceOptions opt;
+  opt.n_sectors = 100;
+  const auto a = make_airspace(opt);
+  const auto b = make_airspace(opt);
+  ASSERT_EQ(a.adjacency.size(), b.adjacency.size());
+  for (std::size_t i = 0; i < a.adjacency.size(); ++i) {
+    EXPECT_EQ(a.adjacency[i].u, b.adjacency[i].u);
+    EXPECT_EQ(a.adjacency[i].v, b.adjacency[i].v);
+  }
+}
+
+TEST(Flows, WeightsArePositiveAndHeavyTailed) {
+  AirspaceOptions aopt;
+  aopt.n_sectors = 250;
+  const auto a = make_airspace(aopt);
+  FlowOptions fopt;
+  const auto flows = route_flows(a, fopt);
+  ASSERT_EQ(flows.weighted_edges.size(), a.adjacency.size());
+  double max_w = 0.0, total = 0.0;
+  for (const auto& e : flows.weighted_edges) {
+    EXPECT_GE(e.w, fopt.base_flow);
+    max_w = std::max(max_w, e.w);
+    total += e.w;
+  }
+  const double mean = total / flows.weighted_edges.size();
+  EXPECT_GT(max_w, 10.0 * mean);  // heavy tail: hub corridors dominate
+}
+
+TEST(Flows, HubsAreLowerLayerSectors) {
+  AirspaceOptions aopt;
+  aopt.n_sectors = 250;
+  const auto a = make_airspace(aopt);
+  const auto flows = route_flows(a, {});
+  EXPECT_GE(flows.hubs.size(), 2u);
+  std::set<VertexId> unique(flows.hubs.begin(), flows.hubs.end());
+  EXPECT_EQ(unique.size(), flows.hubs.size());
+  for (VertexId h : flows.hubs) {
+    EXPECT_EQ(a.sectors[static_cast<std::size_t>(h)].layer, 0);
+  }
+}
+
+TEST(CoreArea, ExactPaperCounts) {
+  const auto& core = shared_core();
+  EXPECT_EQ(core.graph.num_vertices(), 762);
+  EXPECT_EQ(core.graph.num_edges(), 3165);
+}
+
+TEST(CoreArea, Connected) {
+  EXPECT_TRUE(is_connected(shared_core().graph));
+}
+
+TEST(CoreArea, MeanDegreeMatchesPaper) {
+  // 2·3165 / 762 ≈ 8.3 neighbors per sector.
+  const auto& g = shared_core().graph;
+  const double mean_deg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_NEAR(mean_deg, 8.3, 0.1);
+}
+
+TEST(CoreArea, FlowWeightsAreAircraftCounts) {
+  const auto& g = shared_core().graph;
+  for (Weight w : g.arc_weights()) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_DOUBLE_EQ(w, std::round(w));  // whole aircraft
+  }
+}
+
+TEST(CoreArea, DeterministicDefaultBuild) {
+  const auto again = make_core_area_graph();
+  const auto& g = shared_core().graph;
+  ASSERT_EQ(again.graph.num_vertices(), g.num_vertices());
+  EXPECT_DOUBLE_EQ(again.graph.total_edge_weight(), g.total_edge_weight());
+}
+
+TEST(CoreArea, DifferentSeedDifferentFlows) {
+  CoreAreaOptions opt;
+  opt.seed = 777;
+  opt.n_sectors = 120;
+  opt.n_edges = 470;
+  const auto a = make_core_area_graph(opt);
+  opt.seed = 778;
+  const auto b = make_core_area_graph(opt);
+  EXPECT_NE(a.graph.total_edge_weight(), b.graph.total_edge_weight());
+}
+
+TEST(CoreArea, CustomSizesRespected) {
+  CoreAreaOptions opt;
+  opt.n_sectors = 90;
+  opt.n_edges = 330;
+  opt.seed = 9;
+  const auto small = make_core_area_graph(opt);
+  EXPECT_EQ(small.graph.num_vertices(), 90);
+  EXPECT_EQ(small.graph.num_edges(), 330);
+  EXPECT_TRUE(is_connected(small.graph));
+}
+
+TEST(CoreArea, RejectsImpossibleEdgeCount) {
+  CoreAreaOptions opt;
+  opt.n_sectors = 50;
+  opt.n_edges = 10;  // below spanning tree
+  EXPECT_THROW(make_core_area_graph(opt), Error);
+}
+
+}  // namespace
+}  // namespace ffp

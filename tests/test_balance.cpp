@@ -1,0 +1,88 @@
+#include "partition/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/objectives.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Imbalance, PerfectBalanceIsOne) {
+  const auto g = make_path(8);
+  const auto p = Partition::from_assignment(
+      g, std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3});
+  EXPECT_DOUBLE_EQ(imbalance(p), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance(p, 4), 1.0);
+}
+
+TEST(Imbalance, DetectsHeavyPart) {
+  const auto g = make_path(8);
+  const auto p = Partition::from_assignment(
+      g, std::vector<int>{0, 0, 0, 0, 0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(imbalance(p, 2), 6.0 / 4.0);
+}
+
+TEST(Imbalance, UsesVertexWeights) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1.0}};
+  const auto g = Graph::from_edges(2, edges, {3.0, 1.0});
+  const auto p = Partition::from_assignment(g, std::vector<int>{0, 1});
+  EXPECT_DOUBLE_EQ(imbalance(p, 2), 3.0 / 2.0);
+}
+
+TEST(Imbalance, AgainstTargetKCountsEmpties) {
+  const auto g = make_path(4);
+  const auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 0, 0}, 4);
+  EXPECT_DOUBLE_EQ(imbalance(p, 4), 4.0);
+}
+
+TEST(Imbalance, RejectsBadK) {
+  const auto g = make_path(4);
+  const Partition p(g, 2);
+  EXPECT_THROW(imbalance(p, 0), Error);
+}
+
+TEST(Rebalance, FixesSkewedBisection) {
+  const auto g = make_grid2d(6, 6);
+  // All vertices in part 0 except one.
+  std::vector<int> assign(36, 0);
+  assign[35] = 1;
+  auto p = Partition::from_assignment(g, assign, 2);
+  Rng rng(5);
+  rebalance(p, 2, 1.10, rng);
+  EXPECT_LE(imbalance(p, 2), 1.10 + 1e-9);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Rebalance, NoopWhenAlreadyBalanced) {
+  const auto g = make_path(8);
+  auto p = Partition::from_assignment(
+      g, std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3});
+  const double cut_before = p.edge_cut();
+  Rng rng(6);
+  rebalance(p, 4, 1.05, rng);
+  EXPECT_DOUBLE_EQ(p.edge_cut(), cut_before);
+}
+
+TEST(Rebalance, PrefersCheapMoves) {
+  // Barbell: moving bridge-side vertices is cheaper than clique interiors.
+  const auto g = make_barbell(6, 0);
+  std::vector<int> assign(12, 0);
+  assign[11] = 1;
+  auto p = Partition::from_assignment(g, assign, 2);
+  Rng rng(7);
+  rebalance(p, 2, 1.05, rng);
+  EXPECT_LE(imbalance(p, 2), 1.34);  // 12 vertices: 7/6 at best
+  // The rebalanced cut should be far below the worst case (full clique cut).
+  EXPECT_LT(p.edge_cut(), 16.0);
+}
+
+TEST(Rebalance, RejectsBadTolerance) {
+  const auto g = make_path(4);
+  Partition p(g, 2);
+  Rng rng(8);
+  EXPECT_THROW(rebalance(p, 2, 0.9, rng), Error);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,62 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffp {
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(FFP_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsError) {
+  EXPECT_THROW(FFP_CHECK(false), Error);
+}
+
+TEST(Check, MessageIncludesOperands) {
+  try {
+    const int x = 41;
+    FFP_CHECK(x == 42, "x was ", x, " not ", 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x was 41 not 42"), std::string::npos);
+    EXPECT_NE(what.find("x == 42"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIncludesSourceLocation) {
+  try {
+    FFP_CHECK(false, "boom");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, NoMessageIsFine) {
+  try {
+    FFP_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("FFP_CHECK failed"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, ErrorIsRuntimeError) {
+  // Callers may catch std::runtime_error or std::exception.
+  EXPECT_THROW(FFP_CHECK(false), std::runtime_error);
+  EXPECT_THROW(FFP_CHECK(false), std::exception);
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+  int count = 0;
+  auto bump = [&count] { return ++count > 0; };
+  FFP_CHECK(bump());
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace ffp

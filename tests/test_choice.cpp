@@ -1,0 +1,88 @@
+#include "core/choice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffp {
+namespace {
+
+ChoiceParams params() {
+  ChoiceParams p;
+  p.target_size = 20.0;
+  p.tmax = 1.0;
+  p.tmin = 0.0;
+  p.slope = 4.0;
+  p.offset = 0.25;
+  return p;
+}
+
+TEST(Choice, AlphaAtTemperatureExtremes) {
+  const auto p = params();
+  // Hot: alpha = offset. Cold: alpha = slope + offset.
+  EXPECT_DOUBLE_EQ(choice_alpha(1.0, p), 0.25);
+  EXPECT_DOUBLE_EQ(choice_alpha(0.0, p), 4.25);
+  EXPECT_DOUBLE_EQ(choice_alpha(0.5, p), 2.25);
+}
+
+TEST(Choice, BigAtomsAlwaysFission) {
+  const auto p = params();
+  // Cold: window = 1/(2·4.25) ≈ 0.12 around 20.
+  EXPECT_DOUBLE_EQ(fission_probability(40, 0.0, p), 1.0);
+  EXPECT_DOUBLE_EQ(fission_probability(21, 0.0, p), 1.0);
+}
+
+TEST(Choice, SmallAtomsAlwaysFuse) {
+  const auto p = params();
+  EXPECT_DOUBLE_EQ(fission_probability(1, 0.0, p), 0.0);
+  EXPECT_DOUBLE_EQ(fission_probability(19, 0.0, p), 0.0);
+}
+
+TEST(Choice, TargetSizeIsCoinFlip) {
+  const auto p = params();
+  EXPECT_NEAR(fission_probability(20, 0.0, p), 0.5, 1e-12);
+  EXPECT_NEAR(fission_probability(20, 1.0, p), 0.5, 1e-12);
+}
+
+TEST(Choice, MonotoneInAtomSize) {
+  const auto p = params();
+  for (double t : {0.0, 0.4, 0.9}) {
+    double prev = -1.0;
+    for (int x = 1; x <= 45; ++x) {
+      const double prob = fission_probability(x, t, p);
+      EXPECT_GE(prob, prev - 1e-12) << "t=" << t << " x=" << x;
+      EXPECT_GE(prob, 0.0);
+      EXPECT_LE(prob, 1.0);
+      prev = prob;
+    }
+  }
+}
+
+TEST(Choice, HotTemperatureWidensTheWindow) {
+  const auto p = params();
+  // Hot: window = 1/(2·0.25) = 2 around 20 → x=21 is inside, probabilistic.
+  const double hot = fission_probability(21, 1.0, p);
+  EXPECT_GT(hot, 0.5);
+  EXPECT_LT(hot, 1.0);
+  // Cold: same atom is a certain fission.
+  EXPECT_DOUBLE_EQ(fission_probability(21, 0.0, p), 1.0);
+}
+
+TEST(Choice, PaperFormulaInsideWindow) {
+  const auto p = params();
+  // choice(x) = alpha (x − n̄) + 1/2 inside the window.
+  const double t = 1.0;  // alpha = 0.25, window ±2
+  EXPECT_NEAR(fission_probability(21, t, p), 0.25 * 1.0 + 0.5, 1e-12);
+  EXPECT_NEAR(fission_probability(19, t, p), -0.25 + 0.5, 1e-12);
+}
+
+TEST(Choice, RejectsBadParameters) {
+  auto p = params();
+  p.offset = 0.0;
+  EXPECT_THROW(fission_probability(5, 0.5, p), Error);
+  p = params();
+  p.tmax = p.tmin;
+  EXPECT_THROW(choice_alpha(0.5, p), Error);
+  EXPECT_THROW(fission_probability(0, 0.5, params()), Error);
+}
+
+}  // namespace
+}  // namespace ffp

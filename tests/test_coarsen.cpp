@@ -1,0 +1,133 @@
+#include "multilevel/coarsen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Coarsen, ContractTotalVertexWeightConserved) {
+  const auto g = with_random_weights(make_grid2d(6, 6), 1.0, 3.0, 3);
+  Rng rng(4);
+  const auto match = heavy_edge_matching(g, rng);
+  const auto level = contract_matching(g, match);
+  EXPECT_NEAR(level.coarse.total_vertex_weight(), g.total_vertex_weight(),
+              1e-9);
+}
+
+TEST(Coarsen, ContractEdgeWeightConservedModuloInternal) {
+  // Total edge weight = coarse edge weight + weight of contracted edges.
+  const auto g = with_random_weights(make_torus(5, 5), 1.0, 2.0, 5);
+  Rng rng(6);
+  const auto match = heavy_edge_matching(g, rng);
+  double contracted = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    if (m > v) contracted += g.edge_weight(v, m);
+  }
+  const auto level = contract_matching(g, match);
+  EXPECT_NEAR(level.coarse.total_edge_weight() + contracted,
+              g.total_edge_weight(), 1e-9);
+}
+
+TEST(Coarsen, MapCoversAllCoarseVertices) {
+  const auto g = make_grid2d(7, 5);
+  Rng rng(7);
+  const auto level = contract_matching(g, heavy_edge_matching(g, rng));
+  std::vector<int> hits(static_cast<std::size_t>(level.coarse.num_vertices()), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId c = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, level.coarse.num_vertices());
+    ++hits[static_cast<std::size_t>(c)];
+  }
+  for (int h : hits) {
+    EXPECT_GE(h, 1);
+    EXPECT_LE(h, 2);  // matchings merge at most pairs
+  }
+}
+
+TEST(Coarsen, RejectsAsymmetricMatching) {
+  const auto g = make_path(4);
+  const std::vector<VertexId> bad = {1, 0, 3, 2};
+  EXPECT_NO_THROW(contract_matching(g, bad));
+  const std::vector<VertexId> asym = {1, 2, 0, 3};
+  EXPECT_THROW(contract_matching(g, asym), Error);
+}
+
+TEST(Coarsen, ChainShrinksToThreshold) {
+  const auto g = make_grid2d(16, 16);
+  CoarsenOptions opt;
+  opt.min_vertices = 30;
+  const auto chain = coarsen_chain(g, opt);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_LE(chain.back().coarse.num_vertices(), 60);  // ~half per level
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain[i].coarse.num_vertices(),
+              chain[i - 1].coarse.num_vertices());
+  }
+}
+
+TEST(Coarsen, ChainEmptyForSmallGraph) {
+  const auto g = make_path(10);
+  CoarsenOptions opt;
+  opt.min_vertices = 64;
+  EXPECT_TRUE(coarsen_chain(g, opt).empty());
+}
+
+TEST(Coarsen, StallsGracefullyOnStar) {
+  // A star can only contract one edge per level; the min_shrink guard must
+  // terminate the chain rather than looping.
+  const auto g = make_star(40);
+  CoarsenOptions opt;
+  opt.min_vertices = 4;
+  const auto chain = coarsen_chain(g, opt);
+  EXPECT_LT(chain.size(), 40u);
+}
+
+TEST(Coarsen, ProlongRoundTripsConstants) {
+  const auto g = make_grid2d(10, 10);
+  CoarsenOptions opt;
+  opt.min_vertices = 12;
+  const auto chain = coarsen_chain(g, opt);
+  ASSERT_FALSE(chain.empty());
+  const std::vector<double> coarse_vals(
+      static_cast<std::size_t>(chain.back().coarse.num_vertices()), 3.25);
+  const auto fine = prolong_to_finest(chain, chain.size(), coarse_vals);
+  ASSERT_EQ(fine.size(), static_cast<std::size_t>(g.num_vertices()));
+  for (double v : fine) EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(Coarsen, ProlongMapsDistinctValues) {
+  const auto g = make_path(8);
+  const std::vector<VertexId> match = {1, 0, 3, 2, 5, 4, 7, 6};
+  const auto level = contract_matching(g, match);
+  ASSERT_EQ(level.coarse.num_vertices(), 4);
+  std::vector<CoarseLevel> chain;
+  chain.push_back(level);
+  const std::vector<double> vals = {10, 20, 30, 40};
+  const auto fine = prolong_to_finest(chain, 1, vals);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_DOUBLE_EQ(
+        fine[static_cast<std::size_t>(v)],
+        vals[static_cast<std::size_t>(
+            level.fine_to_coarse[static_cast<std::size_t>(v)])]);
+  }
+}
+
+TEST(Coarsen, DeterministicForSeed) {
+  const auto g = make_grid2d(12, 12);
+  CoarsenOptions opt;
+  opt.seed = 42;
+  const auto a = coarsen_chain(g, opt);
+  const auto b = coarsen_chain(g, opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].coarse.num_vertices(), b[i].coarse.num_vertices());
+    EXPECT_EQ(a[i].fine_to_coarse, b[i].fine_to_coarse);
+  }
+}
+
+}  // namespace
+}  // namespace ffp

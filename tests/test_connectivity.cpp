@@ -1,0 +1,133 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Components, SingleComponent) {
+  const auto g = make_path(5);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 1);
+  for (int label : c.label) EXPECT_EQ(label, 0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, TwoComponents) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {2, 3, 1}};
+  const auto g = Graph::from_edges(4, edges);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 2);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, IsolatedVertices) {
+  const auto g = Graph::from_edges(3, {});
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+}
+
+TEST(Components, GroupsPartitionVertices) {
+  const std::vector<WeightedEdge> edges = {{0, 2, 1}, {1, 3, 1}};
+  const auto g = Graph::from_edges(5, edges);
+  const auto groups = connected_components(g).groups();
+  std::size_t total = 0;
+  for (const auto& grp : groups) total += grp.size();
+  EXPECT_EQ(total, 5u);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(Components, EmptyGraphConnected) {
+  EXPECT_TRUE(is_connected(Graph::from_edges(0, {})));
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const auto g = make_path(6);
+  const auto d = bfs_distances(g, 0);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}};
+  const auto g = Graph::from_edges(3, edges);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Bfs, MultiSourceTakesNearest) {
+  const auto g = make_path(10);
+  const VertexId sources[2] = {0, 9};
+  const auto d = bfs_distances(g, std::span<const VertexId>(sources, 2));
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[9], 0);
+  EXPECT_EQ(d[4], 4);
+  EXPECT_EQ(d[5], 4);
+}
+
+TEST(Bfs, RejectsBadSource) {
+  const auto g = make_path(3);
+  EXPECT_THROW(bfs_distances(g, 7), Error);
+}
+
+TEST(PseudoPeripheral, PathEndpoints) {
+  const auto g = make_path(11);
+  const auto [a, b] = pseudo_peripheral_pair(g, 5);
+  // Both should be actual path endpoints.
+  EXPECT_TRUE(a == 0 || a == 10);
+  const auto d = bfs_distances(g, a);
+  EXPECT_GE(d[static_cast<std::size_t>(b)], 5);  // far apart
+}
+
+TEST(PseudoPeripheral, TwoVertices) {
+  const auto g = make_path(2);
+  const auto [a, b] = pseudo_peripheral_pair(g, 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(InducedSubgraph, ExtractsEdgesAndWeights) {
+  //  0-1-2-3 path with increasing weights; take {1,2,3}.
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}};
+  const auto g = Graph::from_edges(4, edges);
+  const VertexId verts[3] = {1, 2, 3};
+  const auto sub = induced_subgraph(g, std::span<const VertexId>(verts, 3));
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(sub.graph.edge_weight(0, 1), 2.0);  // old (1,2)
+  EXPECT_DOUBLE_EQ(sub.graph.edge_weight(1, 2), 3.0);  // old (2,3)
+  EXPECT_EQ(sub.to_parent[0], 1);
+  EXPECT_EQ(sub.to_parent[2], 3);
+}
+
+TEST(InducedSubgraph, PreservesVertexWeights) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}};
+  const auto g = Graph::from_edges(3, edges, {5.0, 6.0, 7.0});
+  const VertexId verts[2] = {2, 0};
+  const auto sub = induced_subgraph(g, std::span<const VertexId>(verts, 2));
+  EXPECT_DOUBLE_EQ(sub.graph.vertex_weight(0), 7.0);
+  EXPECT_DOUBLE_EQ(sub.graph.vertex_weight(1), 5.0);
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  const auto g = make_path(4);
+  const VertexId verts[2] = {1, 1};
+  EXPECT_THROW(induced_subgraph(g, std::span<const VertexId>(verts, 2)), Error);
+}
+
+TEST(InducedSubgraph, DisconnectedSubsetIsFine) {
+  const auto g = make_path(5);
+  const VertexId verts[2] = {0, 4};
+  const auto sub = induced_subgraph(g, std::span<const VertexId>(verts, 2));
+  EXPECT_EQ(sub.graph.num_edges(), 0);
+  EXPECT_FALSE(is_connected(sub.graph));
+}
+
+}  // namespace
+}  // namespace ffp

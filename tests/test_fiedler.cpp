@@ -1,0 +1,167 @@
+#include "spectral/fiedler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/operators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Fiedler, LanczosEngineMatchesClosedFormOnPath) {
+  const int n = 20;
+  const auto g = make_path(n);
+  FiedlerOptions opt;
+  const auto r = fiedler_vectors(g, opt);
+  ASSERT_GE(r.vectors.size(), 1u);
+  const double expect = 4.0 * std::pow(std::sin(M_PI / (2.0 * n)), 2);
+  EXPECT_NEAR(r.values[0], expect, 1e-6);
+}
+
+TEST(Fiedler, FiedlerVectorIsMonotoneOnPath) {
+  // The path's Fiedler vector is cos(π(i+1/2)/n): strictly monotone, so it
+  // sorts the path — the property spectral bisection relies on.
+  const auto g = make_path(15);
+  const auto r = fiedler_vectors(g, {});
+  const auto& f = r.vectors[0];
+  const bool increasing = f[1] > f[0];
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    if (increasing) {
+      EXPECT_GT(f[i], f[i - 1]);
+    } else {
+      EXPECT_LT(f[i], f[i - 1]);
+    }
+  }
+}
+
+TEST(Fiedler, EnginesAgreeOnElongatedGrid) {
+  // RQI converges to the eigenpair nearest its (coarse-grid) starting
+  // Rayleigh quotient, so engine agreement on the exact pair needs λ2 well
+  // separated from λ3: a 24×4 grid has λ3/λ2 ≈ 4.
+  const auto g = make_grid2d(4, 24);
+  FiedlerOptions lanczos;
+  lanczos.engine = FiedlerEngine::Lanczos;
+  FiedlerOptions rqi;
+  rqi.engine = FiedlerEngine::MultilevelRqi;
+  rqi.coarse_vertices = 32;
+  const auto a = fiedler_vectors(g, lanczos);
+  const auto b = fiedler_vectors(g, rqi);
+  ASSERT_GE(a.values.size(), 1u);
+  ASSERT_GE(b.values.size(), 1u);
+  EXPECT_NEAR(a.values[0], b.values[0], 1e-4);
+  // Same eigenvector up to sign.
+  const double d = std::abs(dot(a.vectors[0], b.vectors[0]));
+  EXPECT_NEAR(d, 1.0, 1e-3);
+}
+
+TEST(Fiedler, RqiEngineReturnsGenuineEigenpair) {
+  // On a squarish grid RQI may land on a nearby mode, but what it returns
+  // must be an actual eigenpair of small residual in the low spectrum.
+  const auto g = make_grid2d(12, 9);
+  FiedlerOptions rqi;
+  rqi.engine = FiedlerEngine::MultilevelRqi;
+  rqi.coarse_vertices = 24;
+  const auto b = fiedler_vectors(g, rqi);
+  ASSERT_GE(b.vectors.size(), 1u);
+  const LaplacianOperator op(g);
+  std::vector<double> ax(b.vectors[0].size());
+  op.apply(b.vectors[0], ax);
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = ax[i] - b.values[0] * b.vectors[0][i];
+    res2 += r * r;
+  }
+  EXPECT_LT(std::sqrt(res2), 1e-5);
+  EXPECT_GT(b.values[0], 0.0);
+  EXPECT_LT(b.values[0], 0.5);  // low end of the grid spectrum
+}
+
+TEST(Fiedler, MultipleVectorsAreOrthogonal) {
+  const auto g = make_grid2d(8, 8);
+  FiedlerOptions opt;
+  opt.count = 3;
+  const auto r = fiedler_vectors(g, opt);
+  ASSERT_EQ(r.vectors.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NEAR(std::abs(dot(r.vectors[i], r.vectors[j])), 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Fiedler, ValuesAscending) {
+  const auto g = make_torus(7, 6);
+  FiedlerOptions opt;
+  opt.count = 3;
+  const auto r = fiedler_vectors(g, opt);
+  for (std::size_t i = 1; i < r.values.size(); ++i) {
+    EXPECT_LE(r.values[i - 1], r.values[i] + 1e-9);
+  }
+}
+
+TEST(Fiedler, NormalizedProblemInUnitRange) {
+  const auto g = with_random_weights(make_grid2d(6, 6), 0.5, 5.0, 11);
+  FiedlerOptions opt;
+  opt.problem = SpectralProblem::Normalized;
+  opt.count = 2;
+  const auto r = fiedler_vectors(g, opt);
+  for (double v : r.values) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 2.0 + 1e-9);
+  }
+}
+
+TEST(Fiedler, MultilevelRqiOnWeightedGraph) {
+  const auto g = with_random_weights(make_grid2d(10, 10), 1.0, 7.0, 13);
+  FiedlerOptions opt;
+  opt.engine = FiedlerEngine::MultilevelRqi;
+  opt.coarse_vertices = 25;
+  const auto r = fiedler_vectors(g, opt);
+  ASSERT_GE(r.vectors.size(), 1u);
+  // Residual check through the operator.
+  const LaplacianOperator op(g);
+  std::vector<double> ax(r.vectors[0].size());
+  op.apply(r.vectors[0], ax);
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double d = ax[i] - r.values[0] * r.vectors[0][i];
+    res2 += d * d;
+  }
+  EXPECT_LT(std::sqrt(res2), 1e-4);
+}
+
+TEST(Fiedler, BarbellFiedlerSeparatesCliques) {
+  const auto g = make_barbell(8, 2);
+  const auto r = fiedler_vectors(g, {});
+  const auto& f = r.vectors[0];
+  // All of clique A on one sign, all of clique B on the other.
+  const bool a_positive = f[0] > 0;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(f[static_cast<std::size_t>(i)] > 0, a_positive);
+  }
+  for (int i = 10; i < 18; ++i) {
+    EXPECT_EQ(f[static_cast<std::size_t>(i)] > 0, !a_positive);
+  }
+}
+
+TEST(Fiedler, RejectsDegenerateInputs) {
+  const auto g = make_path(5);
+  FiedlerOptions bad;
+  bad.count = 0;
+  EXPECT_THROW(fiedler_vectors(g, bad), Error);
+  EXPECT_THROW(fiedler_vectors(Graph::from_edges(1, {}), {}), Error);
+}
+
+TEST(TrivialEigenvector, NormalizedVariantFollowsDegrees) {
+  const auto g = make_star(3);
+  const auto v = trivial_eigenvector(g, SpectralProblem::Normalized);
+  // Center degree 3, leaves 1 → components proportional to sqrt(d).
+  EXPECT_NEAR(v[0] / v[1], std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(norm2(v), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ffp

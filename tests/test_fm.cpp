@@ -1,0 +1,123 @@
+#include "refine/fm_bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/balance.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Fm, FindsBarbellBridgeFromBadStart) {
+  const auto g = make_barbell(8, 0);
+  // Interleaved assignment: maximally bad.
+  std::vector<int> assign(16);
+  for (int i = 0; i < 16; ++i) assign[static_cast<std::size_t>(i)] = i % 2;
+  const auto res = fm_refine_bisection(g, assign, {});
+  EXPECT_LT(res.final_cut, res.initial_cut);
+  EXPECT_LE(res.final_cut, 1.0);  // the single clique-joining edge
+}
+
+TEST(Fm, NeverWorsensTheCut) {
+  Rng rng(21);
+  for (const auto& tc : testing::property_graphs()) {
+    std::vector<int> assign(static_cast<std::size_t>(tc.graph.num_vertices()));
+    for (auto& a : assign) a = static_cast<int>(rng.below(2));
+    if (std::count(assign.begin(), assign.end(), 0) == 0) assign[0] = 0;
+    if (std::count(assign.begin(), assign.end(), 1) == 0) assign[0] = 1;
+    const auto res = fm_refine_bisection(tc.graph, assign, {});
+    EXPECT_LE(res.final_cut, res.initial_cut + 1e-9) << tc.name;
+  }
+}
+
+TEST(Fm, RespectsBalanceCap) {
+  const auto g = make_grid2d(8, 8);
+  std::vector<int> assign(64);
+  for (int i = 0; i < 64; ++i) assign[static_cast<std::size_t>(i)] = i < 32 ? 0 : 1;
+  FmOptions opt;
+  opt.max_imbalance = 1.10;
+  fm_refine_bisection(g, assign, opt);
+  const auto p = Partition::from_assignment(g, assign, 2);
+  EXPECT_LE(imbalance(p, 2), 1.12);
+}
+
+TEST(Fm, GridBisectionReachesStraightCut) {
+  const auto g = make_grid2d(8, 8);
+  // Checkerboard start: every edge cut.
+  std::vector<int> assign(64);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      assign[static_cast<std::size_t>(r * 8 + c)] = (r + c) % 2;
+    }
+  }
+  FmOptions opt;
+  opt.max_passes = 40;
+  const auto res = fm_refine_bisection(g, assign, opt);
+  EXPECT_LT(res.final_cut, res.initial_cut / 2.0);
+}
+
+TEST(Fm, OperatesOnChosenSidesOnly) {
+  const auto g = make_path(9);
+  auto p = Partition::from_assignment(
+      g, std::vector<int>{0, 0, 0, 1, 1, 1, 2, 2, 2});
+  fm_refine_bisection(p, 0, 1, {});
+  // Part 2 untouched.
+  for (VertexId v = 6; v < 9; ++v) {
+    EXPECT_EQ(p.part_of(v), 2);
+  }
+  ffp::testing::expect_valid_partition(p, 3);
+}
+
+TEST(Fm, AlreadyOptimalIsStable) {
+  const auto g = make_grid2d(4, 8);
+  std::vector<int> assign(32);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      assign[static_cast<std::size_t>(r * 8 + c)] = c < 4 ? 0 : 1;
+    }
+  }
+  const auto res = fm_refine_bisection(g, assign, {});
+  EXPECT_DOUBLE_EQ(res.final_cut, 4.0);
+  EXPECT_LE(res.passes, 2);
+}
+
+TEST(Fm, NeverEmptiesASide) {
+  const auto g = make_star(6);
+  std::vector<int> assign(7, 0);
+  assign[3] = 1;  // one leaf alone — gain says move it, size guard says no
+  fm_refine_bisection(g, assign, {});
+  EXPECT_EQ(std::count(assign.begin(), assign.end(), 1), 1);
+}
+
+TEST(Fm, TinySidesAreHandled) {
+  const auto g = make_path(2);
+  std::vector<int> assign = {0, 1};
+  const auto res = fm_refine_bisection(g, assign, {});
+  EXPECT_DOUBLE_EQ(res.final_cut, 1.0);
+}
+
+TEST(Fm, WeightedGraphGainsAreWeightAware) {
+  // Path with one heavy edge: refinement must avoid cutting it.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 1.0}, {1, 2, 100.0}, {2, 3, 1.0}};
+  const auto g = Graph::from_edges(4, edges);
+  std::vector<int> assign = {0, 0, 1, 1};  // cuts the heavy edge
+  FmOptions opt;
+  opt.max_imbalance = 1.6;
+  const auto res = fm_refine_bisection(g, assign, opt);
+  EXPECT_LE(res.final_cut, 2.0);
+  const auto p = Partition::from_assignment(g, assign, 2);
+  EXPECT_EQ(p.part_of(1), p.part_of(2));  // heavy edge internal now
+}
+
+TEST(Fm, RejectsBadSides) {
+  const auto g = make_path(4);
+  auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});
+  EXPECT_THROW(fm_refine_bisection(p, 0, 0, {}), Error);
+  EXPECT_THROW(fm_refine_bisection(p, 0, 5, {}), Error);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,157 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Generators, Grid2dCounts) {
+  const auto g = make_grid2d(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  // Edges: 4*5 horizontal + 3*6 vertical.
+  EXPECT_EQ(g.num_edges(), 4 * 5 + 3 * 6);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Grid2dCornerDegrees) {
+  const auto g = make_grid2d(3, 3);
+  EXPECT_EQ(g.degree(0), 2);  // corner
+  EXPECT_EQ(g.degree(4), 4);  // center
+}
+
+TEST(Generators, Grid3dCounts) {
+  const auto g = make_grid3d(3, 4, 5);
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, TorusIsRegular) {
+  const auto g = make_torus(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 2 * 20);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.degree(v), 4);
+  }
+}
+
+TEST(Generators, TorusRejectsTooSmall) {
+  EXPECT_THROW(make_torus(2, 5), Error);
+}
+
+TEST(Generators, PathAndCycle) {
+  EXPECT_EQ(make_path(7).num_edges(), 6);
+  EXPECT_EQ(make_cycle(7).num_edges(), 7);
+  for (VertexId v = 0; v < 7; ++v) {
+    EXPECT_EQ(make_cycle(7).degree(v), 2);
+  }
+}
+
+TEST(Generators, CompleteGraph) {
+  const auto g = make_complete(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(Generators, Star) {
+  const auto g = make_star(9);
+  EXPECT_EQ(g.num_vertices(), 10);
+  EXPECT_EQ(g.degree(0), 9);
+  EXPECT_EQ(g.degree(5), 1);
+}
+
+TEST(Generators, BarbellHasBridgeStructure) {
+  const auto g = make_barbell(5, 2);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_TRUE(is_connected(g));
+  // Clique edges 2*C(5,2)=20 plus path edges 3.
+  EXPECT_EQ(g.num_edges(), 23);
+}
+
+TEST(Generators, BarbellNoBridgeVertices) {
+  const auto g = make_barbell(4, 0);
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.num_edges(), 13);  // 2*6 + 1 connecting edge
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomGeometricDeterministic) {
+  const auto a = make_random_geometric(60, 0.25, 9);
+  const auto b = make_random_geometric(60, 0.25, 9);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const auto c = make_random_geometric(60, 0.25, 10);
+  // Overwhelmingly likely to differ.
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(Generators, RandomGeometricNoIsolatedVertices) {
+  const auto g = make_random_geometric(100, 0.05, 4);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 1) << "vertex " << v;
+  }
+}
+
+TEST(Generators, PowerLawAverageDegreeInRange) {
+  const auto g = make_power_law(400, 6.0, 2.5, 21);
+  const double avg = 2.0 * g.num_edges() / g.num_vertices();
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 12.0);
+}
+
+TEST(Generators, PowerLawHasSkewedDegrees) {
+  const auto g = make_power_law(500, 4.0, 2.2, 22);
+  std::int64_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  EXPECT_GT(max_deg, 4 * 2);  // hub far above the average
+}
+
+TEST(Generators, RandomGraphExactEdgeCount) {
+  const auto g = make_random_graph(30, 100, 3);
+  EXPECT_EQ(g.num_edges(), 100);
+}
+
+TEST(Generators, RandomGraphRejectsTooMany) {
+  EXPECT_THROW(make_random_graph(4, 7, 1), Error);  // max is 6
+}
+
+TEST(Generators, Caterpillar) {
+  const auto g = make_caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 4 + 15);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, WithRandomWeightsPreservesStructure) {
+  const auto base = make_grid2d(5, 5);
+  const auto g = with_random_weights(base, 2.0, 4.0, 8);
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto ws = g.neighbor_weights(v);
+    for (double w : ws) {
+      EXPECT_GE(w, 2.0);
+      EXPECT_LT(w, 4.0);
+    }
+  }
+}
+
+TEST(Generators, WithRandomWeightsDeterministic) {
+  const auto base = make_grid2d(4, 4);
+  const auto a = with_random_weights(base, 0.0, 1.0, 5);
+  const auto b = with_random_weights(base, 0.0, 1.0, 5);
+  EXPECT_DOUBLE_EQ(a.total_edge_weight(), b.total_edge_weight());
+}
+
+TEST(Generators, RejectsBadParameters) {
+  EXPECT_THROW(make_grid2d(0, 3), Error);
+  EXPECT_THROW(make_path(0), Error);
+  EXPECT_THROW(make_cycle(2), Error);
+  EXPECT_THROW(make_power_law(10, 2.0, 1.5, 1), Error);  // gamma <= 2
+  EXPECT_THROW(make_random_geometric(0, 0.1, 1), Error);
+}
+
+}  // namespace
+}  // namespace ffp

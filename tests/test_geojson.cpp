@@ -1,0 +1,78 @@
+#include "atc/geojson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ffp {
+namespace {
+
+Airspace small_airspace() {
+  AirspaceOptions opt;
+  opt.n_sectors = 60;
+  opt.seed = 9;
+  return make_airspace(opt);
+}
+
+TEST(GeoJson, WellFormedSkeleton) {
+  const auto a = small_airspace();
+  std::ostringstream os;
+  write_geojson(a, {}, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  EXPECT_NE(out.find("\"FeatureCollection\""), std::string::npos);
+  // Balanced braces and brackets (cheap structural check).
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST(GeoJson, OnePointPerSector) {
+  const auto a = small_airspace();
+  std::ostringstream os;
+  GeoJsonOptions opt;
+  opt.include_edges = false;
+  write_geojson(a, {}, os, opt);
+  const std::string out = os.str();
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("\"Point\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, a.sectors.size());
+  EXPECT_EQ(out.find("\"LineString\""), std::string::npos);
+}
+
+TEST(GeoJson, BlocksAppearAsProperties) {
+  const auto a = small_airspace();
+  std::vector<int> blocks(a.sectors.size(), 0);
+  blocks[0] = 7;
+  std::ostringstream os;
+  write_geojson(a, blocks, os);
+  EXPECT_NE(os.str().find("\"block\":7"), std::string::npos);
+  EXPECT_NE(os.str().find("\"crossing\":"), std::string::npos);
+}
+
+TEST(GeoJson, EdgeWeightFilter) {
+  const auto a = small_airspace();
+  std::ostringstream all_os, none_os;
+  GeoJsonOptions all;
+  write_geojson(a, {}, all_os, all);
+  GeoJsonOptions none;
+  none.min_edge_weight = 1e18;
+  write_geojson(a, {}, none_os, none);
+  EXPECT_GT(all_os.str().size(), none_os.str().size());
+  EXPECT_EQ(none_os.str().find("\"LineString\""), std::string::npos);
+}
+
+TEST(GeoJson, RejectsWrongBlockCount) {
+  const auto a = small_airspace();
+  const std::vector<int> bad(3, 0);
+  std::ostringstream os;
+  EXPECT_THROW(write_geojson(a, bad, os), Error);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,101 @@
+#include "refine/kl_bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Kl, SwapsPreserveSideSizes) {
+  const auto g = make_grid2d(6, 6);
+  Rng rng(31);
+  std::vector<int> assign(36);
+  for (int i = 0; i < 36; ++i) assign[static_cast<std::size_t>(i)] = i < 18 ? 0 : 1;
+  rng.shuffle(assign);
+  auto p = Partition::from_assignment(g, assign, 2);
+  const int size0 = p.part_size(0);
+  kl_refine_bisection(p, 0, 1);
+  EXPECT_EQ(p.part_size(0), size0);
+  ffp::testing::expect_valid_partition(p, 2);
+}
+
+TEST(Kl, ImprovesInterleavedGrid) {
+  const auto g = make_grid2d(8, 8);
+  std::vector<int> assign(64);
+  for (int i = 0; i < 64; ++i) assign[static_cast<std::size_t>(i)] = i % 2;
+  auto p = Partition::from_assignment(g, assign, 2);
+  const auto res = kl_refine_bisection(p, 0, 1);
+  EXPECT_LT(res.final_cut, res.initial_cut);
+}
+
+TEST(Kl, NeverWorsens) {
+  Rng rng(37);
+  for (const auto& tc : testing::property_graphs()) {
+    const VertexId n = tc.graph.num_vertices();
+    std::vector<int> assign(static_cast<std::size_t>(n));
+    for (VertexId i = 0; i < n; ++i) {
+      assign[static_cast<std::size_t>(i)] = i < n / 2 ? 0 : 1;
+    }
+    rng.shuffle(assign);
+    auto p = Partition::from_assignment(tc.graph, assign, 2);
+    const auto res = kl_refine_bisection(p, 0, 1);
+    EXPECT_LE(res.final_cut, res.initial_cut + 1e-9) << tc.name;
+  }
+}
+
+TEST(Kl, RecoverBarbellSplit) {
+  const auto g = make_barbell(6, 0);
+  // Half of each clique on the wrong side.
+  std::vector<int> assign(12);
+  for (int i = 0; i < 12; ++i) assign[static_cast<std::size_t>(i)] = (i / 3) % 2;
+  auto p = Partition::from_assignment(g, assign, 2);
+  KlOptions opt;
+  opt.max_passes = 20;
+  const auto res = kl_refine_bisection(p, 0, 1, opt);
+  EXPECT_LE(res.final_cut, 1.0);
+}
+
+TEST(Kl, CandidateWindowStillImproves) {
+  const auto g = make_grid2d(10, 10);
+  std::vector<int> assign(100);
+  for (int i = 0; i < 100; ++i) assign[static_cast<std::size_t>(i)] = i % 2;
+  auto p = Partition::from_assignment(g, assign, 2);
+  KlOptions opt;
+  opt.candidate_window = 4;  // tiny window
+  const auto res = kl_refine_bisection(p, 0, 1, opt);
+  EXPECT_LT(res.final_cut, res.initial_cut);
+}
+
+TEST(Kl, KwayRefinementImprovesRandomAssignment) {
+  const auto g = with_random_weights(make_grid2d(8, 8), 1.0, 4.0, 41);
+  Rng rng(43);
+  std::vector<int> assign(64);
+  for (auto& a : assign) a = static_cast<int>(rng.below(4));
+  const auto before = Partition::from_assignment(g, assign, 4).edge_cut();
+  const double gain = kl_refine_kway(g, assign, 4, 1.3, 45);
+  const auto after = Partition::from_assignment(g, assign, 4).edge_cut();
+  EXPECT_NEAR(before - after, gain, 1e-9);
+  EXPECT_LE(after, before + 1e-9);
+}
+
+TEST(Kl, KwayRejectsBadK) {
+  const auto g = make_path(4);
+  std::vector<int> assign = {0, 0, 0, 0};
+  EXPECT_THROW(kl_refine_kway(g, assign, 1, 1.1, 1), Error);
+}
+
+TEST(Kl, ReportsSwapCount) {
+  const auto g = make_grid2d(6, 6);
+  std::vector<int> assign(36);
+  for (int i = 0; i < 36; ++i) assign[static_cast<std::size_t>(i)] = i % 2;
+  auto p = Partition::from_assignment(g, assign, 2);
+  const auto res = kl_refine_bisection(p, 0, 1);
+  EXPECT_GT(res.swaps, 0);
+  EXPECT_GT(res.passes, 0);
+}
+
+}  // namespace
+}  // namespace ffp

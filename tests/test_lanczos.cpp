@@ -1,0 +1,161 @@
+#include "linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "spectral/laplacian.hpp"
+
+namespace ffp {
+namespace {
+
+double residual(const SymmetricOperator& op, const Eigenpair& pair) {
+  std::vector<double> ax(pair.vector.size());
+  op.apply(pair.vector, ax);
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double r = ax[i] - pair.value * pair.vector[i];
+    r2 += r * r;
+  }
+  return std::sqrt(r2);
+}
+
+TEST(Lanczos, PathGraphFiedlerValue) {
+  // λ2 of a path Laplacian: 4 sin²(π / 2n).
+  const int n = 16;
+  const auto g = make_path(n);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 1;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  ASSERT_GE(r.pairs.size(), 1u);
+  const double expect = 4.0 * std::pow(std::sin(M_PI / (2.0 * n)), 2);
+  EXPECT_NEAR(r.pairs[0].value, expect, 1e-7);
+  EXPECT_LT(residual(op, r.pairs[0]), 1e-5);
+}
+
+TEST(Lanczos, CycleGraphSpectrum) {
+  // λ of a cycle: 2 − 2cos(2πk/n); the smallest nontrivial is k = 1,
+  // doubly degenerate. A single-vector Krylov space holds only ONE copy of
+  // a degenerate eigenvalue, so pairs[1] is either the twin (found through
+  // rounding noise) or the next distinct eigenvalue (k = 2) — both correct.
+  const int n = 12;
+  const auto g = make_cycle(n);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 2;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  ASSERT_GE(r.pairs.size(), 2u);
+  const double lambda1 = 2.0 - 2.0 * std::cos(2.0 * M_PI / n);
+  const double lambda2 = 2.0 - 2.0 * std::cos(4.0 * M_PI / n);
+  EXPECT_NEAR(r.pairs[0].value, lambda1, 1e-7);
+  const bool twin = std::abs(r.pairs[1].value - lambda1) < 1e-6;
+  const bool next = std::abs(r.pairs[1].value - lambda2) < 1e-6;
+  EXPECT_TRUE(twin || next) << "got " << r.pairs[1].value;
+}
+
+TEST(Lanczos, CompleteGraphEigenvalueIsN) {
+  const int n = 9;
+  const auto g = make_complete(n);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 3;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  for (const auto& pair : r.pairs) {
+    EXPECT_NEAR(pair.value, static_cast<double>(n), 1e-6);
+  }
+}
+
+TEST(Lanczos, DisconnectedGraphHasZeroEigenvalue) {
+  // Two components → second zero eigenvalue survives deflation of 1.
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {2, 3, 1}};
+  const auto g = Graph::from_edges(4, edges);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 1;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  ASSERT_GE(r.pairs.size(), 1u);
+  EXPECT_NEAR(r.pairs[0].value, 0.0, 1e-8);
+}
+
+TEST(Lanczos, VectorsOrthogonalToDeflation) {
+  const auto g = make_grid2d(5, 5);
+  const LaplacianOperator op(g);
+  const auto ones = trivial_eigenvector(g, SpectralProblem::Combinatorial);
+  std::vector<std::vector<double>> deflate{ones};
+  LanczosOptions opt;
+  opt.nev = 3;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  for (const auto& pair : r.pairs) {
+    EXPECT_NEAR(std::abs(dot(pair.vector, ones)), 0.0, 1e-8);
+  }
+}
+
+TEST(Lanczos, PairwiseOrthogonalVectors) {
+  const auto g = make_grid2d(6, 4);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 4;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  ASSERT_GE(r.pairs.size(), 4u);
+  for (std::size_t i = 0; i < r.pairs.size(); ++i) {
+    EXPECT_NEAR(norm2(r.pairs[i].vector), 1.0, 1e-8);
+    for (std::size_t j = i + 1; j < r.pairs.size(); ++j) {
+      EXPECT_NEAR(std::abs(dot(r.pairs[i].vector, r.pairs[j].vector)), 0.0,
+                  1e-7);
+    }
+  }
+}
+
+TEST(Lanczos, NormalizedLaplacianSpectrumInRange) {
+  const auto g = with_random_weights(make_grid2d(5, 5), 0.5, 4.0, 3);
+  const NormalizedLaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Normalized)};
+  LanczosOptions opt;
+  opt.nev = 3;
+  const auto r = lanczos_smallest(op, opt, deflate);
+  for (const auto& pair : r.pairs) {
+    EXPECT_GE(pair.value, -1e-9);
+    EXPECT_LE(pair.value, 2.0 + 1e-9);
+    EXPECT_LT(residual(op, pair), 1e-5);
+  }
+}
+
+TEST(Lanczos, DeterministicForSeed) {
+  const auto g = make_torus(5, 5);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  LanczosOptions opt;
+  opt.nev = 1;
+  opt.seed = 77;
+  const auto a = lanczos_smallest(op, opt, deflate);
+  const auto b = lanczos_smallest(op, opt, deflate);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  EXPECT_DOUBLE_EQ(a.pairs[0].value, b.pairs[0].value);
+}
+
+TEST(Lanczos, TinyOperator) {
+  const auto g = make_path(2);
+  const LaplacianOperator op(g);
+  LanczosOptions opt;
+  opt.nev = 1;
+  const auto r = lanczos_smallest(op, opt);
+  ASSERT_GE(r.pairs.size(), 1u);
+  EXPECT_NEAR(r.pairs[0].value, 0.0, 1e-9);  // smallest of {0, 2}
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,117 @@
+#include "core/laws.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Laws, ChoicesTruncateForTinyAtoms) {
+  const LawTable laws(100, 0.05);
+  // Fusion of a size-1 atom cannot eject (result must stay non-empty).
+  EXPECT_EQ(laws.choices(LawKind::Fusion, 1), 1);
+  EXPECT_EQ(laws.choices(LawKind::Fusion, 2), 2);
+  EXPECT_EQ(laws.choices(LawKind::Fusion, 4), 4);
+  EXPECT_EQ(laws.choices(LawKind::Fusion, 50), 4);
+  // Fission of size s leaves two atoms: s − m >= 2.
+  EXPECT_EQ(laws.choices(LawKind::Fission, 2), 1);
+  EXPECT_EQ(laws.choices(LawKind::Fission, 3), 2);
+  EXPECT_EQ(laws.choices(LawKind::Fission, 5), 4);
+  EXPECT_EQ(laws.choices(LawKind::Fission, 99), 4);
+}
+
+TEST(Laws, InitialProbabilitiesUniform) {
+  const LawTable laws(20, 0.05);
+  const auto p = laws.probabilities(LawKind::Fusion, 10);
+  ASSERT_EQ(p.size(), 4u);
+  for (double pi : p) EXPECT_DOUBLE_EQ(pi, 0.25);
+  const auto p3 = laws.probabilities(LawKind::Fission, 3);
+  ASSERT_EQ(p3.size(), 2u);
+  for (double pi : p3) EXPECT_DOUBLE_EQ(pi, 0.5);
+}
+
+TEST(Laws, ProbabilitiesAlwaysNormalized) {
+  LawTable laws(30, 0.1);
+  Rng rng(3);
+  for (int step = 0; step < 500; ++step) {
+    const int size = 2 + static_cast<int>(rng.below(29));
+    const auto kind = rng.bernoulli(0.5) ? LawKind::Fusion : LawKind::Fission;
+    const int chosen = laws.sample(kind, size, rng);
+    laws.update(kind, size, chosen, rng.bernoulli(0.5));
+    const auto p = laws.probabilities(kind, size);
+    double total = 0.0;
+    for (double pi : p) {
+      EXPECT_GT(pi, 0.0);
+      if (p.size() > 1) EXPECT_LT(pi, 1.0);  // single-entry laws stay at 1
+      total += pi;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Laws, SampleWithinRange) {
+  const LawTable laws(50, 0.05);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int m = laws.sample(LawKind::Fission, 4, rng);
+    EXPECT_GE(m, 0);
+    EXPECT_LE(m, 2);  // choices(Fission, 4) = 3
+  }
+}
+
+TEST(Laws, SuccessReinforcesChosenEntry) {
+  LawTable laws(20, 0.1);
+  const double before = laws.probabilities(LawKind::Fusion, 10)[2];
+  laws.update(LawKind::Fusion, 10, 2, /*success=*/true);
+  const double after = laws.probabilities(LawKind::Fusion, 10)[2];
+  EXPECT_GT(after, before);
+}
+
+TEST(Laws, FailureWeakensChosenEntry) {
+  LawTable laws(20, 0.1);
+  const double before = laws.probabilities(LawKind::Fission, 10)[1];
+  laws.update(LawKind::Fission, 10, 1, /*success=*/false);
+  const double after = laws.probabilities(LawKind::Fission, 10)[1];
+  EXPECT_LT(after, before);
+}
+
+TEST(Laws, RepeatedSuccessSaturatesBelowOne) {
+  LawTable laws(20, 0.2);
+  for (int i = 0; i < 100; ++i) {
+    laws.update(LawKind::Fusion, 10, 0, true);
+  }
+  const auto p = laws.probabilities(LawKind::Fusion, 10);
+  EXPECT_LT(p[0], 1.0);
+  EXPECT_GT(p[0], 0.8);
+  for (std::size_t i = 1; i < p.size(); ++i) EXPECT_GT(p[i], 0.0);
+}
+
+TEST(Laws, SingleChoiceLawIsInert) {
+  LawTable laws(20, 0.1);
+  laws.update(LawKind::Fusion, 1, 0, true);
+  const auto p = laws.probabilities(LawKind::Fusion, 1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(Laws, IndependentPerSizeAndKind) {
+  LawTable laws(20, 0.1);
+  laws.update(LawKind::Fusion, 10, 0, true);
+  // Other sizes and the fission table are untouched.
+  EXPECT_DOUBLE_EQ(laws.probabilities(LawKind::Fusion, 11)[0], 0.25);
+  EXPECT_DOUBLE_EQ(laws.probabilities(LawKind::Fission, 10)[0], 0.25);
+}
+
+TEST(Laws, RejectsBadArguments) {
+  EXPECT_THROW(LawTable(0, 0.1), Error);
+  EXPECT_THROW(LawTable(10, 0.0), Error);
+  EXPECT_THROW(LawTable(10, 1.0), Error);
+  LawTable laws(10, 0.1);
+  EXPECT_THROW(laws.choices(LawKind::Fusion, 0), Error);
+  EXPECT_THROW(laws.choices(LawKind::Fusion, 11), Error);
+  EXPECT_THROW(laws.update(LawKind::Fusion, 5, 9, true), Error);
+}
+
+}  // namespace
+}  // namespace ffp

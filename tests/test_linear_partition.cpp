@@ -1,0 +1,79 @@
+#include "spectral/linear_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/balance.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(LinearPartition, ContiguousBlocks) {
+  const auto g = make_path(12);
+  const auto p = linear_partition(g, 3);
+  ffp::testing::expect_valid_partition(p, 3);
+  // Assignment must be non-decreasing over vertex ids.
+  const auto assign = p.assignment();
+  for (std::size_t i = 1; i < assign.size(); ++i) {
+    EXPECT_GE(assign[i], assign[i - 1]);
+  }
+}
+
+TEST(LinearPartition, BalancedOnUnitWeights) {
+  const auto g = make_grid2d(6, 6);
+  const auto p = linear_partition(g, 4);
+  EXPECT_EQ(p.part_size(0), 9);
+  EXPECT_EQ(p.part_size(3), 9);
+  EXPECT_DOUBLE_EQ(imbalance(p, 4), 1.0);
+}
+
+TEST(LinearPartition, PathCutIsMinimal) {
+  // On a path, contiguous blocks are optimal: k−1 cut edges.
+  const auto g = make_path(20);
+  const auto p = linear_partition(g, 5);
+  EXPECT_DOUBLE_EQ(p.edge_cut(), 4.0);
+}
+
+TEST(LinearPartition, RespectsVertexWeights) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+  const auto g = Graph::from_edges(4, edges, {5.0, 1.0, 1.0, 5.0});
+  const auto p = linear_partition(g, 2);
+  // First block should stop after the heavy head (5 of 12 total) plus one.
+  EXPECT_EQ(p.part_of(0), 0);
+  EXPECT_EQ(p.part_of(3), 1);
+}
+
+TEST(LinearPartition, KEqualsN) {
+  const auto g = make_path(5);
+  const auto p = linear_partition(g, 5);
+  ffp::testing::expect_valid_partition(p, 5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(p.part_of(v), v);
+  }
+}
+
+TEST(LinearPartition, KEqualsOne) {
+  const auto g = make_grid2d(3, 3);
+  const auto p = linear_partition(g, 1);
+  EXPECT_EQ(p.num_nonempty_parts(), 1);
+}
+
+TEST(LinearPartition, EveryPartNonEmptyEvenWithSkewedWeights) {
+  std::vector<Weight> vw(10, 1.0);
+  vw[0] = 100.0;  // front-loaded weight would starve later parts
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i + 1 < 10; ++i) edges.push_back({i, i + 1, 1.0});
+  const auto g = Graph::from_edges(10, edges, std::move(vw));
+  const auto p = linear_partition(g, 8);
+  ffp::testing::expect_valid_partition(p, 8);
+}
+
+TEST(LinearPartition, RejectsBadK) {
+  const auto g = make_path(3);
+  EXPECT_THROW(linear_partition(g, 0), Error);
+  EXPECT_THROW(linear_partition(g, 4), Error);
+}
+
+}  // namespace
+}  // namespace ffp

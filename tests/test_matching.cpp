@@ -1,0 +1,101 @@
+#include "multilevel/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace ffp {
+namespace {
+
+void expect_valid_matching(const Graph& g, std::span<const VertexId> match) {
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const VertexId m = match[static_cast<std::size_t>(v)];
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, g.num_vertices());
+    EXPECT_EQ(match[static_cast<std::size_t>(m)], v) << "asymmetric at " << v;
+    if (m != v) {
+      EXPECT_TRUE(g.has_edge(v, m)) << "matched non-edge " << v << "," << m;
+    }
+  }
+}
+
+TEST(Matching, HeavyEdgeIsValidOnAllFamilies) {
+  Rng rng(3);
+  const std::vector<Graph> graphs = {make_grid2d(7, 7), make_torus(6, 6),
+                                     make_complete(9), make_star(12)};
+  for (const auto& g : graphs) {
+    const auto match = heavy_edge_matching(g, rng);
+    expect_valid_matching(g, match);
+  }
+}
+
+TEST(Matching, RandomIsValid) {
+  Rng rng(5);
+  const auto g = make_grid2d(8, 6);
+  const auto match = random_matching(g, rng);
+  expect_valid_matching(g, match);
+}
+
+TEST(Matching, DisjointEdgesFullyMatched) {
+  // On a graph that IS a perfect matching, HEM must match every vertex.
+  const std::vector<WeightedEdge> edges = {
+      {0, 1, 2.0}, {2, 3, 5.0}, {4, 5, 1.0}};
+  const auto g = Graph::from_edges(6, edges);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const auto match = heavy_edge_matching(g, rng);
+    expect_valid_matching(g, match);
+    for (VertexId v = 0; v < 6; ++v) {
+      EXPECT_NE(match[static_cast<std::size_t>(v)], v);
+    }
+  }
+}
+
+TEST(Matching, HeavyEdgeBeatsRandomOnMatchedWeight) {
+  // Statistically, HEM contracts more edge weight than random matching.
+  const auto g = with_random_weights(make_grid2d(10, 10), 0.1, 10.0, 99);
+  double hem_total = 0.0, rnd_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng ra(seed), rb(seed);
+    const auto hem = heavy_edge_matching(g, ra);
+    const auto rnd = random_matching(g, rb);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (hem[static_cast<std::size_t>(v)] > v) {
+        hem_total += g.edge_weight(v, hem[static_cast<std::size_t>(v)]);
+      }
+      if (rnd[static_cast<std::size_t>(v)] > v) {
+        rnd_total += g.edge_weight(v, rnd[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+  EXPECT_GT(hem_total, rnd_total * 1.1);
+}
+
+TEST(Matching, MatchesMostVerticesOnRegularGraph) {
+  Rng rng(7);
+  const auto g = make_torus(8, 8);
+  const auto match = heavy_edge_matching(g, rng);
+  int matched = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (match[static_cast<std::size_t>(v)] != v) ++matched;
+  }
+  EXPECT_GE(matched, g.num_vertices() / 2);  // maximal matchings do better
+}
+
+TEST(Matching, IsolatedVerticesStayUnmatched) {
+  const auto g = Graph::from_edges(3, {});
+  Rng rng(9);
+  const auto match = heavy_edge_matching(g, rng);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(match[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(Matching, DeterministicForSeed) {
+  const auto g = make_grid2d(6, 6);
+  Rng a(11), b(11);
+  EXPECT_EQ(heavy_edge_matching(g, a), heavy_edge_matching(g, b));
+}
+
+}  // namespace
+}  // namespace ffp

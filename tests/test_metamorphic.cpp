@@ -1,0 +1,178 @@
+// Metamorphic properties: transformations of the input with known effects
+// on the output. These catch silent unit/convention bugs that example-based
+// tests miss.
+#include <gtest/gtest.h>
+
+#include "core/fusion_fission.hpp"
+#include "graph/generators.hpp"
+#include "multilevel/multilevel.hpp"
+#include "partition/objectives.hpp"
+#include "spectral/spectral_partition.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+/// Scale every edge weight by c.
+Graph scale_weights(const Graph& g, double c) {
+  std::vector<WeightedEdge> edges;
+  std::vector<Weight> vw(static_cast<std::size_t>(g.num_vertices()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    vw[static_cast<std::size_t>(v)] = g.vertex_weight(v);
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > v) edges.push_back({v, nbrs[i], ws[i] * c});
+    }
+  }
+  return Graph::from_edges(g.num_vertices(), edges, std::move(vw));
+}
+
+TEST(Metamorphic, CutScalesLinearlyWithWeights) {
+  const auto g = with_random_weights(make_grid2d(6, 6), 1.0, 5.0, 3);
+  const auto g2 = scale_weights(g, 3.5);
+  Rng rng(5);
+  std::vector<int> assign(36);
+  for (auto& a : assign) a = static_cast<int>(rng.below(4));
+  const auto p = Partition::from_assignment(g, assign, 4);
+  const auto p2 = Partition::from_assignment(g2, assign, 4);
+  EXPECT_NEAR(objective(ObjectiveKind::Cut).evaluate(p2),
+              3.5 * objective(ObjectiveKind::Cut).evaluate(p), 1e-9);
+}
+
+TEST(Metamorphic, RatioCriteriaInvariantUnderWeightScaling) {
+  // Ncut and Mcut are ratios of weights: scaling all edges leaves them
+  // unchanged — as long as no part trips the (absolute-scaled)
+  // zero-denominator penalty, so use contiguous row blocks where every
+  // part has internal edges.
+  const auto g = with_random_weights(make_torus(6, 6), 1.0, 9.0, 7);
+  const auto g2 = scale_weights(g, 12.0);
+  std::vector<int> assign(36);
+  for (int i = 0; i < 36; ++i) assign[static_cast<std::size_t>(i)] = i / 12;
+  const auto p = Partition::from_assignment(g, assign, 3);
+  const auto p2 = Partition::from_assignment(g2, assign, 3);
+  for (auto kind : {ObjectiveKind::NormalizedCut, ObjectiveKind::MinMaxCut}) {
+    EXPECT_NEAR(objective(kind).evaluate(p2), objective(kind).evaluate(p),
+                1e-9)
+        << objective_name(kind);
+  }
+}
+
+TEST(Metamorphic, MultilevelQualityStableUnderWeightScaling) {
+  // The multilevel pipeline works on ratios of gains: scaling weights must
+  // leave the partition's *relative* quality intact (same assignment is not
+  // guaranteed — tie-breaks can flip — but the scaled cut must match the
+  // rescaled original within a small factor).
+  const auto g = with_random_weights(make_grid2d(12, 12), 1.0, 7.0, 11);
+  const auto g2 = scale_weights(g, 100.0);
+  MultilevelOptions opt;
+  opt.seed = 13;
+  const auto p = multilevel_partition(g, 6, opt);
+  const auto p2 = multilevel_partition(g2, 6, opt);
+  EXPECT_LT(p2.edge_cut(), 100.0 * p.edge_cut() * 1.25 + 1e-9);
+  EXPECT_GT(p2.edge_cut(), 100.0 * p.edge_cut() * 0.75 - 1e-9);
+}
+
+TEST(Metamorphic, DuplicatedGraphDoublesCut) {
+  // Two disjoint copies partitioned into 2k parts can achieve exactly twice
+  // the cut of one copy at k parts; multilevel should stay in that regime.
+  const auto g = make_grid2d(8, 8);
+  std::vector<WeightedEdge> edges;
+  for (VertexId v = 0; v < 64; ++v) {
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        edges.push_back({v, u, 1.0});
+        edges.push_back({v + 64, u + 64, 1.0});
+      }
+    }
+  }
+  const auto doubled = Graph::from_edges(128, edges);
+  MultilevelOptions opt;
+  opt.seed = 15;
+  const auto p1 = multilevel_partition(g, 4, opt);
+  const auto p2 = multilevel_partition(doubled, 8, opt);
+  EXPECT_LE(p2.edge_cut(), 2.0 * p1.edge_cut() * 1.5);
+}
+
+TEST(Metamorphic, ObjectivePermutationInvariance) {
+  // Renaming part ids must not change any criterion.
+  const auto g = with_random_weights(make_grid2d(7, 7), 1.0, 4.0, 17);
+  Rng rng(19);
+  std::vector<int> assign(49);
+  for (auto& a : assign) a = static_cast<int>(rng.below(5));
+  std::vector<int> renamed(assign.size());
+  const int perm[5] = {3, 0, 4, 1, 2};
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    renamed[i] = perm[assign[i]];
+  }
+  const auto p = Partition::from_assignment(g, assign, 5);
+  const auto q = Partition::from_assignment(g, renamed, 5);
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    EXPECT_NEAR(objective(kind).evaluate(p), objective(kind).evaluate(q),
+                1e-9)
+        << objective_name(kind);
+  }
+}
+
+TEST(Metamorphic, FusionFissionQualityStableUnderWeightScale) {
+  // FF's search decisions are ratio-driven for Mcut, so scaled weights
+  // should land in the same quality regime. (Bit-identical trajectories
+  // are NOT expected: the zero-denominator penalty is absolute-scaled, so
+  // decisions made while singleton atoms exist can legitimately differ.)
+  const auto g = with_random_weights(make_grid2d(7, 7), 1.0, 6.0, 21);
+  const auto g2 = scale_weights(g, 10.0);
+  FusionFissionOptions opt;
+  opt.objective = ObjectiveKind::MinMaxCut;
+  opt.seed = 23;
+  FusionFission a(g, 4, opt), b(g2, 4, opt);
+  const auto ra = a.run(StopCondition::after_steps(1200));
+  const auto rb = b.run(StopCondition::after_steps(1200));
+  EXPECT_NEAR(ra.best_value, rb.best_value,
+              0.2 * std::max(ra.best_value, rb.best_value));
+}
+
+TEST(FailureInjection, ZeroWeightEdgesEverywhere) {
+  // All-zero weights: ratio criteria see zero denominators; nothing should
+  // crash or return NaN.
+  const auto base = make_grid2d(5, 5);
+  std::vector<WeightedEdge> edges;
+  for (VertexId v = 0; v < 25; ++v) {
+    for (VertexId u : base.neighbors(v)) {
+      if (u > v) edges.push_back({v, u, 0.0});
+    }
+  }
+  const auto g = Graph::from_edges(25, edges);
+  Rng rng(25);
+  std::vector<int> assign(25);
+  for (auto& a : assign) a = static_cast<int>(rng.below(3));
+  const auto p = Partition::from_assignment(g, assign, 3);
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    const double v = objective(kind).evaluate(p);
+    EXPECT_TRUE(std::isfinite(v)) << objective_name(kind);
+  }
+}
+
+TEST(FailureInjection, StarGraphSurvivesEveryPartitioner) {
+  // A star defeats matching-based coarsening and percolation spreading;
+  // everything must still terminate with a valid partition.
+  const auto g = make_star(40);
+  const auto ml = multilevel_partition(g, 4, {});
+  ffp::testing::expect_valid_partition(ml, 4);
+
+  FusionFissionOptions opt;
+  opt.seed = 27;
+  FusionFission ff(g, 4, opt);
+  const auto res = ff.run(StopCondition::after_steps(800));
+  ffp::testing::expect_valid_partition(res.best, 4);
+}
+
+TEST(FailureInjection, SpectralOnTinyGraphs) {
+  EXPECT_NO_THROW(spectral_partition(make_path(2), 2, {}));
+  EXPECT_NO_THROW(spectral_partition(make_path(4), 4, {}));
+  EXPECT_NO_THROW(spectral_partition(make_complete(3), 2, {}));
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,138 @@
+#include "benchlib/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atc/core_area.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+/// Small core-area-shaped graph so every method runs in milliseconds.
+const Graph& small_atc() {
+  static const Graph g = [] {
+    CoreAreaOptions opt;
+    opt.n_sectors = 140;
+    opt.n_edges = 520;
+    opt.seed = 11;
+    return make_core_area_graph(opt).graph;
+  }();
+  return g;
+}
+
+TEST(Methods, RegistryHasAll17PaperRows) {
+  const auto methods = table1_methods();
+  ASSERT_EQ(methods.size(), 17u);
+  const std::vector<std::string> expected = {
+      "Linear (Bi)",
+      "Linear (Bi, KL)",
+      "Linear (Oct, KL)",
+      "Spectral (Lanc, Bi)",
+      "Spectral (Lanc, Bi, KL)",
+      "Spectral (Lanc, Oct)",
+      "Spectral (Lanc, Oct, KL)",
+      "Spectral (RQI, Bi)",
+      "Spectral (RQI, Bi, KL)",
+      "Spectral (RQI, Oct)",
+      "Spectral (RQI, Oct, KL)",
+      "Multilevel (Bi)",
+      "Multilevel (Oct)",
+      "Percolation",
+      "Simulated annealing",
+      "Ant colony",
+      "Fusion Fission",
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(methods[i].name, expected[i]);
+  }
+}
+
+TEST(Methods, MetaheuristicFlagsMatchPaper) {
+  const auto methods = table1_methods();
+  std::set<std::string> meta;
+  for (const auto& m : methods) {
+    if (m.is_metaheuristic) meta.insert(m.name);
+  }
+  EXPECT_EQ(meta, (std::set<std::string>{"Simulated annealing", "Ant colony",
+                                         "Fusion Fission"}));
+}
+
+TEST(Methods, LookupByName) {
+  const auto methods = table1_methods();
+  EXPECT_EQ(method_by_name(methods, "Fusion Fission").name, "Fusion Fission");
+  EXPECT_THROW(method_by_name(methods, "Does Not Exist"), Error);
+}
+
+TEST(Methods, EveryRowProducesValidKPartition) {
+  const auto methods = table1_methods();
+  const Graph& g = small_atc();
+  for (const auto& m : methods) {
+    MethodContext ctx;
+    ctx.k = 8;
+    ctx.objective = ObjectiveKind::MinMaxCut;
+    ctx.budget_ms = 150.0;
+    ctx.seed = 3;
+    const auto p = m.run(g, ctx);
+    SCOPED_TRACE(m.name);
+    ffp::testing::expect_valid_partition(p, 8);
+  }
+}
+
+TEST(Methods, DeterministicRowsReproduce) {
+  const auto methods = table1_methods();
+  const Graph& g = small_atc();
+  for (const auto& m : methods) {
+    if (m.is_metaheuristic) continue;  // budgeted rows depend on wall clock
+    MethodContext ctx;
+    ctx.k = 8;
+    ctx.seed = 5;
+    const auto a = m.run(g, ctx);
+    const auto b = m.run(g, ctx);
+    SCOPED_TRACE(m.name);
+    EXPECT_TRUE(std::equal(a.assignment().begin(), a.assignment().end(),
+                           b.assignment().begin()));
+  }
+}
+
+TEST(Methods, MetaheuristicsRespectObjectiveChoice) {
+  const auto methods = table1_methods();
+  const Graph& g = small_atc();
+  for (const char* name :
+       {"Simulated annealing", "Ant colony", "Fusion Fission"}) {
+    const auto& m = method_by_name(methods, name);
+    MethodContext ctx;
+    ctx.k = 8;
+    ctx.budget_ms = 200.0;
+    ctx.seed = 7;
+    ctx.objective = ObjectiveKind::Cut;
+    const auto cut_run = m.run(g, ctx);
+    ctx.objective = ObjectiveKind::MinMaxCut;
+    const auto mcut_run = m.run(g, ctx);
+    SCOPED_TRACE(name);
+    // Each optimizes its own criterion at least as well as the other's
+    // output scores under that criterion (weak but meaningful check).
+    const double cut_of_cutrun =
+        objective(ObjectiveKind::Cut).evaluate(cut_run);
+    const double cut_of_mcutrun =
+        objective(ObjectiveKind::Cut).evaluate(mcut_run);
+    EXPECT_LE(cut_of_cutrun, cut_of_mcutrun * 1.6 + 1e-9);
+  }
+}
+
+TEST(Methods, RecorderIsFedByMetaheuristics) {
+  const auto methods = table1_methods();
+  const Graph& g = small_atc();
+  const auto& ff = method_by_name(methods, "Fusion Fission");
+  AnytimeRecorder rec;
+  MethodContext ctx;
+  ctx.k = 8;
+  ctx.budget_ms = 200.0;
+  ctx.recorder = &rec;
+  ff.run(g, ctx);
+  EXPECT_GE(rec.points().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,128 @@
+#include "multilevel/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/balance.hpp"
+#include "spectral/linear_partition.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(MultilevelBisect, BalancedHalves) {
+  const auto g = make_grid2d(12, 12);
+  const auto side = multilevel_bisect(g, 0.5, {}, 7);
+  const auto p = Partition::from_assignment(g, side, 2);
+  ffp::testing::expect_valid_partition(p, 2);
+  EXPECT_LE(imbalance(p, 2), 1.12);
+  EXPECT_LE(p.edge_cut(), 20.0);  // optimal 12
+}
+
+TEST(MultilevelBisect, UnevenTargetFraction) {
+  const auto g = make_grid2d(10, 10);
+  const auto side = multilevel_bisect(g, 0.25, {}, 9);
+  const auto p = Partition::from_assignment(g, side, 2);
+  const double frac = p.part_vertex_weight(0) / g.total_vertex_weight();
+  EXPECT_NEAR(frac, 0.25, 0.08);
+}
+
+TEST(MultilevelBisect, FindsBarbellBridge) {
+  const auto g = make_barbell(20, 2);
+  const auto side = multilevel_bisect(g, 0.5, {}, 11);
+  const auto p = Partition::from_assignment(g, side, 2);
+  EXPECT_LE(p.edge_cut(), 2.0);
+}
+
+TEST(Multilevel, PartitionValidAcrossK) {
+  const auto g = make_grid2d(14, 14);
+  for (int k : {2, 3, 5, 8, 13}) {
+    MultilevelOptions opt;
+    const auto p = multilevel_partition(g, k, opt);
+    ffp::testing::expect_valid_partition(p, k);
+    EXPECT_LE(imbalance(p, k), 1.35) << "k=" << k;
+  }
+}
+
+TEST(Multilevel, BeatsLinearOnGrid) {
+  const auto g = make_grid2d(16, 16);
+  const auto ml = multilevel_partition(g, 8, {});
+  const auto lin = linear_partition(g, 8);
+  EXPECT_LT(ml.edge_cut(), lin.edge_cut());
+}
+
+TEST(Multilevel, OctasectionArity) {
+  const auto g = make_grid2d(16, 16);
+  MultilevelOptions opt;
+  opt.arity = SectionArity::Octasection;
+  const auto p = multilevel_partition(g, 32, opt);
+  ffp::testing::expect_valid_partition(p, 32);
+}
+
+TEST(Multilevel, GreedyGrowingInitialPartitioner) {
+  const auto g = make_torus(10, 10);
+  MultilevelOptions opt;
+  opt.initial = InitialPartitioner::GreedyGrowing;
+  const auto p = multilevel_partition(g, 4, opt);
+  ffp::testing::expect_valid_partition(p, 4);
+}
+
+TEST(Multilevel, WeightedGraphQuality) {
+  const auto g = with_random_weights(make_grid2d(12, 12), 1.0, 9.0, 13);
+  const auto p = multilevel_partition(g, 6, {});
+  ffp::testing::expect_valid_partition(p, 6);
+  // Must be far below a random split's expected cut fraction (1 - 1/k).
+  const double random_cut = g.total_edge_weight() * (1.0 - 1.0 / 6.0);
+  EXPECT_LT(p.edge_cut(), random_cut / 2.0);
+}
+
+TEST(Multilevel, KEqualsOneAndN) {
+  const auto g = make_grid2d(5, 5);
+  const auto whole = multilevel_partition(g, 1, {});
+  EXPECT_EQ(whole.num_nonempty_parts(), 1);
+  const auto atoms = multilevel_partition(g, 25, {});
+  ffp::testing::expect_valid_partition(atoms, 25);
+}
+
+TEST(Multilevel, SmallGraphsNoCoarsening) {
+  const auto g = make_path(6);
+  const auto p = multilevel_partition(g, 3, {});
+  ffp::testing::expect_valid_partition(p, 3);
+  EXPECT_DOUBLE_EQ(p.edge_cut(), 2.0);  // contiguous blocks are optimal
+}
+
+TEST(Multilevel, DeterministicForSeed) {
+  const auto g = make_random_geometric(150, 0.16, 17);
+  MultilevelOptions opt;
+  opt.seed = 5;
+  const auto a = multilevel_partition(g, 6, opt);
+  const auto b = multilevel_partition(g, 6, opt);
+  EXPECT_TRUE(std::equal(a.assignment().begin(), a.assignment().end(),
+                         b.assignment().begin()));
+}
+
+TEST(Multilevel, DisconnectedGraphHandled) {
+  // Two separate grids.
+  std::vector<WeightedEdge> edges;
+  const auto grid = make_grid2d(5, 5);
+  for (VertexId v = 0; v < 25; ++v) {
+    for (VertexId u : grid.neighbors(v)) {
+      if (u > v) {
+        edges.push_back({v, u, 1.0});
+        edges.push_back({v + 25, u + 25, 1.0});
+      }
+    }
+  }
+  const auto g = Graph::from_edges(50, edges);
+  const auto p = multilevel_partition(g, 4, {});
+  ffp::testing::expect_valid_partition(p, 4);
+}
+
+TEST(Multilevel, RejectsBadK) {
+  const auto g = make_path(4);
+  EXPECT_THROW(multilevel_partition(g, 0, {}), Error);
+  EXPECT_THROW(multilevel_partition(g, 5, {}), Error);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,170 @@
+#include "partition/objectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ffp {
+namespace {
+
+// Path 0-1-2-3 (unit weights) split {0,1} | {2,3}:
+//   cut(A) = cut(B) = 1, W(A) = W(B) = 2 (ordered pairs).
+Partition path_bisection() {
+  static const Graph g = make_path(4);
+  return Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});
+}
+
+TEST(Objectives, CutOnPathBisection) {
+  const auto p = path_bisection();
+  EXPECT_DOUBLE_EQ(objective(ObjectiveKind::Cut).evaluate(p), 2.0);
+}
+
+TEST(Objectives, NcutOnPathBisection) {
+  const auto p = path_bisection();
+  // Each term: 1 / (1 + 2) = 1/3.
+  EXPECT_NEAR(objective(ObjectiveKind::NormalizedCut).evaluate(p), 2.0 / 3.0,
+              1e-12);
+}
+
+TEST(Objectives, McutOnPathBisection) {
+  const auto p = path_bisection();
+  // Each term: 1 / 2.
+  EXPECT_NEAR(objective(ObjectiveKind::MinMaxCut).evaluate(p), 1.0, 1e-12);
+}
+
+TEST(Objectives, RatioCutOnPathBisection) {
+  const auto p = path_bisection();
+  // Each term: 1 / 2 vertices.
+  EXPECT_NEAR(objective(ObjectiveKind::RatioCut).evaluate(p), 1.0, 1e-12);
+}
+
+TEST(Objectives, SinglePartIsZero) {
+  const auto g = make_grid2d(3, 3);
+  const Partition p(g, 1);
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    EXPECT_DOUBLE_EQ(objective(kind).evaluate(p), 0.0) << objective_name(kind);
+  }
+}
+
+TEST(Objectives, McutPenalizesSingletonPart) {
+  // Star: center in part 0, one leaf alone in part 1 (W = 0, cut = 1).
+  const auto g = make_star(4);
+  std::vector<int> assign(5, 0);
+  assign[1] = 1;
+  const auto p = Partition::from_assignment(g, assign, 2);
+  const double mcut = objective(ObjectiveKind::MinMaxCut).evaluate(p);
+  EXPECT_GE(mcut, kZeroDenominatorPenalty);
+}
+
+TEST(Objectives, NcutBoundedByPartCount) {
+  // Each Ncut term is in [0, 1], so Ncut <= k on any partition.
+  const auto g = make_torus(6, 6);
+  Rng rng(4);
+  std::vector<int> assign(36);
+  for (auto& a : assign) a = static_cast<int>(rng.below(5));
+  const auto p = Partition::from_assignment(g, assign, 5);
+  const double ncut = objective(ObjectiveKind::NormalizedCut).evaluate(p);
+  EXPECT_GE(ncut, 0.0);
+  EXPECT_LE(ncut, 5.0);
+}
+
+TEST(Objectives, NamesAreStable) {
+  EXPECT_EQ(objective_name(ObjectiveKind::Cut), "Cut");
+  EXPECT_EQ(objective_name(ObjectiveKind::NormalizedCut), "Ncut");
+  EXPECT_EQ(objective_name(ObjectiveKind::MinMaxCut), "Mcut");
+  EXPECT_EQ(objective_name(ObjectiveKind::RatioCut), "RatioCut");
+}
+
+TEST(Objectives, CutDeltaMatchesKnownMove) {
+  const auto g = make_path(4);
+  auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});
+  // Moving vertex 1 to part 1: edge (0,1) becomes cut, (1,2) internal.
+  const double delta = objective(ObjectiveKind::Cut).move_delta(p, 1, 1);
+  EXPECT_DOUBLE_EQ(delta, 0.0);  // +2 for (0,1), −2 for (1,2)
+  // Moving vertex 0 to part 1 makes the whole path internal to part 1.
+  p.move(1, 1);
+  EXPECT_DOUBLE_EQ(objective(ObjectiveKind::Cut).move_delta(p, 0, 1), -2.0);
+}
+
+TEST(Objectives, DeltaZeroForSamePart) {
+  const auto p = path_bisection();
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    EXPECT_DOUBLE_EQ(objective(kind).move_delta(p, 0, p.part_of(0)), 0.0);
+  }
+}
+
+TEST(Objectives, TrialMoveDeltaAgreesAndRestores) {
+  const auto g = make_grid2d(4, 4);
+  Rng rng(7);
+  std::vector<int> assign(16);
+  for (auto& a : assign) a = static_cast<int>(rng.below(3));
+  auto p = Partition::from_assignment(g, assign, 3);
+  const auto& fn = objective(ObjectiveKind::MinMaxCut);
+  const auto before = std::vector<int>(p.assignment().begin(),
+                                       p.assignment().end());
+  const double fast = fn.move_delta(p, 5, (p.part_of(5) + 1) % 3);
+  const double slow = trial_move_delta(p, 5, (p.part_of(5) + 1) % 3, fn);
+  EXPECT_NEAR(fast, slow, 1e-9);
+  EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                         p.assignment().begin()));
+}
+
+// Property: move_delta == evaluate(after) − evaluate(before) for every
+// objective, across graph families, random states and random moves.
+using DeltaParam = std::tuple<std::size_t, ObjectiveKind>;
+
+class ObjectiveDeltaProperty : public ::testing::TestWithParam<DeltaParam> {};
+
+TEST_P(ObjectiveDeltaProperty, DeltaMatchesEvaluateDifference) {
+  const auto [graph_idx, kind] = GetParam();
+  const auto cases = testing::property_graphs();
+  const Graph& g = cases[graph_idx].graph;
+  const auto& fn = objective(kind);
+  const int k = 4;
+  Rng rng(50 + graph_idx * 7 + static_cast<int>(kind));
+
+  std::vector<int> assign(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& a : assign) a = static_cast<int>(rng.below(k));
+  auto p = Partition::from_assignment(g, assign, k);
+
+  double value = fn.evaluate(p);
+  for (int step = 0; step < 250; ++step) {
+    const auto v = static_cast<VertexId>(
+        rng.below(static_cast<std::uint64_t>(g.num_vertices())));
+    const int t = static_cast<int>(rng.below(k));
+    const double delta = fn.move_delta(p, v, t);
+    p.move(v, t);
+    const double fresh = fn.evaluate(p);
+    // Tolerance scales with the magnitudes involved: Mcut's zero-denominator
+    // penalty puts values near 1e10+, where cancellation in (value + delta)
+    // costs absolute precision even though both terms are exact.
+    const double tol =
+        1e-7 * std::max({1.0, std::abs(value), std::abs(fresh)});
+    ASSERT_NEAR(value + delta, fresh, tol)
+        << cases[graph_idx].name << " step " << step << ": " << value << " + "
+        << delta << " != " << fresh;
+    value = fresh;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllObjectives, ObjectiveDeltaProperty,
+    ::testing::Combine(
+        ::testing::Range<std::size_t>(0, 10),
+        ::testing::Values(ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                          ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut)),
+    [](const ::testing::TestParamInfo<DeltaParam>& info) {
+      const auto names = ffp::testing::property_graphs();
+      return names[std::get<0>(info.param)].name + "_" +
+             std::string(objective_name(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace ffp

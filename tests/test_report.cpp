@@ -1,0 +1,87 @@
+#include "partition/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "partition/objectives.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Report, PathBisectionNumbers) {
+  const auto g = make_path(4);
+  const auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});
+  const auto r = analyze(p);
+  EXPECT_EQ(r.num_parts, 2);
+  EXPECT_DOUBLE_EQ(r.edge_cut, 1.0);
+  EXPECT_DOUBLE_EQ(r.cut, 2.0);
+  EXPECT_NEAR(r.ncut, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.mcut, 1.0, 1e-12);
+  ASSERT_EQ(r.parts.size(), 2u);
+  EXPECT_EQ(r.parts[0].size, 2);
+  EXPECT_DOUBLE_EQ(r.parts[0].internal_weight, 1.0);
+  EXPECT_DOUBLE_EQ(r.parts[0].cut_weight, 1.0);
+  EXPECT_EQ(r.parts[0].boundary_vertices, 1);
+}
+
+TEST(Report, MatchesObjectiveFunctions) {
+  const auto g = with_random_weights(make_grid2d(6, 6), 1.0, 4.0, 3);
+  Rng rng(5);
+  std::vector<int> assign(36);
+  for (auto& a : assign) a = static_cast<int>(rng.below(4));
+  const auto p = Partition::from_assignment(g, assign, 4);
+  const auto r = analyze(p);
+  EXPECT_NEAR(r.ncut, objective(ObjectiveKind::NormalizedCut).evaluate(p), 1e-12);
+  EXPECT_NEAR(r.mcut, objective(ObjectiveKind::MinMaxCut).evaluate(p), 1e-12);
+  EXPECT_NEAR(r.ratio_cut, objective(ObjectiveKind::RatioCut).evaluate(p), 1e-12);
+}
+
+TEST(Report, PartsSortedAndComplete) {
+  const auto g = make_cycle(9);
+  const auto p = Partition::from_assignment(
+      g, std::vector<int>{2, 2, 2, 0, 0, 0, 1, 1, 1});
+  const auto r = analyze(p);
+  ASSERT_EQ(r.parts.size(), 3u);
+  EXPECT_EQ(r.parts[0].part, 0);
+  EXPECT_EQ(r.parts[1].part, 1);
+  EXPECT_EQ(r.parts[2].part, 2);
+  int total = 0;
+  for (const auto& pr : r.parts) total += pr.size;
+  EXPECT_EQ(total, 9);
+}
+
+TEST(Report, SkipsEmptyParts) {
+  const auto g = make_path(4);
+  const auto p =
+      Partition::from_assignment(g, std::vector<int>{0, 0, 3, 3}, 6);
+  const auto r = analyze(p);
+  EXPECT_EQ(r.num_parts, 2);
+  EXPECT_EQ(r.parts.size(), 2u);
+}
+
+TEST(Report, TextRenderingContainsRows) {
+  const auto g = make_grid2d(4, 4);
+  const auto p = Partition::from_assignment(
+      g, std::vector<int>{0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3});
+  std::ostringstream os;
+  os << analyze(p);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("4 parts"), std::string::npos);
+  EXPECT_NE(text.find("boundary"), std::string::npos);
+  // One line per part plus two header-ish lines.
+  EXPECT_GE(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(Report, SingletonPartGetsPenaltyTerm) {
+  const auto g = make_star(4);
+  std::vector<int> assign(5, 0);
+  assign[1] = 1;
+  const auto r = analyze(Partition::from_assignment(g, assign, 2));
+  ASSERT_EQ(r.parts.size(), 2u);
+  EXPECT_GE(r.parts[1].mcut_term, kZeroDenominatorPenalty);
+}
+
+}  // namespace
+}  // namespace ffp

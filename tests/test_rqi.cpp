@@ -1,0 +1,121 @@
+#include "linalg/rqi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "linalg/lanczos.hpp"
+#include "spectral/laplacian.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Rqi, RefinesPerturbedFiedlerVectorOnPath) {
+  const int n = 14;
+  const auto g = make_path(n);
+  const LaplacianOperator op(g);
+
+  // Exact Fiedler vector of a path: cos(π (i + 1/2) / n).
+  std::vector<double> x0(static_cast<std::size_t>(n));
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    x0[static_cast<std::size_t>(i)] =
+        std::cos(M_PI * (i + 0.5) / n) + 0.05 * rng.uniform(-1.0, 1.0);
+  }
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  const auto r = rqi_refine(op, x0, {}, deflate);
+  EXPECT_TRUE(r.converged);
+  const double expect = 4.0 * std::pow(std::sin(M_PI / (2.0 * n)), 2);
+  EXPECT_NEAR(r.value, expect, 1e-7);
+}
+
+TEST(Rqi, ResidualIsSmallAfterConvergence) {
+  const auto g = make_grid2d(6, 5);
+  const LaplacianOperator op(g);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+
+  // Start from Lanczos' rough answer with a loose tolerance.
+  LanczosOptions lopt;
+  lopt.nev = 1;
+  lopt.tolerance = 1e-2;
+  const auto rough = lanczos_smallest(op, lopt, deflate);
+  ASSERT_GE(rough.pairs.size(), 1u);
+
+  RqiOptions ropt;
+  ropt.tolerance = 1e-9;
+  const auto r = rqi_refine(op, rough.pairs[0].vector, ropt, deflate);
+  EXPECT_TRUE(r.converged);
+
+  std::vector<double> ax(r.vector.size());
+  op.apply(r.vector, ax);
+  double res2 = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double d = ax[i] - r.value * r.vector[i];
+    res2 += d * d;
+  }
+  EXPECT_LT(std::sqrt(res2), 1e-7);
+}
+
+TEST(Rqi, StaysOrthogonalToDeflation) {
+  const auto g = make_torus(5, 6);
+  const LaplacianOperator op(g);
+  const auto ones = trivial_eigenvector(g, SpectralProblem::Combinatorial);
+  std::vector<std::vector<double>> deflate{ones};
+
+  Rng rng(5);
+  std::vector<double> x0(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& v : x0) v = rng.uniform(-1.0, 1.0);
+  const auto r = rqi_refine(op, x0, {}, deflate);
+  EXPECT_NEAR(std::abs(dot(r.vector, ones)), 0.0, 1e-6);
+  EXPECT_GT(r.value, 1e-6);  // must not collapse to the zero eigenvalue
+}
+
+TEST(Rqi, ExactEigenvectorConvergesImmediately) {
+  const int n = 10;
+  const auto g = make_path(n);
+  const LaplacianOperator op(g);
+  std::vector<double> exact(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    exact[static_cast<std::size_t>(i)] = std::cos(M_PI * (i + 0.5) / n);
+  }
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  const auto r = rqi_refine(op, exact, {}, deflate);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Rqi, NormalizedVectorReturned) {
+  const auto g = make_grid2d(4, 4);
+  const LaplacianOperator op(g);
+  Rng rng(9);
+  std::vector<double> x0(16);
+  for (auto& v : x0) v = rng.uniform(-1.0, 1.0);
+  std::vector<std::vector<double>> deflate{
+      trivial_eigenvector(g, SpectralProblem::Combinatorial)};
+  const auto r = rqi_refine(op, x0, {}, deflate);
+  EXPECT_NEAR(norm2(r.vector), 1.0, 1e-9);
+}
+
+TEST(Rqi, RejectsSizeMismatch) {
+  const auto g = make_path(5);
+  const LaplacianOperator op(g);
+  const std::vector<double> bad(3, 1.0);
+  EXPECT_THROW(rqi_refine(op, bad, {}), Error);
+}
+
+TEST(Rqi, VectorInsideDeflationSpanReturnsZeroState) {
+  const auto g = make_path(6);
+  const LaplacianOperator op(g);
+  const auto ones = trivial_eigenvector(g, SpectralProblem::Combinatorial);
+  std::vector<std::vector<double>> deflate{ones};
+  const auto r = rqi_refine(op, ones, {}, deflate);
+  EXPECT_FALSE(r.converged);
+}
+
+}  // namespace
+}  // namespace ffp

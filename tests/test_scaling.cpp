@@ -1,0 +1,120 @@
+#include "core/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Scaling, BindingEnergyFormulas) {
+  const double two_m = 200.0;
+  const auto cut = make_scaling(ScalingKind::BindingEnergy, ObjectiveKind::Cut,
+                                two_m / 2.0);
+  EXPECT_NEAR(cut->scale(2), two_m * 0.5, 1e-12);
+  EXPECT_NEAR(cut->scale(4), two_m * 0.75, 1e-12);
+
+  const auto ncut = make_scaling(ScalingKind::BindingEnergy,
+                                 ObjectiveKind::NormalizedCut, 100.0);
+  EXPECT_DOUBLE_EQ(ncut->scale(2), 1.0);
+  EXPECT_DOUBLE_EQ(ncut->scale(33), 32.0);
+
+  const auto mcut = make_scaling(ScalingKind::BindingEnergy,
+                                 ObjectiveKind::MinMaxCut, 100.0);
+  EXPECT_DOUBLE_EQ(mcut->scale(2), 2.0);
+  EXPECT_DOUBLE_EQ(mcut->scale(5), 20.0);
+}
+
+TEST(Scaling, MonotoneIncreasingInPartCount) {
+  for (auto obj : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                   ObjectiveKind::MinMaxCut}) {
+    const auto s = make_scaling(ScalingKind::BindingEnergy, obj, 500.0);
+    for (int p = 2; p < 40; ++p) {
+      EXPECT_LT(s->scale(p), s->scale(p + 1)) << objective_name(obj);
+    }
+  }
+}
+
+TEST(Scaling, DegenerateCountsScaleToZero) {
+  for (auto kind : {ScalingKind::BindingEnergy, ScalingKind::Linear,
+                    ScalingKind::Identity}) {
+    const auto s = make_scaling(kind, ObjectiveKind::MinMaxCut, 100.0);
+    EXPECT_DOUBLE_EQ(s->scale(1), 0.0);
+    EXPECT_DOUBLE_EQ(s->scale(0), 0.0);
+  }
+}
+
+TEST(Scaling, LinearAndIdentityVariants) {
+  const auto lin = make_scaling(ScalingKind::Linear, ObjectiveKind::Cut, 1.0);
+  EXPECT_DOUBLE_EQ(lin->scale(7), 7.0);
+  const auto id = make_scaling(ScalingKind::Identity, ObjectiveKind::Cut, 1.0);
+  EXPECT_DOUBLE_EQ(id->scale(7), 1.0);
+  EXPECT_EQ(lin->name(), "linear");
+  EXPECT_EQ(id->name(), "identity");
+}
+
+TEST(PartitionEnergy, DividesByScale) {
+  const auto s = make_scaling(ScalingKind::BindingEnergy,
+                              ObjectiveKind::MinMaxCut, 100.0);
+  EXPECT_DOUBLE_EQ(partition_energy(40.0, 5, *s), 2.0);
+}
+
+TEST(PartitionEnergy, SinglePartIsInfinite) {
+  const auto s = make_scaling(ScalingKind::BindingEnergy,
+                              ObjectiveKind::MinMaxCut, 100.0);
+  EXPECT_TRUE(std::isinf(partition_energy(0.0, 1, *s)));
+}
+
+// The paper's requirement (§4.1): "energies are the same for the same
+// quality of partitioning" across different part counts. Random partitions
+// of the same graph at different p must have comparable energies under the
+// binding-energy scaling — and wildly different raw objectives.
+TEST(PartitionEnergy, RandomPartitionsFlatAcrossPartCounts) {
+  // Ncut is penalty-free (terms bounded by 1), which isolates the flatness
+  // property from the Mcut zero-denominator guard; a dense geometric graph
+  // keeps every random part internally connected anyway.
+  const auto g =
+      with_random_weights(make_random_geometric(150, 0.28, 5), 1.0, 3.0, 5);
+  const auto& ncut = objective(ObjectiveKind::NormalizedCut);
+  const auto s = make_scaling(ScalingKind::BindingEnergy,
+                              ObjectiveKind::NormalizedCut,
+                              g.total_edge_weight());
+  Rng rng(7);
+  RunningStats energies;
+  double min_raw = 1e300, max_raw = 0.0;
+  for (int p : {4, 8, 16, 24}) {
+    RunningStats raw;
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<int> assign(static_cast<std::size_t>(g.num_vertices()));
+      // Balanced random assignment (round robin + shuffle) so no part is
+      // empty or degenerate.
+      for (std::size_t i = 0; i < assign.size(); ++i) {
+        assign[i] = static_cast<int>(i % static_cast<std::size_t>(p));
+      }
+      rng.shuffle(assign);
+      const auto part = Partition::from_assignment(g, assign, p);
+      const double value = ncut.evaluate(part);
+      raw.add(value);
+      energies.add(partition_energy(value, p, *s));
+    }
+    min_raw = std::min(min_raw, raw.mean());
+    max_raw = std::max(max_raw, raw.mean());
+  }
+  // Raw Ncut spans several-fold across p…
+  EXPECT_GT(max_raw / min_raw, 4.0);
+  // …while scaled energies stay within a tight band.
+  EXPECT_LT(energies.max() / energies.min(), 1.6);
+}
+
+TEST(Scaling, NamesAreStable) {
+  const auto s = make_scaling(ScalingKind::BindingEnergy,
+                              ObjectiveKind::Cut, 1.0);
+  EXPECT_EQ(s->name(), "binding-energy");
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,139 @@
+#include "spectral/spectral_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/balance.hpp"
+#include "partition/objectives.hpp"
+#include "test_support.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(MedianSplit, BalancesUnitWeights) {
+  const auto g = make_path(10);
+  std::vector<double> values(10);
+  for (int i = 0; i < 10; ++i) values[static_cast<std::size_t>(i)] = i;
+  const auto side = median_split(g, values);
+  EXPECT_EQ(std::count(side.begin(), side.end(), 0), 5);
+  // Lower values on side 0.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(side[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(MedianSplit, RespectsVertexWeights) {
+  const std::vector<WeightedEdge> edges = {{0, 1, 1}, {1, 2, 1}};
+  const auto g = Graph::from_edges(3, edges, {10.0, 1.0, 1.0});
+  std::vector<double> values = {0.0, 1.0, 2.0};
+  const auto side = median_split(g, values);
+  // The heavy vertex alone is already half the weight.
+  EXPECT_EQ(side[0], 0);
+  EXPECT_EQ(side[1], 1);
+  EXPECT_EQ(side[2], 1);
+}
+
+TEST(MedianSplit, BothSidesNonEmpty) {
+  const auto g = make_complete(5);
+  const std::vector<double> same(5, 1.0);  // all-equal values
+  const auto side = median_split(g, same);
+  EXPECT_GT(std::count(side.begin(), side.end(), 0), 0);
+  EXPECT_GT(std::count(side.begin(), side.end(), 1), 0);
+}
+
+TEST(SignSection, ProducesRequestedCells) {
+  const auto g = make_grid2d(8, 8);
+  SpectralOptions opt;
+  FiedlerOptions fopt;
+  fopt.count = 2;
+  const auto fres = fiedler_vectors(g, fopt);
+  ASSERT_GE(fres.vectors.size(), 2u);
+  const auto cells = sign_section(
+      g, std::span<const std::vector<double>>(fres.vectors.data(), 2), 1.3, 9);
+  const auto p = Partition::from_assignment(g, cells, 4);
+  EXPECT_EQ(p.num_nonempty_parts(), 4);
+  EXPECT_LE(imbalance(p, 4), 1.5);
+}
+
+TEST(SpectralPartition, BisectionFindsBarbellBridge) {
+  const auto g = make_barbell(10, 2);
+  SpectralOptions opt;
+  const auto p = spectral_partition(g, 2, opt);
+  ffp::testing::expect_valid_partition(p, 2);
+  // Optimal bisection cuts one bridge edge.
+  EXPECT_LE(p.edge_cut(), 2.0);
+}
+
+TEST(SpectralPartition, GridBisectionIsNearOptimal) {
+  const auto g = make_grid2d(8, 8);
+  const auto p = spectral_partition(g, 2, {});
+  ffp::testing::expect_valid_partition(p, 2);
+  // Optimal straight cut costs 8.
+  EXPECT_LE(p.edge_cut(), 10.0);
+  EXPECT_LE(imbalance(p, 2), 1.05);
+}
+
+TEST(SpectralPartition, K8OnGrid) {
+  const auto g = make_grid2d(12, 12);
+  SpectralOptions opt;
+  const auto p = spectral_partition(g, 8, opt);
+  ffp::testing::expect_valid_partition(p, 8);
+  EXPECT_LE(imbalance(p, 8), 1.35);
+}
+
+TEST(SpectralPartition, OctasectionReaches32) {
+  const auto g = make_grid2d(16, 16);
+  SpectralOptions opt;
+  opt.arity = SectionArity::Octasection;
+  const auto p = spectral_partition(g, 32, opt);
+  ffp::testing::expect_valid_partition(p, 32);
+}
+
+TEST(SpectralPartition, KlRefinementNeverHurtsCut) {
+  const auto g = with_random_weights(make_grid2d(10, 10), 1.0, 5.0, 17);
+  SpectralOptions plain;
+  plain.kl_refine = false;
+  SpectralOptions kl;
+  kl.kl_refine = true;
+  const auto a = spectral_partition(g, 4, plain);
+  const auto b = spectral_partition(g, 4, kl);
+  EXPECT_LE(b.edge_cut(), a.edge_cut() * 1.05 + 1e-9);
+}
+
+TEST(SpectralPartition, RqiEngineWorksEndToEnd) {
+  const auto g = make_grid2d(12, 10);
+  SpectralOptions opt;
+  opt.engine = FiedlerEngine::MultilevelRqi;
+  const auto p = spectral_partition(g, 4, opt);
+  ffp::testing::expect_valid_partition(p, 4);
+  EXPECT_LE(imbalance(p, 4), 1.4);
+}
+
+TEST(SpectralPartition, RejectsNonPowerOfTwoK) {
+  const auto g = make_grid2d(6, 6);
+  EXPECT_THROW(spectral_partition(g, 3, {}), Error);
+  EXPECT_THROW(spectral_partition(g, 12, {}), Error);
+}
+
+TEST(SpectralPartition, KEqualsOneIsWholeGraph) {
+  const auto g = make_grid2d(4, 4);
+  const auto p = spectral_partition(g, 1, {});
+  EXPECT_EQ(p.num_nonempty_parts(), 1);
+  EXPECT_DOUBLE_EQ(p.edge_cut(), 0.0);
+}
+
+TEST(SpectralPartition, RejectsKLargerThanN) {
+  const auto g = make_path(3);
+  EXPECT_THROW(spectral_partition(g, 4, {}), Error);
+}
+
+TEST(SpectralPartition, DeterministicForSeed) {
+  const auto g = make_random_geometric(120, 0.18, 5);
+  SpectralOptions opt;
+  opt.seed = 33;
+  const auto a = spectral_partition(g, 4, opt);
+  const auto b = spectral_partition(g, 4, opt);
+  EXPECT_TRUE(std::equal(a.assignment().begin(), a.assignment().end(),
+                         b.assignment().begin()));
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  // 1..10: mean 5.5, sample variance 9.1666…
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_EQ(s.count(), 10);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+  EXPECT_NEAR(s.variance(), 55.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(55.0 / 6.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, Interpolates) {
+  // Sorted: 0, 10. q=0.25 → 2.5.
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile({1.0}, -0.1), Error);
+  EXPECT_THROW(quantile({1.0}, 1.1), Error);
+}
+
+TEST(Close, RelativeAndAbsolute) {
+  EXPECT_TRUE(close(1.0, 1.0));
+  EXPECT_TRUE(close(1e9, 1e9 * (1 + 1e-10)));
+  EXPECT_FALSE(close(1.0, 1.1));
+  EXPECT_TRUE(close(0.0, 1e-13));
+  EXPECT_FALSE(close(0.0, 1e-3));
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,74 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ffp {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, SplitWsBasics) {
+  const auto parts = split_ws("  a\tbb  ccc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "bb");
+  EXPECT_EQ(parts[2], "ccc");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t ").empty());
+}
+
+TEST(Strings, SplitWsHandlesCarriageReturn) {
+  const auto parts = split_ws("1 2\r");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "2");
+}
+
+TEST(Strings, ParseIntValid) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-17").value(), -17);
+  EXPECT_EQ(parse_int("0").value(), 0);
+}
+
+TEST(Strings, ParseIntInvalid) {
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("x12").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(Strings, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse_double("7").value(), 7.0);
+}
+
+TEST(Strings, ParseDoubleInvalid) {
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5kg").has_value());
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_FALSE(starts_with("world", "hello"));
+}
+
+TEST(Strings, FormatProducesPrintfOutput) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("no args"), "no args");
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,52 @@
+// Shared fixtures and helpers for the ffp test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ffp::testing {
+
+/// Small graph families used by the parameterized property suites.
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+inline std::vector<GraphCase> property_graphs() {
+  std::vector<GraphCase> cases;
+  cases.push_back({"grid6x6", make_grid2d(6, 6)});
+  cases.push_back({"torus5x8", make_torus(5, 8)});
+  cases.push_back({"path20", make_path(20)});
+  cases.push_back({"cycle17", make_cycle(17)});
+  cases.push_back({"complete9", make_complete(9)});
+  cases.push_back({"barbell8", make_barbell(8, 2)});
+  cases.push_back({"star16", make_star(16)});
+  cases.push_back({"geo80", make_random_geometric(80, 0.22, 7)});
+  cases.push_back(
+      {"weighted_grid", with_random_weights(make_grid2d(7, 5), 0.5, 9.5, 3)});
+  cases.push_back({"powerlaw", make_power_law(90, 4.0, 2.6, 11)});
+  return cases;
+}
+
+/// Asserts structural validity: every vertex assigned to a part in range,
+/// part stats consistent (via Partition::validate), and if expect_k >= 0,
+/// exactly that many non-empty parts.
+inline void expect_valid_partition(const Partition& p, int expect_k = -1) {
+  ASSERT_NO_THROW(p.validate());
+  const auto assign = p.assignment();
+  for (VertexId v = 0; v < p.graph().num_vertices(); ++v) {
+    ASSERT_GE(assign[static_cast<std::size_t>(v)], 0);
+    ASSERT_LT(assign[static_cast<std::size_t>(v)], p.num_parts());
+  }
+  if (expect_k >= 0) {
+    EXPECT_EQ(p.num_nonempty_parts(), expect_k);
+  }
+}
+
+}  // namespace ffp::testing

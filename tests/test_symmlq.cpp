@@ -1,0 +1,197 @@
+#include "linalg/symmlq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace ffp {
+namespace {
+
+/// Dense symmetric operator for ground-truth comparisons.
+class DenseOperator final : public SymmetricOperator {
+ public:
+  explicit DenseOperator(std::vector<std::vector<double>> a) : a_(std::move(a)) {}
+  VertexId dim() const override { return static_cast<VertexId>(a_.size()); }
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < a_.size(); ++j) acc += a_[i][j] * x[j];
+      y[i] = acc;
+    }
+  }
+
+ private:
+  std::vector<std::vector<double>> a_;
+};
+
+/// Gaussian elimination with partial pivoting (test oracle only).
+std::vector<double> dense_solve(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a[i][j] * x[j];
+    x[i] = acc / a[i][i];
+  }
+  return x;
+}
+
+std::vector<std::vector<double>> random_symmetric(int n, std::uint64_t seed,
+                                                  double diag_boost) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> a(static_cast<std::size_t>(n),
+                                     std::vector<double>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = v;
+      a[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] = v;
+    }
+    a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] += diag_boost;
+  }
+  return a;
+}
+
+TEST(Symmlq, SolvesSpdSystem) {
+  const int n = 20;
+  auto a = random_symmetric(n, 3, 8.0);  // diagonally dominant → SPD
+  Rng rng(4);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& bi : b) bi = rng.uniform(-2.0, 2.0);
+
+  const DenseOperator op(a);
+  SymmlqOptions opt;
+  const auto r = symmlq_solve(op, b, opt);
+  EXPECT_TRUE(r.converged);
+  const auto expect = dense_solve(a, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST(Symmlq, SolvesIndefiniteSystem) {
+  // Mix positive and negative eigenvalues: no diagonal boost, explicit
+  // +/- diagonal.
+  const int n = 16;
+  auto a = random_symmetric(n, 5, 0.0);
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] +=
+        (i % 2 == 0) ? 6.0 : -6.0;
+  }
+  Rng rng(6);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& bi : b) bi = rng.uniform(-1.0, 1.0);
+
+  const DenseOperator op(a);
+  SymmlqOptions opt;
+  const auto r = symmlq_solve(op, b, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.relative_residual, 1e-7);
+  const auto expect = dense_solve(a, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-5);
+  }
+}
+
+TEST(Symmlq, ShiftMovesTheSystem) {
+  // (A − shift I) x = b via the shift option equals solving the shifted
+  // dense matrix directly.
+  const int n = 12;
+  auto a = random_symmetric(n, 7, 5.0);
+  const double shift = 1.25;
+  Rng rng(8);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& bi : b) bi = rng.uniform(-1.0, 1.0);
+
+  const DenseOperator op(a);
+  SymmlqOptions opt;
+  opt.shift = shift;
+  const auto r = symmlq_solve(op, b, opt);
+
+  auto shifted = a;
+  for (int i = 0; i < n; ++i) {
+    shifted[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] -= shift;
+  }
+  const auto expect = dense_solve(shifted, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.x[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST(Symmlq, ZeroRhsGivesZeroSolution) {
+  const DenseOperator op(random_symmetric(6, 9, 4.0));
+  const std::vector<double> b(6, 0.0);
+  const auto r = symmlq_solve(op, b, {});
+  EXPECT_TRUE(r.converged);
+  for (double xi : r.x) EXPECT_DOUBLE_EQ(xi, 0.0);
+}
+
+TEST(Symmlq, NearSingularShiftStillUseful) {
+  // Shift close to a Laplacian eigenvalue: the solve must not produce NaNs
+  // (this is RQI's hot path; the solution blows up along the eigvector,
+  // which is fine — it must stay finite and parallel to it).
+  const auto g = make_path(10);
+  struct LapOp final : SymmetricOperator {
+    const Graph* g;
+    VertexId dim() const override { return g->num_vertices(); }
+    void apply(std::span<const double> x, std::span<double> y) const override {
+      for (VertexId v = 0; v < g->num_vertices(); ++v) {
+        double acc = g->weighted_degree(v) * x[static_cast<std::size_t>(v)];
+        const auto nbrs = g->neighbors(v);
+        const auto ws = g->neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          acc -= ws[i] * x[static_cast<std::size_t>(nbrs[i])];
+        }
+        y[static_cast<std::size_t>(v)] = acc;
+      }
+    }
+  } op;
+  op.g = &g;
+  const double lambda2 = 4.0 * std::pow(std::sin(M_PI / 20.0), 2);
+  std::vector<double> b(10, 1.0);
+  b[0] = 2.0;  // not exactly the constant vector
+  SymmlqOptions opt;
+  opt.shift = lambda2 + 1e-6;
+  opt.max_iterations = 200;
+  const auto r = symmlq_solve(op, b, opt);
+  for (double xi : r.x) {
+    EXPECT_TRUE(std::isfinite(xi));
+  }
+}
+
+TEST(Symmlq, RejectsSizeMismatch) {
+  const DenseOperator op(random_symmetric(4, 1, 4.0));
+  const std::vector<double> b(3, 1.0);
+  EXPECT_THROW(symmlq_solve(op, b, {}), Error);
+}
+
+TEST(Symmlq, ReportsIterations) {
+  const DenseOperator op(random_symmetric(10, 2, 6.0));
+  const std::vector<double> b(10, 1.0);
+  const auto r = symmlq_solve(op, b, {});
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_LE(r.iterations, 50);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,61 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ffp {
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.reset();
+  EXPECT_LT(t.elapsed_millis(), 5.0);
+}
+
+TEST(StopCondition, DefaultNeverStops) {
+  StopCondition s;
+  s.start();
+  EXPECT_FALSE(s.done(1'000'000));
+}
+
+TEST(StopCondition, StepBudget) {
+  auto s = StopCondition::after_steps(10);
+  s.start();
+  EXPECT_FALSE(s.done(9));
+  EXPECT_TRUE(s.done(10));
+  EXPECT_TRUE(s.done(11));
+}
+
+TEST(StopCondition, TimeBudgetExpires) {
+  auto s = StopCondition::after_millis(20);
+  s.start();
+  EXPECT_FALSE(s.done(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(s.done(0));
+}
+
+TEST(StopCondition, EitherStopsOnSteps) {
+  auto s = StopCondition::either(1e9, 5);
+  s.start();
+  EXPECT_TRUE(s.done(5));
+  EXPECT_FALSE(s.done(4));
+}
+
+TEST(StopCondition, AccessorsReflectConfiguration) {
+  auto s = StopCondition::either(123.0, 456);
+  EXPECT_DOUBLE_EQ(s.max_millis(), 123.0);
+  EXPECT_EQ(s.max_steps(), 456);
+}
+
+}  // namespace
+}  // namespace ffp

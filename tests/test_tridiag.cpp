@@ -1,0 +1,118 @@
+#include "linalg/tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ffp {
+namespace {
+
+TEST(Tridiag, OneByOne) {
+  const double d[1] = {3.5};
+  const auto r = tridiag_eigen(std::span<const double>(d, 1), {});
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.values[0], 3.5);
+  EXPECT_DOUBLE_EQ(r.vectors[0][0], 1.0);
+}
+
+TEST(Tridiag, TwoByTwoClosedForm) {
+  // [[a, b], [b, c]] with a=1, c=3, b=1: eigenvalues 2 ± sqrt(2).
+  const double d[2] = {1.0, 3.0};
+  const double e[1] = {1.0};
+  const auto r = tridiag_eigen(std::span<const double>(d, 2),
+                               std::span<const double>(e, 1));
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 2.0 - std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0 + std::sqrt(2.0), 1e-12);
+}
+
+TEST(Tridiag, DiagonalMatrixSortsValues) {
+  const double d[3] = {5.0, 1.0, 3.0};
+  const double e[2] = {0.0, 0.0};
+  const auto r = tridiag_eigen(std::span<const double>(d, 3),
+                               std::span<const double>(e, 2));
+  EXPECT_DOUBLE_EQ(r.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 5.0);
+}
+
+// Laplacian of a path graph as a tridiagonal matrix has known eigenvalues
+// 2 − 2cos(kπ/n), k = 0..n−1... (free-ended path: 4 sin^2(kπ/2n)).
+TEST(Tridiag, PathLaplacianEigenvalues) {
+  const int n = 8;
+  std::vector<double> d(n, 2.0);
+  d.front() = d.back() = 1.0;
+  std::vector<double> e(n - 1, -1.0);
+  const auto r = tridiag_eigen(d, e);
+  for (int k = 0; k < n; ++k) {
+    const double expect =
+        4.0 * std::pow(std::sin(k * M_PI / (2.0 * n)), 2.0);
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(k)], expect, 1e-10);
+  }
+}
+
+TEST(Tridiag, EigenvectorsAreOrthonormal) {
+  const int n = 12;
+  std::vector<double> d(n), e(n - 1);
+  for (int i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = i * 0.7 - 2.0;
+  for (int i = 0; i < n - 1; ++i) e[static_cast<std::size_t>(i)] = 1.0 + 0.1 * i;
+  const auto r = tridiag_eigen(d, e);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double dotv = 0.0;
+      for (int t = 0; t < n; ++t) {
+        dotv += r.vectors[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)] *
+                r.vectors[static_cast<std::size_t>(j)][static_cast<std::size_t>(t)];
+      }
+      EXPECT_NEAR(dotv, i == j ? 1.0 : 0.0, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(Tridiag, ReconstructsMatrix) {
+  // T = V diag(λ) V^T must reproduce the tridiagonal entries.
+  const int n = 6;
+  std::vector<double> d = {1.0, -0.5, 2.0, 0.0, 3.0, 1.5};
+  std::vector<double> e = {0.5, 1.5, -1.0, 0.25, 2.0};
+  const auto r = tridiag_eigen(d, e);
+  auto entry = [&](int i, int j) {
+    double acc = 0.0;
+    for (int t = 0; t < n; ++t) {
+      acc += r.values[static_cast<std::size_t>(t)] *
+             r.vectors[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] *
+             r.vectors[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)];
+    }
+    return acc;
+  };
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(entry(i, i), d[static_cast<std::size_t>(i)], 1e-9);
+    if (i + 1 < n) {
+      EXPECT_NEAR(entry(i, i + 1), e[static_cast<std::size_t>(i)], 1e-9);
+    }
+    if (i + 2 < n) {
+      EXPECT_NEAR(entry(i, i + 2), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Tridiag, ValuesAscending) {
+  std::vector<double> d = {4.0, -1.0, 0.5, 2.2, 2.2};
+  std::vector<double> e = {0.3, 0.3, 0.3, 0.3};
+  const auto r = tridiag_eigen(d, e);
+  for (std::size_t i = 1; i < r.values.size(); ++i) {
+    EXPECT_LE(r.values[i - 1], r.values[i]);
+  }
+}
+
+TEST(Tridiag, RejectsBadShapes) {
+  const double d[2] = {1.0, 2.0};
+  EXPECT_THROW(tridiag_eigen(std::span<const double>(d, 2),
+                             std::span<const double>(d, 2)),
+               Error);
+  EXPECT_THROW(tridiag_eigen({}, {}), Error);
+}
+
+}  // namespace
+}  // namespace ffp

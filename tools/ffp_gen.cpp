@@ -1,0 +1,129 @@
+// ffp_gen — generate benchmark graphs in Chaco/METIS format.
+//
+//   ffp_gen --family grid2d --args 64,64 --out grid.graph
+//   ffp_gen --family atc --seed 2006 --out core_area.graph
+//
+// Families mirror the Walshaw-archive structures the test/bench suites use
+// (see graph/generators.hpp), plus the synthetic ATC core area.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "atc/core_area.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+std::vector<std::int64_t> parse_int_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const auto comma = csv.find(',', start);
+    const auto token = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) {
+      const auto v = ffp::parse_int(token);
+      FFP_CHECK(v.has_value(), "bad integer in --args: '", token, "'");
+      out.push_back(*v);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ffp::ArgParser args;
+  args.flag("family", "grid2d",
+            "grid2d|grid3d|torus|path|cycle|complete|star|barbell|"
+            "geometric|powerlaw|random|caterpillar|atc")
+      .flag("args", "32,32", "family dimensions, comma separated")
+      .flag("seed", "1", "random seed (stochastic families)")
+      .flag("weights", "", "randomize edge weights: lo,hi")
+      .flag("out", "", "output file (stdout if empty)")
+      .toggle("help", "show this help");
+  try {
+    args.parse(argc, argv);
+    if (args.get_bool("help")) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+    const std::string family = args.get("family");
+    const auto dims = parse_int_list(args.get("args"));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    auto dim = [&](std::size_t i, std::int64_t fallback) {
+      return dims.size() > i ? dims[i] : fallback;
+    };
+
+    ffp::Graph g;
+    if (family == "grid2d") {
+      g = ffp::make_grid2d(static_cast<int>(dim(0, 32)),
+                           static_cast<int>(dim(1, 32)));
+    } else if (family == "grid3d") {
+      g = ffp::make_grid3d(static_cast<int>(dim(0, 10)),
+                           static_cast<int>(dim(1, 10)),
+                           static_cast<int>(dim(2, 10)));
+    } else if (family == "torus") {
+      g = ffp::make_torus(static_cast<int>(dim(0, 16)),
+                          static_cast<int>(dim(1, 16)));
+    } else if (family == "path") {
+      g = ffp::make_path(static_cast<int>(dim(0, 100)));
+    } else if (family == "cycle") {
+      g = ffp::make_cycle(static_cast<int>(dim(0, 100)));
+    } else if (family == "complete") {
+      g = ffp::make_complete(static_cast<int>(dim(0, 16)));
+    } else if (family == "star") {
+      g = ffp::make_star(static_cast<int>(dim(0, 32)));
+    } else if (family == "barbell") {
+      g = ffp::make_barbell(static_cast<int>(dim(0, 10)),
+                            static_cast<int>(dim(1, 2)));
+    } else if (family == "geometric") {
+      g = ffp::make_random_geometric(static_cast<int>(dim(0, 500)),
+                                     dim(1, 0) > 0 ? dim(1, 0) / 1000.0 : 0.06,
+                                     seed);
+    } else if (family == "powerlaw") {
+      g = ffp::make_power_law(static_cast<int>(dim(0, 500)),
+                              static_cast<double>(dim(1, 6)), 2.5, seed);
+    } else if (family == "random") {
+      g = ffp::make_random_graph(static_cast<int>(dim(0, 200)), dim(1, 800),
+                                 seed);
+    } else if (family == "caterpillar") {
+      g = ffp::make_caterpillar(static_cast<int>(dim(0, 30)),
+                                static_cast<int>(dim(1, 3)));
+    } else if (family == "atc") {
+      ffp::CoreAreaOptions opt;
+      opt.seed = seed;
+      if (!dims.empty()) opt.n_sectors = static_cast<int>(dims[0]);
+      if (dims.size() > 1) opt.n_edges = static_cast<int>(dims[1]);
+      g = ffp::make_core_area_graph(opt).graph;
+    } else {
+      throw ffp::Error("unknown family '" + family + "'");
+    }
+
+    const std::string wspec = args.get("weights");
+    if (!wspec.empty()) {
+      const auto range = parse_int_list(wspec);
+      FFP_CHECK(range.size() == 2, "--weights expects lo,hi");
+      g = ffp::with_random_weights(g, static_cast<double>(range[0]),
+                                   static_cast<double>(range[1]), seed ^ 0xb5);
+    }
+
+    std::fprintf(stderr, "%s\n", g.summary().c_str());
+    const std::string out = args.get("out");
+    if (out.empty()) {
+      ffp::write_chaco(g, std::cout);
+    } else {
+      ffp::write_chaco_file(g, out);
+      std::fprintf(stderr, "written to %s\n", out.c_str());
+    }
+  } catch (const ffp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
