@@ -6,9 +6,8 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "core/fusion_fission.hpp"
-#include "metaheuristics/annealing.hpp"
-#include "metaheuristics/percolation.hpp"
+#include "solver/registry.hpp"
+#include "util/strings.hpp"
 
 int main() {
   using namespace ffp;
@@ -25,28 +24,28 @@ int main() {
   for (double slope : {1.0, 4.0, 12.0}) {
     std::printf("k=%-6.1f", slope);
     for (double offset : {0.1, 0.25, 0.5}) {
-      FusionFissionOptions opt;
-      opt.objective = ObjectiveKind::MinMaxCut;
-      opt.choice_slope = slope;
-      opt.choice_offset = offset;
-      opt.seed = bench_seed();
-      FusionFission ff(core.graph, 32, opt);
-      const auto res = ff.run(StopCondition::after_millis(budget));
+      const auto solver = make_solver(format(
+          "fusion_fission:choice_slope=%g,choice_offset=%g", slope, offset));
+      SolverRequest request;
+      request.k = 32;
+      request.objective = ObjectiveKind::MinMaxCut;
+      request.stop = StopCondition::after_millis(budget);
+      request.seed = bench_seed();
+      const auto res = solver->run(core.graph, request);
       std::printf("  %-10.2f", res.best_value);
     }
     std::printf("\n");
   }
 
   std::printf("\n=== SA tmax sweep (its single tuned parameter, §6) ===\n\n");
-  const auto init = percolation_partition(core.graph, 32,
-                                          {.max_rounds = 64, .seed = 31});
   for (double tmax : {0.0 /*auto*/, 1e-3, 1e-1, 10.0}) {
-    AnnealingOptions opt;
-    opt.objective = ObjectiveKind::MinMaxCut;
-    opt.tmax = tmax;
-    opt.seed = bench_seed();
-    SimulatedAnnealing sa(core.graph, 32, opt);
-    const auto res = sa.run(init, StopCondition::after_millis(budget));
+    const auto solver = make_solver(format("annealing:tmax=%g", tmax));
+    SolverRequest request;
+    request.k = 32;
+    request.objective = ObjectiveKind::MinMaxCut;
+    request.stop = StopCondition::after_millis(budget);
+    request.seed = bench_seed();
+    const auto res = solver->run(core.graph, request);
     if (tmax == 0.0) {
       std::printf("tmax auto-calibrated : Mcut %8.2f\n", res.best_value);
     } else {

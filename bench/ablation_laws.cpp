@@ -6,7 +6,7 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "core/fusion_fission.hpp"
+#include "solver/registry.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -20,17 +20,19 @@ int main() {
   const auto core = make_core_area_graph();
 
   for (const bool use_laws : {true, false}) {
+    const auto solver = make_solver(use_laws ? "fusion_fission"
+                                             : "fusion_fission:use_laws=false");
     RunningStats stats;
     std::int64_t ejections = 0;
     for (int t = 0; t < trials; ++t) {
-      FusionFissionOptions opt;
-      opt.objective = ObjectiveKind::MinMaxCut;
-      opt.use_laws = use_laws;
-      opt.seed = bench_seed() + static_cast<std::uint64_t>(t);
-      FusionFission ff(core.graph, 32, opt);
-      const auto res = ff.run(StopCondition::after_millis(budget));
+      SolverRequest request;
+      request.k = 32;
+      request.objective = ObjectiveKind::MinMaxCut;
+      request.stop = StopCondition::after_millis(budget);
+      request.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      const auto res = solver->run(core.graph, request);
       stats.add(res.best_value);
-      ejections += res.ejections;
+      ejections += static_cast<std::int64_t>(res.stat("ejections"));
     }
     std::printf("laws %-3s : Mcut mean %8.2f  (min %.2f, max %.2f), "
                 "%lld nucleon ejections\n",

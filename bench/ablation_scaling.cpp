@@ -6,7 +6,7 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "core/fusion_fission.hpp"
+#include "solver/registry.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -20,25 +20,26 @@ int main() {
   const auto core = make_core_area_graph();
 
   const struct {
-    ScalingKind kind;
+    const char* spec;
     const char* name;
   } variants[] = {
-      {ScalingKind::BindingEnergy, "binding-energy"},
-      {ScalingKind::Linear, "linear"},
-      {ScalingKind::Identity, "identity (none)"},
+      {"fusion_fission:scaling=binding", "binding-energy"},
+      {"fusion_fission:scaling=linear", "linear"},
+      {"fusion_fission:scaling=identity", "identity (none)"},
   };
   for (const auto& variant : variants) {
+    const auto solver = make_solver(variant.spec);
     RunningStats stats;
     RunningStats visited;  // how many distinct part counts each run explored
     for (int t = 0; t < trials; ++t) {
-      FusionFissionOptions opt;
-      opt.objective = ObjectiveKind::MinMaxCut;
-      opt.scaling = variant.kind;
-      opt.seed = bench_seed() + static_cast<std::uint64_t>(t);
-      FusionFission ff(core.graph, 32, opt);
-      const auto res = ff.run(StopCondition::after_millis(budget));
+      SolverRequest request;
+      request.k = 32;
+      request.objective = ObjectiveKind::MinMaxCut;
+      request.stop = StopCondition::after_millis(budget);
+      request.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      const auto res = solver->run(core.graph, request);
       stats.add(res.best_value);
-      visited.add(static_cast<double>(res.best_by_part_count.size()));
+      visited.add(res.stat("part_counts_visited"));
     }
     std::printf("%-16s : Mcut mean %8.2f (min %.2f, max %.2f), "
                 "%4.1f part counts visited\n",

@@ -8,8 +8,8 @@
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
 #include "core/fusion_fission.hpp"
-#include "multilevel/multilevel.hpp"
 #include "partition/objectives.hpp"
+#include "solver/registry.hpp"
 
 int main() {
   using namespace ffp;
@@ -21,19 +21,24 @@ int main() {
 
   const auto core = make_core_area_graph();
 
+  // The best-by-part-count curve is a FusionFission-specific output, so
+  // this bench drives the algorithm class directly rather than the Solver
+  // facade (which returns only the target-k winner).
   FusionFissionOptions opt;
   opt.objective = ObjectiveKind::MinMaxCut;
   opt.seed = bench_seed();
   FusionFission ff(core.graph, 32, opt);
   const auto res = ff.run(StopCondition::after_millis(budget));
 
+  const auto multilevel = make_solver("multilevel");
   std::printf("%4s  %16s  %18s\n", "k", "FF best (1 run)",
               "multilevel (per-k run)");
   for (int k = 27; k <= 38; ++k) {
-    MultilevelOptions mopt;
-    mopt.seed = bench_seed();
-    const auto ml = multilevel_partition(core.graph, k, mopt);
-    const double ml_mcut = objective(ObjectiveKind::MinMaxCut).evaluate(ml);
+    SolverRequest request;
+    request.k = k;
+    request.objective = ObjectiveKind::MinMaxCut;
+    request.seed = bench_seed();
+    const double ml_mcut = multilevel->run(core.graph, request).best_value;
     const auto it = res.best_by_part_count.find(k);
     if (it != res.best_by_part_count.end()) {
       std::printf("%4d  %16.2f  %18.2f\n", k, it->second, ml_mcut);

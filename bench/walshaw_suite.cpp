@@ -6,19 +6,17 @@
 // Comparison criterion: Mcut (the paper's application criterion) — ratio
 // objectives keep the metaheuristics honest, whereas unconstrained Cut
 // minimization degenerates into one giant part plus splinters. Imbalance is
-// reported alongside.
+// reported alongside. All three columns are solver-registry runs driven by
+// one shared request.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "benchlib/budget.hpp"
-#include "core/fusion_fission.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
-#include "metaheuristics/annealing.hpp"
-#include "metaheuristics/percolation.hpp"
-#include "multilevel/multilevel.hpp"
 #include "partition/balance.hpp"
+#include "solver/registry.hpp"
 
 namespace {
 
@@ -61,33 +59,30 @@ int main() {
       {"weighted grid 30x30", with_random_weights(make_grid2d(30, 30), 1.0,
                                                   9.0, 7)});
 
+  const auto multilevel = make_solver("multilevel");
+  const auto annealing = make_solver("annealing");
+  const auto fusion_fission = make_solver("fusion_fission");
+
   const auto& mcut = objective(ObjectiveKind::MinMaxCut);
   std::printf("%-22s %10s | %18s %18s %18s\n", "graph", "n/m",
               "multilevel", "annealing", "fusion-fission");
   for (const auto& c : cases) {
-    MultilevelOptions mopt;
-    mopt.seed = bench_seed();
-    const auto ml = multilevel_partition(c.graph, k, mopt);
+    SolverRequest request;
+    request.k = k;
+    request.objective = ObjectiveKind::MinMaxCut;
+    request.stop = StopCondition::after_millis(budget);
+    request.seed = bench_seed();
 
-    const auto init = percolation_partition(c.graph, k, {});
-    AnnealingOptions sopt;
-    sopt.objective = ObjectiveKind::MinMaxCut;
-    sopt.seed = bench_seed();
-    SimulatedAnnealing sa(c.graph, k, sopt);
-    const auto sares = sa.run(init, StopCondition::after_millis(budget));
-
-    FusionFissionOptions fopt;
-    fopt.objective = ObjectiveKind::MinMaxCut;
-    fopt.seed = bench_seed();
-    FusionFission ff(c.graph, k, fopt);
-    const auto ffres = ff.run(StopCondition::after_millis(budget));
+    const auto ml = multilevel->run(c.graph, request);
+    const auto sa = annealing->run(c.graph, request);
+    const auto ff = fusion_fission->run(c.graph, request);
 
     std::printf(
         "%-22s %4d/%-6lld | %9.3f (i%4.2f) %9.3f (i%4.2f) %9.3f (i%4.2f)\n",
         c.name.c_str(), c.graph.num_vertices(),
-        static_cast<long long>(c.graph.num_edges()), mcut.evaluate(ml),
-        imbalance(ml, k), sares.best_value, imbalance(sares.best, k),
-        ffres.best_value, imbalance(ffres.best, k));
+        static_cast<long long>(c.graph.num_edges()), mcut.evaluate(ml.best),
+        imbalance(ml.best, k), sa.best_value, imbalance(sa.best, k),
+        ff.best_value, imbalance(ff.best, k));
   }
   std::printf("\nshape check: multilevel is excellent on its home-turf mesh "
               "instances even under\nMcut; the metaheuristics are "

@@ -15,10 +15,10 @@
 
 #include "atc/core_area.hpp"
 #include "atc/geojson.hpp"
-#include "core/fusion_fission.hpp"
 #include "graph/io.hpp"
 #include "partition/balance.hpp"
 #include "partition/objectives.hpp"
+#include "solver/registry.hpp"
 
 int main(int argc, char** argv) {
   const int k = argc > 1 ? std::atoi(argv[1]) : 32;
@@ -32,13 +32,15 @@ int main(int argc, char** argv) {
   std::printf("  %zu hub airports, flows routed by gravity model\n\n",
               core.hubs.size());
 
-  ffp::FusionFissionOptions options;
-  options.objective = ffp::ObjectiveKind::MinMaxCut;  // §5: the right criterion
-  options.seed = 2006;
-  ffp::FusionFission ff(core.graph, k, options);
+  const auto solver = ffp::make_solver("fusion_fission");
+  ffp::SolverRequest request;
+  request.k = k;
+  request.objective = ffp::ObjectiveKind::MinMaxCut;  // §5: the right criterion
+  request.stop = ffp::StopCondition::after_millis(budget_ms);
+  request.seed = 2006;
   std::printf("running fusion-fission for %.1fs toward %d blocks...\n",
               budget_ms / 1000.0, k);
-  const auto result = ff.run(ffp::StopCondition::after_millis(budget_ms));
+  const auto result = solver->run(core.graph, request);
   const auto& blocks = result.best;
 
   std::printf("\nresult: Mcut = %.2f   Cut/1000 = %.1f   Ncut = %.2f   "

@@ -11,15 +11,12 @@
 // time).
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
-#include "core/fusion_fission.hpp"
 #include "graph/generators.hpp"
-#include "metaheuristics/annealing.hpp"
-#include "metaheuristics/percolation.hpp"
-#include "multilevel/multilevel.hpp"
 #include "partition/balance.hpp"
-#include "spectral/spectral_partition.hpp"
-#include "util/timer.hpp"
+#include "solver/portfolio.hpp"
+#include "solver/registry.hpp"
 
 namespace {
 
@@ -60,40 +57,40 @@ int main(int argc, char** argv) {
   std::printf("mesh: %s, partitioning into %d processor domains\n\n",
               mesh.summary().c_str(), k);
 
-  {
-    ffp::WallTimer t;
-    ffp::MultilevelOptions opt;
-    const auto p = ffp::multilevel_partition(mesh, k, opt);
-    report("multilevel", p, t.elapsed_seconds(), k);
+  // One request, many solvers: distribution is the mesh use case, so every
+  // run optimizes plain Cut under the same 2 s budget and seed.
+  ffp::SolverRequest request;
+  request.k = k;
+  request.objective = ffp::ObjectiveKind::Cut;
+  request.stop = ffp::StopCondition::after_millis(2000);
+  request.seed = 1;
+
+  struct Row {
+    const char* label;
+    const char* spec;
+  };
+  const Row rows[] = {
+      {"multilevel", "multilevel"},
+      {"spectral+KL", "spectral:kl=true"},   // k must be a power of two
+      {"percolation", "percolation"},
+      {"annealing (2s)", "annealing"},
+      {"fusion-fission(2s)", "fusion_fission"},
+  };
+  for (const auto& row : rows) {
+    if (std::string_view(row.label) == "spectral+KL" && (k & (k - 1)) != 0) {
+      continue;
+    }
+    const auto res = ffp::make_solver(row.spec)->run(mesh, request);
+    report(row.label, res.best, res.seconds, k);
   }
-  if ((k & (k - 1)) == 0) {
-    ffp::WallTimer t;
-    ffp::SpectralOptions opt;
-    opt.kl_refine = true;
-    const auto p = ffp::spectral_partition(mesh, k, opt);
-    report("spectral+KL", p, t.elapsed_seconds(), k);
-  }
+
+  // The engine layer's multi-start portfolio: 4 independently seeded
+  // fusion-fission restarts across the hardware threads, best kept.
   {
-    ffp::WallTimer t;
-    const auto p = ffp::percolation_partition(mesh, k, {});
-    report("percolation", p, t.elapsed_seconds(), k);
-  }
-  {
-    ffp::WallTimer t;
-    const auto init = ffp::percolation_partition(mesh, k, {});
-    ffp::AnnealingOptions opt;
-    opt.objective = ffp::ObjectiveKind::Cut;
-    ffp::SimulatedAnnealing sa(mesh, k, opt);
-    const auto res = sa.run(init, ffp::StopCondition::after_millis(2000));
-    report("annealing (2s)", res.best, t.elapsed_seconds(), k);
-  }
-  {
-    ffp::WallTimer t;
-    ffp::FusionFissionOptions opt;
-    opt.objective = ffp::ObjectiveKind::Cut;
-    ffp::FusionFission ff(mesh, k, opt);
-    const auto res = ff.run(ffp::StopCondition::after_millis(2000));
-    report("fusion-fission(2s)", res.best, t.elapsed_seconds(), k);
+    ffp::PortfolioRunner portfolio(ffp::make_solver("fusion_fission"),
+                                   {/*restarts=*/4, /*threads=*/0});
+    const auto res = portfolio.run(mesh, request);
+    report("ff portfolio x4", res.best, res.seconds, k);
   }
 
   std::printf("\nthe paper's conclusion in miniature: the specific tools "

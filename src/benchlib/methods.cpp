@@ -1,235 +1,57 @@
 #include "benchlib/methods.hpp"
 
-#include <numeric>
-
-#include "core/fusion_fission.hpp"
-#include "graph/connectivity.hpp"
-#include "metaheuristics/annealing.hpp"
-#include "metaheuristics/ant_colony.hpp"
-#include "metaheuristics/percolation.hpp"
-#include "multilevel/multilevel.hpp"
-#include "refine/kl_bisection.hpp"
-#include "refine/kway_fm.hpp"
-#include "spectral/linear_partition.hpp"
-#include "spectral/spectral_partition.hpp"
+#include "solver/registry.hpp"
 #include "util/check.hpp"
 
 namespace ffp {
 
 namespace {
 
-/// Chaco REFINE_PARTITION analog: final greedy k-way Cut refinement.
-Partition final_refine(Partition p, std::uint64_t seed) {
-  Rng rng(seed);
-  KwayFmOptions opt;
-  opt.max_imbalance = 1.10;
-  kway_fm_refine(p, objective(ObjectiveKind::Cut), opt, rng);
-  return p;
-}
-
-/// "Linear" rows: recursive division of the vertex-id range (Chaco's
-/// linear global method), with optional KL refinement after every division
-/// — arity 2 (Bi) or 8 (Oct).
-void linear_recurse(const Graph& g, const std::vector<VertexId>& vertices,
-                    int k, int offset, int arity, bool kl, std::uint64_t seed,
-                    std::vector<int>& out) {
-  if (k == 1 || vertices.size() <= 1) {
-    for (std::size_t i = 0; i < vertices.size(); ++i) {
-      out[static_cast<std::size_t>(vertices[i])] =
-          offset + static_cast<int>(i % static_cast<std::size_t>(std::max(k, 1)));
-    }
-    return;
-  }
-  int ways = std::min(arity, k);
-  while (ways > 2 && k % ways != 0) ways /= 2;
-  ways = std::min<int>(ways, static_cast<int>(vertices.size()));
-
-  // Contiguous chunks of near-equal vertex weight (ids are already sorted).
-  double total = 0.0;
-  for (VertexId v : vertices) total += g.vertex_weight(v);
-  std::vector<std::vector<VertexId>> chunks(static_cast<std::size_t>(ways));
-  double acc = 0.0;
-  int chunk = 0;
-  std::size_t remaining = vertices.size();
-  for (VertexId v : vertices) {
-    const int needed_after = ways - chunk - 1;
-    if ((acc >= total * (chunk + 1) / ways && chunk + 1 < ways) ||
-        (static_cast<std::size_t>(needed_after) >= remaining && chunk + 1 < ways)) {
-      ++chunk;
-    }
-    chunks[static_cast<std::size_t>(chunk)].push_back(v);
-    acc += g.vertex_weight(v);
-    --remaining;
-  }
-
-  if (kl) {
-    // KL between the chunks, on the induced subgraph of this range.
-    std::vector<int> local(vertices.size());
-    std::vector<VertexId> to_local(
-        static_cast<std::size_t>(g.num_vertices()), -1);
-    for (std::size_t i = 0; i < vertices.size(); ++i) {
-      to_local[static_cast<std::size_t>(vertices[i])] =
-          static_cast<VertexId>(i);
-    }
-    for (int c = 0; c < ways; ++c) {
-      for (VertexId v : chunks[static_cast<std::size_t>(c)]) {
-        local[static_cast<std::size_t>(
-            to_local[static_cast<std::size_t>(v)])] = c;
-      }
-    }
-    const auto sub = induced_subgraph(g, vertices);
-    kl_refine_kway(sub.graph, local, ways, 1.05, seed);
-    for (auto& c : chunks) c.clear();
-    for (std::size_t i = 0; i < vertices.size(); ++i) {
-      chunks[static_cast<std::size_t>(local[i])].push_back(vertices[i]);
-    }
-  }
-
-  const int per = k / ways;
-  int off = offset;
-  for (int c = 0; c < ways; ++c) {
-    // Chunk vertex lists stay sorted (KL preserves membership, not order),
-    // so re-sort for the next level's "linear" semantics.
-    auto& chunk_vertices = chunks[static_cast<std::size_t>(c)];
-    std::sort(chunk_vertices.begin(), chunk_vertices.end());
-    linear_recurse(g, chunk_vertices, per, off, arity, kl,
-                   seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(c),
-                   out);
-    off += per;
-  }
-}
-
-Partition run_linear(const Graph& g, int k, int arity, bool kl,
-                     std::uint64_t seed) {
-  if (!kl) return linear_partition(g, k);
-  std::vector<int> out(static_cast<std::size_t>(g.num_vertices()), 0);
-  std::vector<VertexId> all(static_cast<std::size_t>(g.num_vertices()));
-  std::iota(all.begin(), all.end(), 0);
-  linear_recurse(g, all, k, 0, arity, kl, seed, out);
-  return Partition::from_assignment(g, out, k);
-}
-
-MethodSpec spectral_row(std::string name, FiedlerEngine engine,
-                        SectionArity arity, bool kl) {
-  return {std::move(name), false,
-          [engine, arity, kl](const Graph& g, const MethodContext& ctx) {
-            SpectralOptions opt;
-            opt.engine = engine;
-            opt.arity = arity;
-            opt.kl_refine = kl;
-            opt.seed = ctx.seed;
-            return final_refine(spectral_partition(g, ctx.k, opt),
-                                ctx.seed ^ 0xfeed);
-          }};
-}
-
-MethodSpec multilevel_row(std::string name, SectionArity arity) {
-  return {std::move(name), false,
-          [arity](const Graph& g, const MethodContext& ctx) {
-            MultilevelOptions opt;
-            opt.arity = arity;
-            opt.seed = ctx.seed;
-            opt.final_kway_refine = true;  // REFINE_PARTITION analog
-            return multilevel_partition(g, ctx.k, opt);
-          }};
+/// Row label → registry spec, in the paper's order. The single source of
+/// truth for how each Table-1 row is configured.
+const std::vector<std::pair<std::string, std::string>>& table1_specs() {
+  static const std::vector<std::pair<std::string, std::string>> rows = {
+      {"Linear (Bi)", "linear:arity=2"},
+      {"Linear (Bi, KL)", "linear:arity=2,kl=true"},
+      {"Linear (Oct, KL)", "linear:arity=8,kl=true"},
+      {"Spectral (Lanc, Bi)", "spectral:engine=lanczos,arity=bi"},
+      {"Spectral (Lanc, Bi, KL)", "spectral:engine=lanczos,arity=bi,kl=true"},
+      {"Spectral (Lanc, Oct)", "spectral:engine=lanczos,arity=oct"},
+      {"Spectral (Lanc, Oct, KL)", "spectral:engine=lanczos,arity=oct,kl=true"},
+      {"Spectral (RQI, Bi)", "spectral:engine=rqi,arity=bi"},
+      {"Spectral (RQI, Bi, KL)", "spectral:engine=rqi,arity=bi,kl=true"},
+      {"Spectral (RQI, Oct)", "spectral:engine=rqi,arity=oct"},
+      {"Spectral (RQI, Oct, KL)", "spectral:engine=rqi,arity=oct,kl=true"},
+      {"Multilevel (Bi)", "multilevel:arity=bi"},
+      {"Multilevel (Oct)", "multilevel:arity=oct"},
+      {"Percolation", "percolation"},
+      {"Simulated annealing", "annealing"},
+      {"Ant colony", "ant_colony"},
+      {"Fusion Fission", "fusion_fission"},
+  };
+  return rows;
 }
 
 }  // namespace
 
+Partition MethodSpec::run(const Graph& g, const MethodContext& ctx) const {
+  SolverRequest request;
+  request.k = ctx.k;
+  request.objective = ctx.objective;
+  request.stop = StopCondition::after_millis(ctx.budget_ms);
+  request.seed = ctx.seed;
+  request.recorder = ctx.recorder;
+  return solver->run(g, request).best;
+}
+
 std::vector<MethodSpec> table1_methods() {
   std::vector<MethodSpec> methods;
-
-  methods.push_back({"Linear (Bi)", false,
-                     [](const Graph& g, const MethodContext& ctx) {
-                       return run_linear(g, ctx.k, 2, false, ctx.seed);
-                     }});
-  methods.push_back({"Linear (Bi, KL)", false,
-                     [](const Graph& g, const MethodContext& ctx) {
-                       return run_linear(g, ctx.k, 2, true, ctx.seed);
-                     }});
-  methods.push_back({"Linear (Oct, KL)", false,
-                     [](const Graph& g, const MethodContext& ctx) {
-                       return run_linear(g, ctx.k, 8, true, ctx.seed);
-                     }});
-
-  methods.push_back(spectral_row("Spectral (Lanc, Bi)", FiedlerEngine::Lanczos,
-                                 SectionArity::Bisection, false));
-  methods.push_back(spectral_row("Spectral (Lanc, Bi, KL)",
-                                 FiedlerEngine::Lanczos,
-                                 SectionArity::Bisection, true));
-  methods.push_back(spectral_row("Spectral (Lanc, Oct)", FiedlerEngine::Lanczos,
-                                 SectionArity::Octasection, false));
-  methods.push_back(spectral_row("Spectral (Lanc, Oct, KL)",
-                                 FiedlerEngine::Lanczos,
-                                 SectionArity::Octasection, true));
-  methods.push_back(spectral_row("Spectral (RQI, Bi)",
-                                 FiedlerEngine::MultilevelRqi,
-                                 SectionArity::Bisection, false));
-  methods.push_back(spectral_row("Spectral (RQI, Bi, KL)",
-                                 FiedlerEngine::MultilevelRqi,
-                                 SectionArity::Bisection, true));
-  methods.push_back(spectral_row("Spectral (RQI, Oct)",
-                                 FiedlerEngine::MultilevelRqi,
-                                 SectionArity::Octasection, false));
-  methods.push_back(spectral_row("Spectral (RQI, Oct, KL)",
-                                 FiedlerEngine::MultilevelRqi,
-                                 SectionArity::Octasection, true));
-
-  methods.push_back(multilevel_row("Multilevel (Bi)", SectionArity::Bisection));
-  methods.push_back(
-      multilevel_row("Multilevel (Oct)", SectionArity::Octasection));
-
-  methods.push_back({"Percolation", false,
-                     [](const Graph& g, const MethodContext& ctx) {
-                       PercolationOptions opt;
-                       opt.seed = ctx.seed;
-                       return percolation_partition(g, ctx.k, opt);
-                     }});
-
-  methods.push_back(
-      {"Simulated annealing", true,
-       [](const Graph& g, const MethodContext& ctx) {
-         PercolationOptions popt;
-         popt.seed = ctx.seed;
-         auto init = percolation_partition(g, ctx.k, popt);
-         AnnealingOptions opt;
-         opt.objective = ctx.objective;
-         opt.seed = ctx.seed;
-         SimulatedAnnealing sa(g, ctx.k, opt);
-         if (ctx.recorder != nullptr) ctx.recorder->start();
-         auto res = sa.run(init, StopCondition::after_millis(ctx.budget_ms),
-                           ctx.recorder);
-         return std::move(res.best);
-       }});
-
-  methods.push_back(
-      {"Ant colony", true,
-       [](const Graph& g, const MethodContext& ctx) {
-         PercolationOptions popt;
-         popt.seed = ctx.seed;
-         auto init = percolation_partition(g, ctx.k, popt);
-         AntColonyOptions opt;
-         opt.objective = ctx.objective;
-         opt.seed = ctx.seed;
-         AntColony aco(g, ctx.k, opt);
-         if (ctx.recorder != nullptr) ctx.recorder->start();
-         auto res = aco.run(init, StopCondition::after_millis(ctx.budget_ms),
-                            ctx.recorder);
-         return std::move(res.best);
-       }});
-
-  methods.push_back(
-      {"Fusion Fission", true,
-       [](const Graph& g, const MethodContext& ctx) {
-         FusionFissionOptions opt;
-         opt.objective = ctx.objective;
-         opt.seed = ctx.seed;
-         FusionFission ff(g, ctx.k, opt);
-         auto res = ff.run(StopCondition::after_millis(ctx.budget_ms),
-                           ctx.recorder);
-         return std::move(res.best);
-       }});
-
+  methods.reserve(table1_specs().size());
+  for (const auto& [name, spec] : table1_specs()) {
+    SolverPtr solver = make_solver(spec);
+    const bool meta = solver->is_metaheuristic();
+    methods.push_back({name, spec, meta, std::move(solver)});
+  }
   return methods;
 }
 
@@ -237,6 +59,13 @@ const MethodSpec& method_by_name(const std::vector<MethodSpec>& methods,
                                  const std::string& name) {
   for (const auto& m : methods) {
     if (m.name == name) return m;
+  }
+  throw Error("unknown method: " + name);
+}
+
+std::string table1_spec(const std::string& name) {
+  for (const auto& [label, spec] : table1_specs()) {
+    if (label == name) return spec;
   }
   throw Error("unknown method: " + name);
 }

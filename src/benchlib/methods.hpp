@@ -4,13 +4,16 @@
 // criteria; metaheuristic rows take a time budget and optimize the
 // requested criterion directly (DESIGN.md §5.2).
 //
-// All spectral/multilevel rows get a final k-way greedy refinement pass —
-// the analog of Chaco's REFINE_PARTITION, which the paper enables ("we use
-// the REFINE PARTITION parameter which increases considerably the quality
-// of results"). "KL" rows additionally refine inside the recursion.
+// Every row is built from the solver registry (solver/registry.hpp): a row
+// is a paper label plus a registry spec string, so the construction logic
+// lives in exactly one place and `ffp_part --method <row>` and the benches
+// run the identical solver. Spectral/multilevel rows carry the final k-way
+// greedy refinement — the analog of Chaco's REFINE_PARTITION, which the
+// paper enables ("we use the REFINE PARTITION parameter which increases
+// considerably the quality of results"); "KL" rows additionally refine
+// inside the recursion.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "metaheuristics/anytime.hpp"
 #include "partition/objectives.hpp"
 #include "partition/partition.hpp"
+#include "solver/solver.hpp"
 
 namespace ffp {
 
@@ -31,8 +35,12 @@ struct MethodContext {
 
 struct MethodSpec {
   std::string name;           ///< the paper's row label
+  std::string solver_spec;    ///< registry spec this row is built from
   bool is_metaheuristic;      ///< true: budgeted + objective-aware
-  std::function<Partition(const Graph&, const MethodContext&)> run;
+  SolverPtr solver;           ///< the constructed solver
+
+  /// Runs the row's solver under the context's budget/objective/seed.
+  Partition run(const Graph& g, const MethodContext& ctx) const;
 };
 
 /// All 17 rows of Table 1, in the paper's order.
@@ -41,5 +49,9 @@ std::vector<MethodSpec> table1_methods();
 /// Look up a single row by its label (throws if unknown).
 const MethodSpec& method_by_name(const std::vector<MethodSpec>& methods,
                                  const std::string& name);
+
+/// The registry spec behind a Table-1 row label (throws if unknown) — lets
+/// tools accept either paper labels or raw registry specs.
+std::string table1_spec(const std::string& name);
 
 }  // namespace ffp

@@ -16,13 +16,18 @@ class AnytimeRecorder {
     double best_value;
   };
 
-  void start() {
+  virtual ~AnytimeRecorder() = default;
+
+  // start() and record() are virtual so harnesses can interpose: the
+  // portfolio runner shares one recorder between concurrent restarts by
+  // overriding them with a locked, monotone merge (solver/portfolio.cpp).
+  virtual void start() {
     timer_.reset();
     points_.clear();
   }
 
   /// Record an improvement (callers pass the new best value).
-  void record(double best_value) {
+  virtual void record(double best_value) {
     points_.push_back({timer_.elapsed_seconds(), best_value});
   }
 

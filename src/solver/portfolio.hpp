@@ -1,0 +1,58 @@
+// Parallel multi-start portfolio over the Solver interface, in the spirit of
+// KaFFPaE's parallel evolutionary restarts: fan N restarts of one solver (or
+// a round-robin mix) across a ThreadPool, each with its own seed drawn from
+// a splitmix64 stream of the request seed, and keep the best result.
+//
+// Determinism contract: the per-restart seed stream and the winner selection
+// (best value, ties broken by lowest restart index) depend only on the
+// request, never on scheduling — so for solvers whose individual runs are
+// deterministic for a fixed seed (all direct solvers, and metaheuristics
+// under a *step* budget rather than a wall-clock one), the returned best
+// partition is bit-identical regardless of thread count.
+//
+// An optional shared anytime record merges improvements from all restarts
+// into one monotone best-so-far trajectory. The trajectory is a
+// scheduling-dependent subsample of the true improvement events (whether an
+// intermediate value beats the global best depends on which restart got
+// there first, and timestamps are wall-clock); only the final value is
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/solver.hpp"
+
+namespace ffp {
+
+struct PortfolioOptions {
+  int restarts = 1;
+  unsigned threads = 0;  ///< 0 → hardware concurrency
+};
+
+class PortfolioRunner {
+ public:
+  /// N restarts of a single solver.
+  PortfolioRunner(SolverPtr solver, PortfolioOptions options);
+  /// Mixed portfolio: restart i runs solvers[i % solvers.size()].
+  PortfolioRunner(std::vector<SolverPtr> solvers, PortfolioOptions options);
+
+  const PortfolioOptions& options() const { return options_; }
+  const std::vector<SolverPtr>& solvers() const { return solvers_; }
+
+  /// Runs every restart (request.seed is replaced by the restart's stream
+  /// seed; request.recorder, if any, receives the merged best-so-far
+  /// trajectory) and returns the winner. The winner's stats are augmented
+  /// with portfolio counters: restarts, threads, winner_restart.
+  SolverResult run(const Graph& g, const SolverRequest& request) const;
+
+  /// The per-restart seeds used for `seed`: a splitmix64 stream, computed
+  /// up front so it cannot depend on scheduling.
+  static std::vector<std::uint64_t> seed_stream(std::uint64_t seed, int n);
+
+ private:
+  std::vector<SolverPtr> solvers_;
+  PortfolioOptions options_;
+};
+
+}  // namespace ffp

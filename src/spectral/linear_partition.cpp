@@ -1,8 +1,91 @@
 #include "spectral/linear_partition.hpp"
 
+#include <algorithm>
+#include <numeric>
+
+#include "graph/connectivity.hpp"
+#include "refine/kl_bisection.hpp"
 #include "util/check.hpp"
 
 namespace ffp {
+
+namespace {
+
+/// Recursive division of the vertex-id range (Chaco's linear global
+/// method), with KL refinement after every division — arity 2 (Bi) or
+/// 8 (Oct).
+void linear_recurse(const Graph& g, const std::vector<VertexId>& vertices,
+                    int k, int offset, int arity, bool kl, std::uint64_t seed,
+                    std::vector<int>& out) {
+  if (k == 1 || vertices.size() <= 1) {
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      out[static_cast<std::size_t>(vertices[i])] =
+          offset + static_cast<int>(i % static_cast<std::size_t>(std::max(k, 1)));
+    }
+    return;
+  }
+  int ways = std::min(arity, k);
+  while (ways > 2 && k % ways != 0) ways /= 2;
+  // Odd arities can halve past 2 (e.g. 3/2 == 1); bisection is always valid.
+  ways = std::max(ways, 2);
+  ways = std::min<int>(ways, static_cast<int>(vertices.size()));
+
+  // Contiguous chunks of near-equal vertex weight (ids are already sorted).
+  double total = 0.0;
+  for (VertexId v : vertices) total += g.vertex_weight(v);
+  std::vector<std::vector<VertexId>> chunks(static_cast<std::size_t>(ways));
+  double acc = 0.0;
+  int chunk = 0;
+  std::size_t remaining = vertices.size();
+  for (VertexId v : vertices) {
+    const int needed_after = ways - chunk - 1;
+    if ((acc >= total * (chunk + 1) / ways && chunk + 1 < ways) ||
+        (static_cast<std::size_t>(needed_after) >= remaining && chunk + 1 < ways)) {
+      ++chunk;
+    }
+    chunks[static_cast<std::size_t>(chunk)].push_back(v);
+    acc += g.vertex_weight(v);
+    --remaining;
+  }
+
+  if (kl) {
+    // KL between the chunks, on the induced subgraph of this range.
+    std::vector<int> local(vertices.size());
+    std::vector<VertexId> to_local(
+        static_cast<std::size_t>(g.num_vertices()), -1);
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      to_local[static_cast<std::size_t>(vertices[i])] =
+          static_cast<VertexId>(i);
+    }
+    for (int c = 0; c < ways; ++c) {
+      for (VertexId v : chunks[static_cast<std::size_t>(c)]) {
+        local[static_cast<std::size_t>(
+            to_local[static_cast<std::size_t>(v)])] = c;
+      }
+    }
+    const auto sub = induced_subgraph(g, vertices);
+    kl_refine_kway(sub.graph, local, ways, 1.05, seed);
+    for (auto& c : chunks) c.clear();
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+      chunks[static_cast<std::size_t>(local[i])].push_back(vertices[i]);
+    }
+  }
+
+  const int per = k / ways;
+  int off = offset;
+  for (int c = 0; c < ways; ++c) {
+    // Chunk vertex lists stay sorted (KL preserves membership, not order),
+    // so re-sort for the next level's "linear" semantics.
+    auto& chunk_vertices = chunks[static_cast<std::size_t>(c)];
+    std::sort(chunk_vertices.begin(), chunk_vertices.end());
+    linear_recurse(g, chunk_vertices, per, off, arity, kl,
+                   seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(c),
+                   out);
+    off += per;
+  }
+}
+
+}  // namespace
 
 Partition linear_partition(const Graph& g, int k) {
   FFP_CHECK(k >= 1, "k must be >= 1");
@@ -23,6 +106,20 @@ Partition linear_partition(const Graph& g, int k) {
     acc += g.vertex_weight(v);
   }
   return Partition::from_assignment(g, assign, k);
+}
+
+Partition linear_partition(const Graph& g, int k,
+                           const LinearOptions& options) {
+  FFP_CHECK(options.arity >= 2, "linear arity must be >= 2");
+  if (!options.kl_refine) return linear_partition(g, k);
+  FFP_CHECK(k >= 1, "k must be >= 1");
+  FFP_CHECK(g.num_vertices() >= k, "graph has fewer vertices than parts");
+  std::vector<int> out(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<VertexId> all(static_cast<std::size_t>(g.num_vertices()));
+  std::iota(all.begin(), all.end(), 0);
+  linear_recurse(g, all, k, 0, options.arity, options.kl_refine, options.seed,
+                 out);
+  return Partition::from_assignment(g, out, k);
 }
 
 }  // namespace ffp

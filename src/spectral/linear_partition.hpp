@@ -2,13 +2,27 @@
 // vertices to parts in natural index order, in contiguous blocks of
 // near-equal vertex weight. Trivially fast, usually poor — the table's
 // baseline floor.
+//
+// The optioned overload adds Chaco's recursive variant: divide the index
+// range with arity 2 (Bi) or 8 (Oct) and run KL between the blocks of every
+// division, which is what turns the floor row into the "Linear (…, KL)"
+// rows of the table.
 #pragma once
+
+#include <cstdint>
 
 #include "graph/graph.hpp"
 #include "partition/partition.hpp"
 
 namespace ffp {
 
+struct LinearOptions {
+  int arity = 2;          ///< recursion arity: 2 (Bi) or 8 (Oct)
+  bool kl_refine = false; ///< KL between blocks after every division
+  std::uint64_t seed = 1; ///< KL tie-breaking only
+};
+
 Partition linear_partition(const Graph& g, int k);
+Partition linear_partition(const Graph& g, int k, const LinearOptions& options);
 
 }  // namespace ffp

@@ -43,7 +43,9 @@ TEST(Laws, ProbabilitiesAlwaysNormalized) {
     double total = 0.0;
     for (double pi : p) {
       EXPECT_GT(pi, 0.0);
-      if (p.size() > 1) EXPECT_LT(pi, 1.0);  // single-entry laws stay at 1
+      if (p.size() > 1) {
+        EXPECT_LT(pi, 1.0);  // single-entry laws stay at 1
+      }
       total += pi;
     }
     EXPECT_NEAR(total, 1.0, 1e-9);

@@ -189,7 +189,9 @@ TEST_P(PartitionMoveProperty, RandomMovesStayConsistent) {
         rng.below(static_cast<std::uint64_t>(g.num_vertices())));
     const int t = static_cast<int>(rng.below(k));
     p.move(v, t);
-    if (step % 97 == 0) ASSERT_NO_THROW(p.validate()) << tc.name;
+    if (step % 97 == 0) {
+      ASSERT_NO_THROW(p.validate()) << tc.name;
+    }
   }
   ASSERT_NO_THROW(p.validate()) << tc.name;
 }

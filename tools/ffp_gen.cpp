@@ -4,7 +4,12 @@
 //   ffp_gen --family atc --seed 2006 --out core_area.graph
 //
 // Families mirror the Walshaw-archive structures the test/bench suites use
-// (see graph/generators.hpp), plus the synthetic ATC core area.
+// (see graph/generators.hpp), plus the synthetic ATC core area. The output
+// feeds straight into the partitioner:
+//
+//   ffp_gen --family grid2d --args 64,64 --out grid.graph
+//   ffp_part --graph grid.graph --k 32 --method fusion_fission
+//            --restarts 8 --threads 4
 #include <cstdio>
 #include <iostream>
 #include <string>

@@ -1,12 +1,20 @@
-// ffp_part — command-line graph partitioner over the full method registry.
+// ffp_part — command-line graph partitioner over the solver engine layer.
 //
-//   ffp_part --graph mesh.graph --k 32 --method "Fusion Fission" \
+//   ffp_part --graph mesh.graph --k 32 --method "Fusion Fission"
 //            --objective mcut --budget-ms 5000 --out mesh.part
 //
-// Reads Chaco/METIS graphs (the Walshaw benchmark format), runs any Table-1
-// method, prints all criteria, and writes a partition file. With
-// --graph atc:<seed> it uses the synthetic core-area instance instead of a
-// file; with --list it prints the available methods.
+// Reads Chaco/METIS graphs (the Walshaw benchmark format) and runs any
+// solver, named either by its Table-1 row label ("Spectral (RQI, Oct, KL)")
+// or by a raw registry spec ("spectral:engine=rqi,arity=oct,kl=true").
+// With --graph atc:<seed> it uses the synthetic core-area instance instead
+// of a file; with --list it prints the available methods and solvers.
+//
+// --restarts N fans N independently seeded runs across --threads T workers
+// (a parallel portfolio, solver/portfolio.hpp) and keeps the best. So the
+// portfolio result is bit-identical for a fixed seed regardless of thread
+// count, metaheuristic restarts then run under a deterministic *step*
+// budget derived from --budget-ms (override with --steps) instead of the
+// wall clock.
 #include <cstdio>
 #include <string>
 
@@ -15,9 +23,10 @@
 #include "graph/io.hpp"
 #include "partition/balance.hpp"
 #include "partition/report.hpp"
+#include "solver/portfolio.hpp"
+#include "solver/registry.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
-#include "util/timer.hpp"
 
 namespace {
 
@@ -30,15 +39,51 @@ ffp::ObjectiveKind parse_objective(const std::string& name) {
                    "' (expected cut|ncut|mcut|rcut)");
 }
 
+/// Nominal metaheuristic step rate used to turn --budget-ms into a
+/// deterministic step budget for portfolio runs (--steps overrides).
+constexpr double kStepsPerMs = 50.0;
+
+/// --method accepts a Table-1 row label or a registry spec.
+ffp::SolverPtr resolve_method(const std::string& method) {
+  const std::string trimmed(ffp::trim(method));
+  if (trimmed.find(':') != std::string::npos) {
+    // Has options → it can only be a registry spec; let the registry's
+    // errors (unknown solver + available list, bad keys) surface directly.
+    return ffp::make_solver(trimmed);
+  }
+  try {
+    return ffp::make_solver(ffp::table1_spec(trimmed));
+  } catch (const ffp::Error&) {
+    // Not a Table-1 label; registry name, or the registry's richer error.
+    return ffp::make_solver(trimmed);
+  }
+}
+
+void list_methods() {
+  std::printf("Table-1 rows (--method accepts the label):\n");
+  for (const auto& m : ffp::table1_methods()) {
+    std::printf("  %-26s -> %s\n", m.name.c_str(), m.solver_spec.c_str());
+  }
+  std::printf("\nregistry solvers (--method accepts "
+              "\"name:key=value,key=value\"):\n");
+  const auto& reg = ffp::SolverRegistry::builtin();
+  for (const auto& name : reg.names()) {
+    std::printf("  %-16s %s\n", name.c_str(), reg.help(name).c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ffp::ArgParser args;
   args.flag("graph", "atc:2006", "Chaco/METIS file, or atc:<seed>")
       .flag("k", "32", "number of parts")
-      .flag("method", "Fusion Fission", "method name from Table 1")
+      .flag("method", "Fusion Fission", "Table-1 label or registry spec")
       .flag("objective", "mcut", "metaheuristic criterion: cut|ncut|mcut|rcut")
       .flag("budget-ms", "5000", "metaheuristic wall-clock budget")
+      .flag("steps", "0", "metaheuristic step budget (0 = derive from budget)")
+      .flag("restarts", "1", "portfolio restarts (parallel multi-start)")
+      .flag("threads", "0", "portfolio worker threads (0 = hardware)")
       .flag("seed", "2006", "random seed")
       .flag("out", "", "partition output file (optional)")
       .toggle("report", "print the full per-part report")
@@ -54,14 +99,8 @@ int main(int argc, char** argv) {
     std::fputs(args.usage().c_str(), stdout);
     return 0;
   }
-
-  const auto methods = ffp::table1_methods();
   if (args.get_bool("list")) {
-    for (const auto& m : methods) {
-      std::printf("%-26s %s\n", m.name.c_str(),
-                  m.is_metaheuristic ? "(metaheuristic, budgeted)"
-                                     : "(deterministic)");
-    }
+    list_methods();
     return 0;
   }
 
@@ -79,21 +118,44 @@ int main(int argc, char** argv) {
     }
     std::printf("graph: %s\n", graph.summary().c_str());
 
-    ffp::MethodContext ctx;
-    ctx.k = static_cast<int>(args.get_int("k"));
-    ctx.objective = parse_objective(args.get("objective"));
-    ctx.budget_ms = args.get_double("budget-ms");
-    ctx.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto solver = resolve_method(args.get("method"));
+    const int restarts = static_cast<int>(args.get_int("restarts"));
+    const std::int64_t threads_arg = args.get_int("threads");
+    FFP_CHECK(threads_arg >= 0, "--threads must be >= 0");
+    const auto threads = static_cast<unsigned>(threads_arg);
+    const double budget_ms = args.get_double("budget-ms");
+    std::int64_t steps = args.get_int("steps");
+    FFP_CHECK(restarts >= 1, "--restarts must be >= 1");
 
-    const auto& method = ffp::method_by_name(methods, args.get("method"));
-    std::printf("method: %s  k=%d%s\n", method.name.c_str(), ctx.k,
-                method.is_metaheuristic
-                    ? (" budget=" + std::to_string(ctx.budget_ms) + "ms")
-                          .c_str()
-                    : "");
-    ffp::WallTimer timer;
-    const auto p = method.run(graph, ctx);
-    const double seconds = timer.elapsed_seconds();
+    ffp::SolverRequest request;
+    request.k = static_cast<int>(args.get_int("k"));
+    request.objective = parse_objective(args.get("objective"));
+    request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    if (restarts > 1 && solver->is_metaheuristic() && steps == 0) {
+      // Deterministic portfolio: replace the wall clock with a step budget
+      // so the best partition never depends on scheduling or thread count.
+      steps = static_cast<std::int64_t>(budget_ms * kStepsPerMs);
+    }
+    request.stop = steps > 0 ? ffp::StopCondition::after_steps(steps)
+                             : ffp::StopCondition::after_millis(budget_ms);
+
+    std::printf("method: %s  k=%d", args.get("method").c_str(), request.k);
+    if (solver->is_metaheuristic()) {
+      if (steps > 0) {
+        std::printf("  steps=%lld", static_cast<long long>(steps));
+      } else {
+        std::printf("  budget=%.0fms", budget_ms);
+      }
+    }
+    if (restarts > 1) std::printf("  restarts=%d", restarts);
+    std::printf("\n");
+
+    ffp::SolverResult result =
+        restarts > 1
+            ? ffp::PortfolioRunner(solver, {restarts, threads}).run(graph,
+                                                                    request)
+            : solver->run(graph, request);
+    const auto& p = result.best;
 
     std::printf("\n  Cut       = %14.1f\n",
                 ffp::objective(ffp::ObjectiveKind::Cut).evaluate(p));
@@ -104,9 +166,12 @@ int main(int argc, char** argv) {
     std::printf("  RatioCut  = %14.3f\n",
                 ffp::objective(ffp::ObjectiveKind::RatioCut).evaluate(p));
     std::printf("  edge cut  = %14.1f (each edge once)\n", p.edge_cut());
-    std::printf("  imbalance = %14.3f\n", ffp::imbalance(p, ctx.k));
+    std::printf("  imbalance = %14.3f\n", ffp::imbalance(p, request.k));
     std::printf("  parts     = %14d\n", p.num_nonempty_parts());
-    std::printf("  time      = %14.2fs\n", seconds);
+    std::printf("  time      = %14.2fs\n", result.seconds);
+    for (const auto& [stat, value] : result.stats) {
+      std::printf("  %-9s = %14.0f\n", stat.c_str(), value);
+    }
 
     if (args.get_bool("report")) {
       std::printf("\n%s", ffp::analyze(p).to_string().c_str());
