@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and report per-metric regressions.
+
+Usage:
+    scripts/bench_diff.py OLD.json NEW.json [--threshold 0.10]
+                          [--fail-on-regression]
+
+The JSON layout is what bench/perf_suite.cpp emits:
+
+    {"bench": "...", "schema": 1, "metrics": {"name": value, ...}}
+
+Direction is inferred from the metric name:
+  - *_per_sec            higher is better (throughput)
+  - *_sec, *_ms          lower is better (durations)
+  - anything else        lower is better (objective/quality values)
+
+Only metrics present in BOTH files are compared; one-sided metrics are
+listed as added/removed. A change worse than --threshold (fractional,
+default 0.10 = 10%) is flagged as a regression; with --fail-on-regression
+the script exits 1 when any metric regressed, which is how a gating CI job
+would use it (the default perf-smoke job is informational and ignores the
+exit code).
+"""
+
+import argparse
+import json
+import sys
+
+
+def higher_is_better(name: str) -> bool:
+    return name.split("/")[0].endswith("_per_sec")
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"{path}: no 'metrics' object found")
+    return metrics
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Report per-metric regressions between two bench JSONs.")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression threshold (default 0.10)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any metric regressed past threshold")
+    args = parser.parse_args()
+
+    old = load_metrics(args.old)
+    new = load_metrics(args.new)
+    shared = [k for k in old if k in new]
+    if not shared:
+        print("no overlapping metrics between the two files")
+        return 0
+
+    width = max(len(k) for k in shared)
+    regressions = []
+    print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  {'change':>8}  note")
+    for name in shared:
+        o, n = old[name], new[name]
+        if o == 0:
+            change = float("inf") if n != 0 else 0.0
+        else:
+            change = (n - o) / abs(o)
+        better = change > 0 if higher_is_better(name) else change < 0
+        worse_by = -change if higher_is_better(name) else change
+        note = ""
+        if worse_by > args.threshold:
+            note = "REGRESSED"
+            regressions.append(name)
+        elif better and abs(change) > args.threshold:
+            note = "improved"
+        print(f"{name:<{width}}  {o:>12.6g}  {n:>12.6g}  {change:>+7.1%}  {note}")
+
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{width}}  {'(removed)':>12}")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{width}}  {'(added)':>26}")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed past "
+              f"{args.threshold:.0%}: " + ", ".join(regressions))
+        if args.fail_on_regression:
+            return 1
+    else:
+        print(f"\nno regressions past {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,12 +5,28 @@
 #include <limits>
 
 #include "metaheuristics/percolation.hpp"
+#include "partition/objective_terms.hpp"
+#include "partition/part_scratch.hpp"
 #include "util/check.hpp"
 
 namespace ffp {
 
+namespace {
+
+/// The choice_term_bias per-atom leak ratio (cut leaking out vs weight held
+/// inside), tracked incrementally as the ObjectiveTracker's auxiliary term
+/// so step() never rescans all atoms.
+double leak_ratio_term(const Partition& p, int q) {
+  const double cut = p.part_cut(q);
+  const double internal = p.part_internal(q);
+  if (internal <= 0.0) return cut > 0.0 ? 1e6 : 0.0;
+  return cut / internal;
+}
+
+}  // namespace
+
 struct FusionFission::State {
-  Partition current;
+  ObjectiveTracker tracker;       // current molecule + running objective
   double current_energy = 0.0;
   Partition best;                 // best energy overall (reheat target)
   double best_energy = std::numeric_limits<double>::infinity();
@@ -21,12 +37,19 @@ struct FusionFission::State {
   Rng rng;
   FusionFissionResult* result = nullptr;
   bool init_mode = false;  // Algorithm 2: no nucleon-triggered fission
+  /// Best objective per visited part count, flat-indexed by p — the per-step
+  /// record note_partition keeps without a map lookup in the hot loop; run()
+  /// converts it into FusionFissionResult::best_by_part_count at the end.
+  std::vector<double> best_by_p;
 
-  State(Partition p, int max_atom, double delta, std::uint64_t seed)
-      : current(std::move(p)),
-        best(current),
+  State(Partition p, ObjectiveKind kind, int max_atom, double delta,
+        std::uint64_t seed)
+      : tracker(std::move(p), kind),
+        best(tracker.partition()),
         laws(max_atom, delta),
         rng(seed) {}
+
+  const Partition& cur() const { return tracker.partition(); }
 };
 
 FusionFission::FusionFission(const Graph& g, int k,
@@ -46,40 +69,41 @@ FusionFission::FusionFission(const Graph& g, int k,
                           g.total_edge_weight());
 }
 
-double FusionFission::energy_of(const Partition& p) const {
-  const double value = objective(options_.objective).evaluate(p);
-  return partition_energy(value, p.num_nonempty_parts(), *scaling_);
+double FusionFission::energy_now(const State& s) const {
+  return partition_energy(s.tracker.value(), s.cur().num_nonempty_parts(),
+                          *scaling_);
 }
 
 // ---------------------------------------------------------------------------
 // Shared operators
 // ---------------------------------------------------------------------------
 
-int FusionFission::select_fusion_partner(State& s, int atom) {
+std::pair<int, Weight> FusionFission::select_fusion_partner(State& s,
+                                                            int atom) {
   // §4.2: "a second partition is selected according to its size, its
   // distance to the first one, and temperature". Connection weight is the
   // inverse distance; the size preference cools with temperature: hot → big
   // merged atoms are easy, cold → strongly size-penalized.
   static thread_local std::vector<std::pair<int, Weight>> conns;
   conns.clear();
-  s.current.connections(atom, conns);
-  if (conns.empty()) return -1;
+  s.cur().connections(atom, conns);
+  if (conns.empty()) return {-1, 0.0};
 
   const double heat = (s.temperature - options_.tmin) /
                       (options_.tmax - options_.tmin);  // 1 hot … 0 cold
-  const double size_a = s.current.part_size(atom);
+  const double size_a = s.cur().part_size(atom);
   static thread_local std::vector<double> scores;
   scores.clear();
   for (const auto& [b, w] : conns) {
-    const double merged = size_a + s.current.part_size(b);
+    const double merged = size_a + s.cur().part_size(b);
     const double over = std::max(0.0, merged / choice_.target_size - 1.0);
     // Hot: penalty exponent ~0; cold: strong exponential size penalty.
     const double size_penalty = std::exp(-over * (1.0 - heat) * 3.0);
     scores.push_back(w * size_penalty);
   }
   const auto pick = s.rng.weighted_pick(scores);
-  if (pick >= scores.size()) return conns[0].first;
-  return conns[static_cast<std::size_t>(pick)].first;
+  if (pick >= scores.size()) return conns[0];
+  return conns[static_cast<std::size_t>(pick)];
 }
 
 std::vector<VertexId> FusionFission::pick_ejected(State& s, int atom,
@@ -90,32 +114,39 @@ std::vector<VertexId> FusionFission::pick_ejected(State& s, int atom,
   // atom.
   std::vector<VertexId> out;
   if (count <= 0) return out;
-  const auto members = s.current.members(atom);
+  const Partition& cur = s.cur();
+  const auto members = cur.members(atom);
   const int keep = 1;
   count = std::min<int>(count, static_cast<int>(members.size()) - keep);
   if (count <= 0) return out;
 
-  const auto& fn = objective(options_.objective);
-  std::vector<std::pair<double, VertexId>> scored;
+  // One neighbor scan per nucleon gathers its connection weight to every
+  // adjacent atom; each candidate's exact objective delta is then O(1) via
+  // the shared move identities — no per-candidate rescans.
+  static thread_local std::vector<std::pair<double, VertexId>> scored;
+  scored.clear();
   scored.reserve(members.size());
-  static thread_local std::vector<int> adjacent;
+  static thread_local PartMarkScratch adjacent;
   for (VertexId v : members) {
-    adjacent.clear();
-    Weight external = 0.0;
+    adjacent.begin(cur.num_parts());
+    Weight external = 0.0, internal = 0.0;
     const auto nbrs = g_->neighbors(v);
     const auto ws = g_->neighbor_weights(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const int q = s.current.part_of(nbrs[i]);
-      if (q == atom) continue;
-      external += ws[i];
-      if (std::find(adjacent.begin(), adjacent.end(), q) == adjacent.end()) {
-        adjacent.push_back(q);
+      const int q = cur.part_of(nbrs[i]);
+      if (q == atom) {
+        internal += ws[i];
+        continue;
       }
+      external += ws[i];
+      adjacent.add_weight(q, ws[i]);
     }
     if (external <= 0.0) continue;  // interior nucleon: not ejectable
     double best_gain = -std::numeric_limits<double>::infinity();
-    for (int q : adjacent) {
-      best_gain = std::max(best_gain, -fn.move_delta(s.current, v, q));
+    for (int q : adjacent.marked()) {
+      const double delta = detail::move_delta_from_profile(
+          cur, options_.objective, v, q, internal, adjacent.weight(q));
+      best_gain = std::max(best_gain, -delta);
     }
     scored.emplace_back(best_gain, v);
   }
@@ -134,22 +165,27 @@ int FusionFission::absorb_nucleon(State& s, VertexId v) {
   // the choice among connected atoms open; we take the one with the best
   // objective delta (ties broken by connection weight), which makes every
   // ejection a genuine local repair of the criterion being optimized.
-  const int from = s.current.part_of(v);
-  const auto& fn = objective(options_.objective);
+  const int from = s.cur().part_of(v);
   int best = -1;
   double best_delta = std::numeric_limits<double>::infinity();
-  static thread_local std::vector<int> candidates;
-  candidates.clear();
-  for (VertexId u : g_->neighbors(v)) {
-    const int q = s.current.part_of(u);
-    if (q == from) continue;
-    if (std::find(candidates.begin(), candidates.end(), q) ==
-        candidates.end()) {
-      candidates.push_back(q);
+  static thread_local PartMarkScratch candidates;
+  candidates.begin(s.cur().num_parts());
+  Weight ext_from = 0.0;
+  {
+    const auto nbrs = g_->neighbors(v);
+    const auto ws = g_->neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const int q = s.cur().part_of(nbrs[i]);
+      if (q == from) {
+        ext_from += ws[i];
+      } else {
+        candidates.add_weight(q, ws[i]);
+      }
     }
   }
-  for (int q : candidates) {
-    const double delta = fn.move_delta(s.current, v, q);
+  for (int q : candidates.marked()) {
+    const double delta = detail::move_delta_from_profile(
+        s.cur(), options_.objective, v, q, ext_from, candidates.weight(q));
     if (delta < best_delta) {
       best_delta = delta;
       best = q;
@@ -157,28 +193,29 @@ int FusionFission::absorb_nucleon(State& s, VertexId v) {
   }
   if (best == -1) {
     // Isolated from every other atom: pick any other non-empty atom.
-    for (int q : s.current.nonempty_parts()) {
+    for (int q : s.cur().nonempty_parts()) {
       if (q != from) {
         best = q;
         break;
       }
     }
   }
-  if (best != -1 && s.current.part_size(from) > 1) {
-    s.current.move(v, best);
+  if (best != -1 && s.cur().part_size(from) > 1) {
+    s.tracker.move(v, best);
     ++s.result->ejections;
   }
   return best;
 }
 
 void FusionFission::split_atom(State& s, int atom, bool allow_percolation) {
-  const auto members_span = s.current.members(atom);
+  const auto members_span = s.cur().members(atom);
   if (members_span.size() < 2) return;
-  std::vector<VertexId> members(members_span.begin(), members_span.end());
+  static thread_local std::vector<VertexId> members;
+  members.assign(members_span.begin(), members_span.end());
 
-  std::vector<int> side;
+  static thread_local std::vector<int> side;
   if (allow_percolation && options_.percolation_fission) {
-    side = percolation_bisect(*g_, members, s.rng);
+    percolation_bisect_into(*g_, members, s.rng, side);
   } else {
     // Ablation / fallback: random halving.
     side.assign(members.size(), 0);
@@ -189,22 +226,33 @@ void FusionFission::split_atom(State& s, int atom, bool allow_percolation) {
   }
   // Find a part slot for the new half (reuse an empty slot if any).
   int fresh = -1;
-  for (int q = 0; q < s.current.num_parts(); ++q) {
-    if (s.current.part_size(q) == 0) {
+  for (int q = 0; q < s.cur().num_parts(); ++q) {
+    if (s.cur().part_size(q) == 0) {
       fresh = q;
       break;
     }
   }
-  if (fresh == -1) fresh = s.current.make_part();
+  if (fresh == -1) fresh = s.tracker.make_part();
+
+  // Relocate the smaller half (both halves' statistics are rebuilt from the
+  // same arc scan either way) in one bulk split.
+  const auto ones = static_cast<std::size_t>(
+      std::count(side.begin(), side.end(), 1));
+  const int move_label = 2 * ones > members.size() ? 0 : 1;
+  static thread_local std::vector<VertexId> moved;
+  moved.clear();
   for (std::size_t i = 0; i < members.size(); ++i) {
-    if (side[i] == 1) s.current.move(members[i], fresh);
+    if (side[i] == move_label) moved.push_back(members[i]);
   }
-  // Percolation can label everything one side on pathological subgraphs;
-  // force a non-trivial split.
-  if (s.current.part_size(fresh) == 0) {
-    s.current.move(members.back(), fresh);
-  } else if (s.current.part_size(atom) == 0) {
-    s.current.move(members.front(), atom);
+  if (moved.empty()) {
+    // Percolation labeled everything one side (pathological subgraph):
+    // force a non-trivial split.
+    s.tracker.move(members.back(), fresh);
+  } else {
+    // The minority-side choice above caps |moved| at half the atom, so
+    // this is always a proper subset.
+    FFP_DCHECK(moved.size() < members.size());
+    s.tracker.split_part(atom, fresh, moved);
   }
 }
 
@@ -217,17 +265,16 @@ void FusionFission::simple_fission(State& s, int atom) {
 // ---------------------------------------------------------------------------
 
 void FusionFission::do_fusion(State& s, int atom) {
-  const int partner = select_fusion_partner(s, atom);
+  const auto [partner, w_conn] = select_fusion_partner(s, atom);
   if (partner == -1) return;  // isolated atom; nothing to fuse with
   ++s.result->fusions;
 
-  // Merge the smaller atom into the larger (cheaper move count).
+  // Merge the smaller atom into the larger: O(|smaller|) relabel plus the
+  // O(1) merge identities — no per-vertex neighbor scans.
   int src = atom, dst = partner;
-  if (s.current.part_size(src) > s.current.part_size(dst)) std::swap(src, dst);
-  const int merged_size = s.current.part_size(src) + s.current.part_size(dst);
-  static thread_local std::vector<VertexId> to_move;
-  to_move.assign(s.current.members(src).begin(), s.current.members(src).end());
-  for (VertexId v : to_move) s.current.move(v, dst);
+  if (s.cur().part_size(src) > s.cur().part_size(dst)) std::swap(src, dst);
+  const int merged_size = s.cur().part_size(src) + s.cur().part_size(dst);
+  s.tracker.merge_parts(src, dst, w_conn);
 
   // The fusion law for the merged size may eject nucleons.
   const int size_for_law = std::min(merged_size, s.laws.max_atom_size());
@@ -239,17 +286,17 @@ void FusionFission::do_fusion(State& s, int atom) {
 
   if (options_.use_laws) {
     const double before = s.current_energy;
-    const double after = energy_of(s.current);
+    const double after = energy_now(s);
     s.laws.update(LawKind::Fusion, size_for_law, eject, after < before);
   }
 }
 
 void FusionFission::do_fission(State& s, int atom) {
-  if (s.current.part_size(atom) < 2) return;
+  if (s.cur().part_size(atom) < 2) return;
   ++s.result->fissions;
 
   const int size_for_law =
-      std::min(s.current.part_size(atom), s.laws.max_atom_size());
+      std::min(s.cur().part_size(atom), s.laws.max_atom_size());
   split_atom(s, atom, /*allow_percolation=*/true);
 
   const int eject =
@@ -262,7 +309,7 @@ void FusionFission::do_fission(State& s, int atom) {
     // nucleons are absorbed. Algorithm 2 (init) always absorbs.
     if (!s.init_mode && s.rng.bernoulli(heat)) {
       const int neighbor_atom = absorb_nucleon(s, v);
-      if (neighbor_atom != -1 && s.current.part_size(neighbor_atom) >= 2) {
+      if (neighbor_atom != -1 && s.cur().part_size(neighbor_atom) >= 2) {
         simple_fission(s, neighbor_atom);
       }
     } else {
@@ -272,7 +319,7 @@ void FusionFission::do_fission(State& s, int atom) {
 
   if (options_.use_laws) {
     const double before = s.current_energy;
-    const double after = energy_of(s.current);
+    const double after = energy_now(s);
     s.laws.update(LawKind::Fission, size_for_law, eject, after < before);
   }
 }
@@ -282,20 +329,24 @@ void FusionFission::do_fission(State& s, int atom) {
 // ---------------------------------------------------------------------------
 
 void FusionFission::note_partition(State& s, AnytimeRecorder* recorder) {
-  const double value = objective(options_.objective).evaluate(s.current);
-  const int p = s.current.num_nonempty_parts();
+  const double value = s.tracker.value();
+  const int p = s.cur().num_nonempty_parts();
   s.current_energy = partition_energy(value, p, *scaling_);
 
-  auto [it, inserted] = s.result->best_by_part_count.try_emplace(p, value);
-  if (!inserted && value < it->second) it->second = value;
+  if (static_cast<int>(s.best_by_p.size()) <= p) {
+    s.best_by_p.resize(static_cast<std::size_t>(p) + 1,
+                       std::numeric_limits<double>::infinity());
+  }
+  auto& best_at_p = s.best_by_p[static_cast<std::size_t>(p)];
+  if (value < best_at_p) best_at_p = value;
 
   if (s.current_energy < s.best_energy) {
     s.best_energy = s.current_energy;
-    s.best = s.current;
+    s.best = s.cur();
   }
   if (p == k_ && value < s.best_at_k_value) {
     s.best_at_k_value = value;
-    s.best_at_k = s.current;
+    s.best_at_k = s.cur();
     if (recorder != nullptr) recorder->record(value);
   }
 }
@@ -304,26 +355,20 @@ void FusionFission::step(State& s) {
   ++s.result->steps;
 
   // choose_atom: uniformly over non-empty atoms.
-  const auto atoms = s.current.nonempty_parts();
+  const auto atoms = s.cur().nonempty_parts();
   const int atom = atoms[s.rng.below(atoms.size())];
 
   double p_fission =
-      fission_probability(s.current.part_size(atom), s.temperature, choice_);
+      fission_probability(s.cur().part_size(atom), s.temperature, choice_);
 
   // Customized choice function (see FusionFissionOptions::choice_term_bias):
   // an atom whose ratio term is worse than the molecule average is pushed
-  // toward fission, a better-than-average atom toward staying fused.
+  // toward fission, a better-than-average atom toward staying fused. The
+  // molecule-wide term sum is the tracker's auxiliary sum — O(1) here.
   if (options_.choice_term_bias > 0.0 && !s.init_mode) {
-    auto leak_ratio = [&](int q) {
-      const double cut = s.current.part_cut(q);
-      const double internal = s.current.part_internal(q);
-      if (internal <= 0.0) return cut > 0.0 ? 1e6 : 0.0;
-      return cut / internal;
-    };
-    const double term = leak_ratio(atom);
-    double avg_term = 0.0;
-    for (int q : atoms) avg_term += leak_ratio(q);
-    avg_term /= static_cast<double>(atoms.size());
+    const double term = leak_ratio_term(s.cur(), atom);
+    const double avg_term =
+        s.tracker.aux_sum() / static_cast<double>(atoms.size());
     if (avg_term > 0.0) {
       const double bias = std::clamp((term - avg_term) / avg_term, -1.0, 1.0);
       p_fission = std::clamp(
@@ -331,8 +376,8 @@ void FusionFission::step(State& s) {
     }
   }
 
-  const bool can_fission = s.current.part_size(atom) >= 2;
-  const bool can_fusion = s.current.num_nonempty_parts() >= 2;
+  const bool can_fission = s.cur().part_size(atom) >= 2;
+  const bool can_fusion = s.cur().num_nonempty_parts() >= 2;
   if ((s.rng.bernoulli(p_fission) && can_fission) || !can_fusion) {
     if (can_fission) do_fission(s, atom);
   } else {
@@ -342,24 +387,27 @@ void FusionFission::step(State& s) {
 
 Partition FusionFission::initialize() {
   FusionFissionResult scratch{Partition(*g_, 1), 0.0, 0.0, {}, 0, 0, 0, 0, 0};
-  State s(Partition::singletons(*g_), g_->num_vertices(), options_.law_delta,
-          options_.seed ^ 0xabcdef12345ULL);
+  State s(Partition::singletons(*g_), options_.objective, g_->num_vertices(),
+          options_.law_delta, options_.seed ^ 0xabcdef12345ULL);
   s.result = &scratch;
   s.init_mode = true;
   s.temperature = options_.tmax;  // fixed: Algorithm 2 removes temperature
-  s.current_energy = energy_of(s.current);
+  s.current_energy = energy_now(s);
 
   // Fusion-biased choice until the atom count first reaches k: with n
   // singleton atoms every atom is far below n̄, so choice() picks fusion
-  // nearly always; each fusion reduces the atom count by one.
+  // nearly always; each fusion reduces the atom count by one. Every energy
+  // read here is O(1) off the tracker — Algorithm 2 used to be O(n²) in
+  // full evaluate() calls.
   const std::int64_t max_steps = 8LL * g_->num_vertices() + 64;
   for (std::int64_t i = 0;
-       i < max_steps && s.current.num_nonempty_parts() > k_; ++i) {
+       i < max_steps && s.cur().num_nonempty_parts() > k_; ++i) {
     step(s);
-    s.current_energy = energy_of(s.current);
+    s.current_energy = energy_now(s);
   }
-  s.current.compact();
-  return s.current;
+  Partition out = std::move(s.tracker).take();
+  out.compact();
+  return out;
 }
 
 FusionFissionResult FusionFission::run(const StopCondition& stop,
@@ -372,13 +420,14 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
   if (recorder != nullptr) recorder->start();
   Partition start = initialize();
 
-  State s(std::move(start), g_->num_vertices(), options_.law_delta,
-          options_.seed);
+  State s(std::move(start), options_.objective, g_->num_vertices(),
+          options_.law_delta, options_.seed);
   s.result = &result;
   s.temperature = options_.tmax;
+  if (options_.choice_term_bias > 0.0) s.tracker.track_aux(&leak_ratio_term);
   note_partition(s, recorder);
   // Seed the reheat target even if we never hit k exactly before freezing.
-  s.best = s.current;
+  s.best = s.cur();
   s.best_energy = s.current_energy;
 
   const double t_step =
@@ -398,11 +447,11 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
       // better than restarting from the best-energy molecule at any k.
       s.temperature = options_.tmax;
       if (s.best_at_k.has_value()) {
-        s.current = *s.best_at_k;
+        s.tracker.reset(*s.best_at_k, s.best_at_k_value);
         s.current_energy = partition_energy(
-            s.best_at_k_value, s.current.num_nonempty_parts(), *scaling_);
+            s.best_at_k_value, s.cur().num_nonempty_parts(), *scaling_);
       } else {
-        s.current = s.best;
+        s.tracker.reset(s.best);
         s.current_energy = s.best_energy;
       }
       ++result.reheats;
@@ -415,12 +464,12 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
     result.best = std::move(*s.best_at_k);
     result.best_value = s.best_at_k_value;
   } else {
-    s.current = s.best;
-    while (s.current.num_nonempty_parts() > k_) {
-      const auto atoms = s.current.nonempty_parts();
+    s.tracker.reset(s.best);
+    while (s.cur().num_nonempty_parts() > k_) {
+      const auto atoms = s.cur().nonempty_parts();
       int smallest = atoms[0], second = -1;
       for (int q : atoms) {
-        if (s.current.part_size(q) < s.current.part_size(smallest)) smallest = q;
+        if (s.cur().part_size(q) < s.cur().part_size(smallest)) smallest = q;
       }
       for (int q : atoms) {
         if (q != smallest) {
@@ -429,26 +478,31 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
         }
       }
       // Force-merge (do_fusion could no-op on an isolated atom and loop).
-      std::vector<VertexId> to_move(s.current.members(smallest).begin(),
-                                    s.current.members(smallest).end());
-      for (VertexId v : to_move) s.current.move(v, second);
+      std::vector<VertexId> to_move(s.cur().members(smallest).begin(),
+                                    s.cur().members(smallest).end());
+      for (VertexId v : to_move) s.tracker.move(v, second);
     }
-    while (s.current.num_nonempty_parts() < k_) {
-      const auto atoms = s.current.nonempty_parts();
+    while (s.cur().num_nonempty_parts() < k_) {
+      const auto atoms = s.cur().nonempty_parts();
       int largest = atoms[0];
       for (int q : atoms) {
-        if (s.current.part_size(q) > s.current.part_size(largest)) largest = q;
+        if (s.cur().part_size(q) > s.cur().part_size(largest)) largest = q;
       }
-      if (s.current.part_size(largest) < 2) break;
+      if (s.cur().part_size(largest) < 2) break;
       split_atom(s, largest, true);
     }
-    result.best = s.current;
-    result.best_value = objective(options_.objective).evaluate(s.current);
+    result.best = s.cur();
+    result.best_value = s.tracker.value();
   }
   result.best.compact();
   result.best_energy =
       partition_energy(result.best_value, result.best.num_nonempty_parts(),
                        *scaling_);
+  for (std::size_t p = 0; p < s.best_by_p.size(); ++p) {
+    if (std::isfinite(s.best_by_p[p])) {
+      result.best_by_part_count.emplace(static_cast<int>(p), s.best_by_p[p]);
+    }
+  }
   return result;
 }
 

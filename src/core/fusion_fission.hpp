@@ -28,6 +28,14 @@
 // Initialization (Algorithm 2) starts from singleton atoms and runs a
 // simplified loop (no temperature, no nucleon-triggered fission, a
 // fusion-biased choice) until the atom count first reaches k.
+//
+// Implementation: the molecule lives inside an ObjectiveTracker
+// (partition/objective_tracker.hpp), so the objective value and the energy
+// are running quantities — step(), do_fusion/do_fission's law updates, and
+// the whole of initialize() read them in O(1) and never call a full
+// ObjectiveFn::evaluate. Fusions use the bulk merge identity, fissions the
+// bulk split identity, and the choice_term_bias leak-ratio sum is the
+// tracker's auxiliary term, maintained under the same per-move updates.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,7 @@
 #include "core/laws.hpp"
 #include "core/scaling.hpp"
 #include "metaheuristics/anytime.hpp"
+#include "partition/objective_tracker.hpp"
 #include "partition/objectives.hpp"
 #include "partition/partition.hpp"
 #include "util/rng.hpp"
@@ -105,10 +114,12 @@ class FusionFission {
   void do_fission(State& s, int atom);
   int absorb_nucleon(State& s, VertexId v);          // nfusion
   void simple_fission(State& s, int atom);           // nfission, no ejection
-  int select_fusion_partner(State& s, int atom);
+  /// Chosen partner id (or -1) plus the connection weight to it.
+  std::pair<int, Weight> select_fusion_partner(State& s, int atom);
   std::vector<VertexId> pick_ejected(State& s, int atom, int count);
   void split_atom(State& s, int atom, bool allow_percolation);
-  double energy_of(const Partition& p) const;
+  /// Energy of the current molecule, O(1) off the tracker's running value.
+  double energy_now(const State& s) const;
   void note_partition(State& s, AnytimeRecorder* recorder);
 
   const Graph* g_;

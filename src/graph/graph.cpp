@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace ffp {
@@ -72,11 +73,13 @@ Graph Graph::from_edges(VertexId n, std::span<const WeightedEdge> edges,
   g.wdeg_.assign(static_cast<std::size_t>(n), 0.0);
   g.total_ewgt_ = 0.0;
   g.max_ewgt_ = 0.0;
+  g.min_ewgt_ = g.adj_.empty() ? 0.0 : std::numeric_limits<Weight>::infinity();
   for (VertexId v = 0; v < n; ++v) {
     for (ArcId a = g.xadj_[v]; a < g.xadj_[v + 1]; ++a) {
       const Weight w = g.wgt_[static_cast<std::size_t>(a)];
       g.wdeg_[v] += w;
       g.max_ewgt_ = std::max(g.max_ewgt_, w);
+      g.min_ewgt_ = std::min(g.min_ewgt_, w);
       if (g.adj_[static_cast<std::size_t>(a)] > v) g.total_ewgt_ += w;
     }
   }

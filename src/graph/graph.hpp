@@ -73,6 +73,12 @@ class Graph {
   /// Sum of undirected edge weights (each edge once).
   Weight total_edge_weight() const { return total_ewgt_; }
   Weight max_edge_weight() const { return max_ewgt_; }
+  Weight min_edge_weight() const { return min_ewgt_; }
+  /// True when every edge carries the same weight — flow distances reduce
+  /// to hop counts, letting Dijkstra-based kernels fall back to plain BFS.
+  bool has_uniform_edge_weights() const {
+    return num_edges() == 0 || min_ewgt_ == max_ewgt_;
+  }
 
   /// Weight of edge (u,v); 0 if absent. O(log deg(u)) binary search.
   Weight edge_weight(VertexId u, VertexId v) const;
@@ -100,6 +106,7 @@ class Graph {
   Weight total_vwgt_ = 0.0;
   Weight total_ewgt_ = 0.0;
   Weight max_ewgt_ = 0.0;
+  Weight min_ewgt_ = 0.0;
 };
 
 }  // namespace ffp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "partition/objective_tracker.hpp"
+#include "partition/part_scratch.hpp"
 #include "util/check.hpp"
 
 namespace ffp {
@@ -20,13 +22,13 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
                                         const StopCondition& stop,
                                         AnytimeRecorder* recorder) {
   FFP_CHECK(&initial.graph() == g_, "initial partition is for another graph");
-  const ObjectiveFn& fn = objective(options_.objective);
   Rng rng(options_.seed);
 
-  Partition current = initial;
-  double current_value = fn.evaluate(current);
+  // The tracker maintains the running objective in O(deg) per accepted
+  // move — no hand-rolled sum, no periodic full-evaluate drift guard.
+  ObjectiveTracker tracker(initial, options_.objective);
 
-  AnnealingResult result{current, current_value, 0, 0, 0};
+  AnnealingResult result{tracker.partition(), tracker.value(), 0, 0, 0};
 
   // Auto-calibration: tmax such that the typical uphill move is accepted
   // with ~60% probability at the start (classic rule of thumb). The median
@@ -40,8 +42,8 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
       const auto v = static_cast<VertexId>(
           rng.below(static_cast<std::uint64_t>(g_->num_vertices())));
       const int target = static_cast<int>(rng.below(static_cast<std::uint64_t>(k_)));
-      if (target == current.part_of(v)) continue;
-      const double d = std::abs(fn.move_delta(current, v, target));
+      if (target == tracker.partition().part_of(v)) continue;
+      const double d = std::abs(tracker.move_delta(v, target));
       if (d > 0.0) samples.push_back(d);
     }
     std::sort(samples.begin(), samples.end());
@@ -55,9 +57,9 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
   auto part_with_lowest_internal = [&]() {
     int best = -1;
     double best_w = std::numeric_limits<double>::infinity();
-    for (int q : current.nonempty_parts()) {
-      if (current.part_internal(q) < best_w) {
-        best_w = current.part_internal(q);
+    for (int q : tracker.partition().nonempty_parts()) {
+      if (tracker.partition().part_internal(q) < best_w) {
+        best_w = tracker.partition().part_internal(q);
         best = q;
       }
     }
@@ -67,9 +69,10 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
   if (recorder != nullptr) recorder->record(result.best_value);
 
   int rejections = 0;
-  std::vector<int> connected;  // scratch: parts adjacent to a vertex
+  PartMarkScratch connected;  // scratch: parts adjacent to a vertex
   while (!stop.done(result.steps)) {
     ++result.steps;
+    const Partition& current = tracker.partition();
 
     // Perturbation (§3.1): random vertex; target depends on temperature.
     const auto v = static_cast<VertexId>(
@@ -81,35 +84,30 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
     if (temperature > options_.high_temp_fraction * tmax) {
       target = part_with_lowest_internal();
     } else {
-      connected.clear();
+      connected.begin(current.num_parts());
       for (VertexId u : g_->neighbors(v)) {
         const int q = current.part_of(u);
-        if (q != from &&
-            std::find(connected.begin(), connected.end(), q) == connected.end()) {
-          connected.push_back(q);
-        }
+        if (q != from) connected.mark(q);
       }
-      if (!connected.empty()) {
-        target = connected[rng.below(connected.size())];
+      if (!connected.marked().empty()) {
+        target = connected.marked()[rng.below(connected.marked().size())];
       }
     }
     if (target == -1 || target == from) continue;
 
-    const double delta = fn.move_delta(current, v, target);
+    const double delta = tracker.move_delta(v, target);
     const bool accept =
         delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
     if (accept) {
-      current.move(v, target);
-      current_value += delta;
+      tracker.move(v, target);
       ++result.accepted;
-      if (current_value < result.best_value - 1e-12) {
-        // Full evaluate guards against drift of the running sum.
-        current_value = fn.evaluate(current);
-        if (current_value < result.best_value) {
-          result.best_value = current_value;
-          result.best = current;
-          if (recorder != nullptr) recorder->record(result.best_value);
-        }
+      // Epsilon guard: dust-level "improvements" between equal-quality
+      // states would otherwise trigger O(n) best copies and meaningless
+      // recorder points on late plateaus.
+      if (tracker.value() < result.best_value - 1e-12) {
+        result.best_value = tracker.value();
+        result.best = tracker.partition();
+        if (recorder != nullptr) recorder->record(result.best_value);
       }
     } else {
       ++rejections;
@@ -123,8 +121,7 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
         if (temperature <= tmin) {
           // Freezing point: restart the schedule from the best solution.
           temperature = tmax;
-          current = result.best;
-          current_value = result.best_value;
+          tracker.reset(result.best, result.best_value);
         }
       }
     }

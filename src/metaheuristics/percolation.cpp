@@ -232,66 +232,331 @@ Partition percolation_partition(const Graph& g, int k,
   return part;
 }
 
-std::vector<int> percolation_bisect(const Graph& g,
-                                    std::span<const VertexId> vertices,
-                                    Rng& rng) {
-  FFP_CHECK(vertices.size() >= 2, "cannot bisect fewer than two vertices");
-  const auto sub = induced_subgraph(g, vertices);
+namespace {
 
-  const auto comps = connected_components(sub.graph);
-  if (comps.count > 1) {
-    // Assign whole components to sides, heaviest first, lighter side first —
-    // a balanced split that never cuts an edge.
-    auto groups = comps.groups();
+/// Scratch for the in-place bisection the fusion-fission fission hot path
+/// runs on every split. The member set is compacted into a tiny local CSR
+/// once per call (one unsorted pass, buffers reused across calls), so the
+/// component check, the two farthest-point sweeps, and both percolation
+/// phases iterate dense 0..|set| arrays instead of chasing parent-graph ids
+/// through membership stamps — the set's arcs are touched several times per
+/// bisect, and the compact layout makes each touch a near-free cache hit.
+/// Profiling drove this shape: the original induced_subgraph + Graph
+/// construction per fission dominated the entire Algorithm 1 step.
+struct BisectScratch {
+  // Parent-indexed, epoch-stamped membership map (O(set) per call).
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  std::vector<std::int32_t> local;  // parent id -> local id while stamped
+
+  // Local CSR over the set; local id == index into `vertices`.
+  int n = 0;
+  std::vector<std::int32_t> xadj;
+  std::vector<std::int32_t> adj;
+  std::vector<Weight> wgt;
+
+  // Local working arrays (size n).
+  std::vector<int> owner;  // -1 unclaimed, else 0/1 (or component id)
+  std::vector<double> bond;
+  std::vector<double> cand_bond;
+  std::vector<int> cand_owner;
+  std::vector<double> dist;
+  std::vector<std::pair<double, int>> heap;  // Dijkstra min-heap
+  std::vector<int> frontier, touched;
+
+  void build(const Graph& g, std::span<const VertexId> vertices) {
+    n = static_cast<int>(vertices.size());
+    const auto gn = static_cast<std::size_t>(g.num_vertices());
+    if (stamp.size() < gn) {
+      stamp.resize(gn, 0);
+      local.resize(gn);
+    }
+    if (++epoch == 0) {  // wrapped: stale stamps could collide
+      std::fill(stamp.begin(), stamp.end(), 0);
+      epoch = 1;
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto v = static_cast<std::size_t>(vertices[static_cast<std::size_t>(i)]);
+      stamp[v] = epoch;
+      local[v] = i;
+    }
+    const auto un = static_cast<std::size_t>(n);
+    xadj.resize(un + 1);
+    owner.assign(un, -1);
+    cand_bond.assign(un, -1.0);
+    cand_owner.assign(un, -1);
+    bond.resize(un);
+    dist.resize(un);
+    adj.clear();
+    wgt.clear();
+    xadj[0] = 0;
+    for (int i = 0; i < n; ++i) {
+      const VertexId v = vertices[static_cast<std::size_t>(i)];
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.neighbor_weights(v);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const auto u = static_cast<std::size_t>(nbrs[j]);
+        if (stamp[u] == epoch) {
+          adj.push_back(local[u]);
+          wgt.push_back(ws[j]);
+        }
+      }
+      xadj[static_cast<std::size_t>(i) + 1] = static_cast<std::int32_t>(adj.size());
+    }
+  }
+};
+
+/// BFS/Dijkstra sweep in flow length 1/(1+w) over the local CSR; returns
+/// the farthest reachable local vertex (== source when nothing else is)
+/// and the number of reached vertices (the first sweep doubles as the
+/// connectivity probe). Uniform edge weights make every flow length equal,
+/// so the sweep degrades to plain BFS — no heap at all.
+int farthest_local(BisectScratch& s, bool uniform, int source, int& reached) {
+  reached = 1;
+  if (uniform) {
+    std::fill(s.dist.begin(), s.dist.begin() + s.n, -1.0);
+    s.dist[static_cast<std::size_t>(source)] = 0.0;
+    s.frontier.assign(1, source);
+    int far = source;
+    while (!s.frontier.empty()) {
+      s.touched.clear();
+      for (int v : s.frontier) {
+        const double d = s.dist[static_cast<std::size_t>(v)];
+        for (auto a = s.xadj[static_cast<std::size_t>(v)];
+             a < s.xadj[static_cast<std::size_t>(v) + 1]; ++a) {
+          const int u = s.adj[static_cast<std::size_t>(a)];
+          if (s.dist[static_cast<std::size_t>(u)] < 0.0) {
+            s.dist[static_cast<std::size_t>(u)] = d + 1.0;
+            s.touched.push_back(u);
+            ++reached;
+          }
+        }
+      }
+      if (!s.touched.empty()) far = s.touched.back();
+      s.frontier.swap(s.touched);
+    }
+    return far;
+  }
+
+  std::fill(s.dist.begin(), s.dist.begin() + s.n,
+            std::numeric_limits<double>::infinity());
+  s.dist[static_cast<std::size_t>(source)] = 0.0;
+  s.heap.clear();
+  s.heap.push_back({0.0, source});
+  int far = source;
+  double far_d = 0.0;
+  while (!s.heap.empty()) {
+    std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+    const auto [d, v] = s.heap.back();
+    s.heap.pop_back();
+    if (d > s.dist[static_cast<std::size_t>(v)]) continue;
+    if (d > far_d) {
+      far_d = d;
+      far = v;
+    }
+    for (auto a = s.xadj[static_cast<std::size_t>(v)];
+         a < s.xadj[static_cast<std::size_t>(v) + 1]; ++a) {
+      const int u = s.adj[static_cast<std::size_t>(a)];
+      const double nd = d + 1.0 / (1.0 + s.wgt[static_cast<std::size_t>(a)]);
+      if (nd < s.dist[static_cast<std::size_t>(u)]) {
+        if (s.dist[static_cast<std::size_t>(u)] ==
+            std::numeric_limits<double>::infinity()) {
+          ++reached;
+        }
+        s.dist[static_cast<std::size_t>(u)] = nd;
+        s.heap.push_back({nd, u});
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>());
+      }
+    }
+  }
+  return far;
+}
+
+/// The two-liquid percolation of percolate() on the local CSR (phase 1
+/// synchronized dripping, phase 2 bond fixed point). Owners land in
+/// s.owner; both sides are guaranteed non-empty on return.
+void percolate_pair_local(BisectScratch& s, int seed0, int seed1,
+                          int max_rounds) {
+  s.frontier.clear();
+  for (int c = 0; c < 2; ++c) {
+    const auto seed = static_cast<std::size_t>(c == 0 ? seed0 : seed1);
+    s.owner[seed] = c;
+    s.bond[seed] = 0.0;  // path sum starts empty
+    s.frontier.push_back(c == 0 ? seed0 : seed1);
+  }
+
+  // Every frontier vertex of round r sits exactly r hops from its seed, so
+  // the paper's 2^-d decay is a per-round constant — no per-vertex depth.
+  for (int round = 0; !s.frontier.empty(); ++round) {
+    const double decay = std::ldexp(1.0, -std::min(round, 50));
+    s.touched.clear();
+    for (int u : s.frontier) {
+      const auto su = static_cast<std::size_t>(u);
+      for (auto a = s.xadj[su]; a < s.xadj[su + 1]; ++a) {
+        const auto sv = static_cast<std::size_t>(s.adj[static_cast<std::size_t>(a)]);
+        if (s.owner[sv] != -1) continue;  // already claimed
+        const double b = s.bond[su] + s.wgt[static_cast<std::size_t>(a)] * decay;
+        if (b > s.cand_bond[sv]) {
+          if (s.cand_bond[sv] < 0.0) s.touched.push_back(static_cast<int>(sv));
+          s.cand_bond[sv] = b;
+          s.cand_owner[sv] = s.owner[su];
+        }
+      }
+    }
+    s.frontier.clear();
+    for (int v : s.touched) {
+      const auto sv = static_cast<std::size_t>(v);
+      s.owner[sv] = s.cand_owner[sv];
+      s.bond[sv] = s.cand_bond[sv];
+      s.cand_bond[sv] = -1.0;
+      s.cand_owner[sv] = -1;
+      s.frontier.push_back(v);
+    }
+  }
+
+  // Members unreachable from both seeds (the set need not be connected
+  // here when percolation stalls): round-robin, as percolate() does.
+  int rr = 0;
+  int size[2] = {0, 0};
+  for (int v = 0; v < s.n; ++v) {
+    auto& o = s.owner[static_cast<std::size_t>(v)];
+    if (o == -1) o = rr++ % 2;
+    ++size[o];
+  }
+
+  // Phase 2 — bond fixed point on direct attachment weight; seeds stay.
+  // Work-list driven: a vertex is re-examined only after a neighbor changed
+  // sides, so convergence costs O(flips * deg) instead of full sweeps of
+  // the set per round; max_rounds becomes a relaxation budget against
+  // pathological oscillation. cand_bond doubles as the queued flag (it is
+  // -1 for every member after phase 1).
+  auto& queue = s.touched;
+  queue.clear();
+  for (int v = 0; v < s.n; ++v) {
+    if (v == seed0 || v == seed1) continue;
+    const auto sv = static_cast<std::size_t>(v);
+    bool boundary = false;
+    for (auto a = s.xadj[sv]; a < s.xadj[sv + 1] && !boundary; ++a) {
+      boundary = s.owner[static_cast<std::size_t>(
+                     s.adj[static_cast<std::size_t>(a)])] != s.owner[sv];
+    }
+    if (!boundary) continue;  // interior: nothing to re-attach to
+    s.cand_bond[sv] = 1.0;  // queued
+    queue.push_back(v);
+  }
+  std::int64_t budget = static_cast<std::int64_t>(max_rounds) * s.n;
+  for (std::size_t head = 0; head < queue.size() && budget > 0; --budget) {
+    const int v = queue[head++];
+    const auto sv = static_cast<std::size_t>(v);
+    s.cand_bond[sv] = -1.0;  // dequeued
+    const int own = s.owner[sv];
+    if (size[own] <= 1) continue;
+    double attach[2] = {0.0, 0.0};
+    for (auto a = s.xadj[sv]; a < s.xadj[sv + 1]; ++a) {
+      attach[s.owner[static_cast<std::size_t>(s.adj[static_cast<std::size_t>(a)])]] +=
+          s.wgt[static_cast<std::size_t>(a)];
+    }
+    const int other = 1 - own;
+    if (attach[other] > attach[own] + 1e-12) {
+      s.owner[sv] = other;
+      --size[own];
+      ++size[other];
+      for (auto a = s.xadj[sv]; a < s.xadj[sv + 1]; ++a) {
+        const auto su = static_cast<std::size_t>(s.adj[static_cast<std::size_t>(a)]);
+        if (static_cast<int>(su) != seed0 && static_cast<int>(su) != seed1 &&
+            s.cand_bond[su] < 0.0) {
+          s.cand_bond[su] = 1.0;
+          queue.push_back(static_cast<int>(su));
+        }
+      }
+    }
+  }
+  // Leave cand_bond clean (-1) in case the scratch is reused before build().
+  std::fill(s.cand_bond.begin(), s.cand_bond.begin() + s.n, -1.0);
+
+  // Guarantee non-empty sides.
+  if (size[0] == 0) {
+    s.owner[static_cast<std::size_t>(seed0)] = 0;
+  } else if (size[1] == 0) {
+    s.owner[static_cast<std::size_t>(seed1)] = 1;
+  }
+}
+
+}  // namespace
+
+void percolation_bisect_into(const Graph& g,
+                             std::span<const VertexId> vertices, Rng& rng,
+                             std::vector<int>& side) {
+  FFP_CHECK(vertices.size() >= 2, "cannot bisect fewer than two vertices");
+  static thread_local BisectScratch s;
+  s.build(g, vertices);
+
+  const bool uniform = g.has_uniform_edge_weights();
+  int a = static_cast<int>(rng.below(vertices.size()));
+  int reached = 0;
+  a = farthest_local(s, uniform, a, reached);  // doubles as connectivity probe
+
+  if (reached < s.n) {
+    // Disconnected set. Label components (owner doubles as the label)…
+    int comp_count = 0;
+    auto& stack = s.frontier;
+    for (int root = 0; root < s.n; ++root) {
+      if (s.owner[static_cast<std::size_t>(root)] != -1) continue;
+      const int id = comp_count++;
+      s.owner[static_cast<std::size_t>(root)] = id;
+      stack.assign(1, root);
+      while (!stack.empty()) {
+        const auto sv = static_cast<std::size_t>(stack.back());
+        stack.pop_back();
+        for (auto a2 = s.xadj[sv]; a2 < s.xadj[sv + 1]; ++a2) {
+          const int u = s.adj[static_cast<std::size_t>(a2)];
+          if (s.owner[static_cast<std::size_t>(u)] == -1) {
+            s.owner[static_cast<std::size_t>(u)] = id;
+            stack.push_back(u);
+          }
+        }
+      }
+    }
+    // …then assign whole components to sides, largest first, lighter side
+    // first — a balanced split that never cuts an edge.
+    static thread_local std::vector<std::vector<int>> groups;
+    groups.assign(static_cast<std::size_t>(comp_count), {});
+    for (int v = 0; v < s.n; ++v) {
+      groups[static_cast<std::size_t>(s.owner[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
     std::sort(groups.begin(), groups.end(),
               [](const auto& a, const auto& b) { return a.size() > b.size(); });
-    std::vector<int> side(vertices.size(), 0);
+    side.assign(vertices.size(), 0);
     double w0 = 0.0, w1 = 0.0;
     for (const auto& grp : groups) {
       double gw = 0.0;
-      for (VertexId v : grp) gw += sub.graph.vertex_weight(v);
-      const int s = w0 <= w1 ? 0 : 1;
-      (s == 0 ? w0 : w1) += gw;
-      for (VertexId v : grp) side[static_cast<std::size_t>(v)] = s;
+      for (int v : grp) {
+        gw += g.vertex_weight(vertices[static_cast<std::size_t>(v)]);
+      }
+      const int sd = w0 <= w1 ? 0 : 1;
+      (sd == 0 ? w0 : w1) += gw;
+      for (int v : grp) side[static_cast<std::size_t>(v)] = sd;
     }
     // Both sides must be non-empty (single component impossible here).
-    return side;
+    return;
   }
 
-  // Connected: percolate from a flow-far-apart pair (two farthest-point
-  // sweeps in flow distance, so the cut falls along weak-flow boundaries).
-  VertexId a = static_cast<VertexId>(
-      rng.below(static_cast<std::uint64_t>(sub.graph.num_vertices())));
-  for (int sweep = 0; sweep < 2; ++sweep) {
-    const VertexId src[1] = {a};
-    const auto dist = flow_distances(sub.graph, src);
-    VertexId far = a;
-    double far_d = -1.0;
-    for (VertexId v = 0; v < sub.graph.num_vertices(); ++v) {
-      const double d = dist[static_cast<std::size_t>(v)];
-      if (std::isfinite(d) && d > far_d) {
-        far_d = d;
-        far = v;
-      }
-    }
-    if (sweep == 0) a = far;  // second sweep finds the partner
-    else if (far != a) {
-      const VertexId seeds2[2] = {a, far};
-      auto side2 = percolate(sub.graph,
-                             std::span<const VertexId>(seeds2, 2), {});
-      if (std::count(side2.begin(), side2.end(), 0) == 0)
-        side2[static_cast<std::size_t>(a)] = 0;
-      if (std::count(side2.begin(), side2.end(), 1) == 0)
-        side2[static_cast<std::size_t>(far)] = 1;
-      return side2;
-    }
-  }
-  const VertexId seeds[2] = {a, a == 0 ? VertexId{1} : VertexId{0}};
-  PercolationOptions popt;
-  auto side = percolate(sub.graph, std::span<const VertexId>(seeds, 2), popt);
-  // Guarantee non-empty sides.
-  if (std::count(side.begin(), side.end(), 0) == 0) side[static_cast<std::size_t>(seeds[0])] = 0;
-  if (std::count(side.begin(), side.end(), 1) == 0) side[static_cast<std::size_t>(seeds[1])] = 1;
+  // Connected: cut from a flow-far-apart pair (two farthest-point sweeps in
+  // flow distance, so the cut falls along weak-flow boundaries); the first
+  // sweep above already moved `a` to a far point.
+  const int partner_sweep = farthest_local(s, uniform, a, reached);
+  const int partner = partner_sweep != a ? partner_sweep : (a == 0 ? 1 : 0);
+  percolate_pair_local(s, a, partner, PercolationOptions{}.max_rounds);
+
+  side.assign(s.owner.begin(), s.owner.begin() + s.n);
+}
+
+std::vector<int> percolation_bisect(const Graph& g,
+                                    std::span<const VertexId> vertices,
+                                    Rng& rng) {
+  std::vector<int> side;
+  percolation_bisect_into(g, vertices, rng, side);
   return side;
 }
 

@@ -47,4 +47,11 @@ std::vector<int> percolation_bisect(const Graph& g,
                                     std::span<const VertexId> vertices,
                                     Rng& rng);
 
+/// Allocation-free variant for hot loops: labels land in `side` (resized to
+/// vertices.size()). The fusion-fission fission path calls this once per
+/// split with a reused buffer.
+void percolation_bisect_into(const Graph& g,
+                             std::span<const VertexId> vertices, Rng& rng,
+                             std::vector<int>& side);
+
 }  // namespace ffp

@@ -1,0 +1,118 @@
+// Per-part objective terms — the O(1) building blocks every built-in
+// criterion decomposes into:
+//
+//   Cut      term(A) = cut(A, V−A)
+//   Ncut     term(A) = cut(A, V−A) / assoc(A, V)
+//   Mcut     term(A) = cut(A, V−A) / W(A)
+//   RatioCut term(A) = cut(A, V−A) / weight(A)
+//
+// evaluate(P) = Σ_A term(A) over non-empty parts, and a single move only
+// changes the terms of its two endpoint parts — the identity both
+// objectives.cpp's move_delta and ObjectiveTracker's running value are
+// built on. Shared here so the two stay one definition.
+#pragma once
+
+#include "partition/objectives.hpp"
+
+namespace ffp::detail {
+
+/// One part's contribution to Ncut: cut / (cut + internal).
+inline double ncut_term(Weight cut, Weight internal) {
+  const Weight assoc = cut + internal;
+  if (assoc <= 0.0) return 0.0;  // isolated part with no incident edges
+  return cut / assoc;
+}
+
+/// One part's contribution to Mcut, with the zero-denominator penalty.
+inline double mcut_term(Weight cut, Weight internal) {
+  if (cut <= 0.0) return 0.0;
+  if (internal <= 0.0) return cut * kZeroDenominatorPenalty;
+  return cut / internal;
+}
+
+/// One part's contribution to RatioCut: cut / vertex-weight.
+inline double rcut_term(Weight cut, Weight vweight) {
+  if (cut <= 0.0) return 0.0;
+  if (vweight <= 0.0) return cut * kZeroDenominatorPenalty;
+  return cut / vweight;
+}
+
+/// Part q's contribution to `kind` on p. O(1); empty parts contribute 0.
+inline double objective_part_term(const Partition& p, ObjectiveKind kind,
+                                  int q) {
+  switch (kind) {
+    case ObjectiveKind::Cut:
+      return p.part_cut(q);
+    case ObjectiveKind::NormalizedCut:
+      return ncut_term(p.part_cut(q), p.part_internal(q));
+    case ObjectiveKind::MinMaxCut:
+      return mcut_term(p.part_cut(q), p.part_internal(q));
+    case ObjectiveKind::RatioCut:
+      return rcut_term(p.part_cut(q), p.part_vertex_weight(q));
+  }
+  throw Error("unknown ObjectiveKind");
+}
+
+/// Exact change in `kind` if v moved from its part to `target`, given the
+/// two connection weights a neighbor scan already produced (ext_from: v to
+/// its own part, ext_to: v to `target`). O(1) — lets callers that score
+/// many candidate targets per vertex pay ONE scan for all of them instead
+/// of one move_profile scan per target. Identical arithmetic to
+/// ObjectiveFn::move_delta (same identities, same operation order).
+inline double move_delta_from_profile(const Partition& p, ObjectiveKind kind,
+                                      VertexId v, int target, Weight ext_from,
+                                      Weight ext_to) {
+  const int from = p.part_of(v);
+  if (from == target) return 0.0;
+  if (kind == ObjectiveKind::Cut) return 2.0 * (ext_from - ext_to);
+
+  const Weight d = p.graph().weighted_degree(v);
+  const Weight vw = p.graph().vertex_weight(v);
+  Weight cut_from_new = p.part_cut(from) + 2.0 * ext_from - d;
+  Weight int_from_new = p.part_internal(from) - 2.0 * ext_from;
+  Weight vw_from_new = p.part_vertex_weight(from) - vw;
+  const Weight cut_to_new = p.part_cut(target) + d - 2.0 * ext_to;
+  const Weight int_to_new = p.part_internal(target) + 2.0 * ext_to;
+  const Weight vw_to_new = p.part_vertex_weight(target) + vw;
+  // Mirror Partition::move's dust rules (see objectives.cpp's effect_of):
+  // an emptied source is exactly zero, and residual internal weight below
+  // the smallest possible real contribution is cancellation dust.
+  if (p.part_size(from) == 1) {
+    cut_from_new = 0.0;
+    int_from_new = 0.0;
+    vw_from_new = 0.0;
+  } else if (int_from_new < p.graph().min_edge_weight()) {
+    int_from_new = 0.0;
+  }
+  switch (kind) {
+    case ObjectiveKind::NormalizedCut: {
+      const double before =
+          ncut_term(p.part_cut(from), p.part_internal(from)) +
+          ncut_term(p.part_cut(target), p.part_internal(target));
+      const double after = ncut_term(cut_from_new, int_from_new) +
+                           ncut_term(cut_to_new, int_to_new);
+      return after - before;
+    }
+    case ObjectiveKind::MinMaxCut: {
+      const double before =
+          mcut_term(p.part_cut(from), p.part_internal(from)) +
+          mcut_term(p.part_cut(target), p.part_internal(target));
+      const double after = mcut_term(cut_from_new, int_from_new) +
+                           mcut_term(cut_to_new, int_to_new);
+      return after - before;
+    }
+    case ObjectiveKind::RatioCut: {
+      const double before =
+          rcut_term(p.part_cut(from), p.part_vertex_weight(from)) +
+          rcut_term(p.part_cut(target), p.part_vertex_weight(target));
+      const double after = rcut_term(cut_from_new, vw_from_new) +
+                           rcut_term(cut_to_new, vw_to_new);
+      return after - before;
+    }
+    case ObjectiveKind::Cut:
+      break;  // handled above
+  }
+  throw Error("unknown ObjectiveKind");
+}
+
+}  // namespace ffp::detail

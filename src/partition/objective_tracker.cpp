@@ -1,0 +1,211 @@
+#include "partition/objective_tracker.hpp"
+
+#include <cmath>
+
+#include "partition/objective_terms.hpp"
+#include "util/stats.hpp"
+
+namespace ffp {
+
+namespace {
+
+/// Kahan-compensated accumulate: sum += delta with running error carry.
+inline void compensated_add(double& sum, double& carry, double delta) {
+  const double y = delta - carry;
+  const double t = sum + y;
+  carry = (t - sum) - y;
+  sum = t;
+}
+
+/// Maps a built-in singleton back to its kind; nullopt for custom fns.
+bool builtin_kind_of(const ObjectiveFn& fn, ObjectiveKind& out) {
+  for (auto kind : {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+                    ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    if (&objective(kind) == &fn) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ObjectiveTracker::ObjectiveTracker(Partition p, ObjectiveKind kind)
+    : p_(std::move(p)),
+      fn_(&objective(kind)),
+      kind_(kind),
+      term_based_(true) {
+  resync();
+}
+
+ObjectiveTracker::ObjectiveTracker(Partition p, const ObjectiveFn& fn)
+    : p_(std::move(p)), fn_(&fn) {
+  term_based_ = builtin_kind_of(fn, kind_);
+  resync();
+}
+
+double ObjectiveTracker::part_term(int q) const {
+  return detail::objective_part_term(p_, kind_, q);
+}
+
+void ObjectiveTracker::move(VertexId v, int target) {
+  const int from = p_.part_of(v);
+  if (from == target) return;
+
+  if (term_based_ && kind_ == ObjectiveKind::Cut && aux_ == nullptr) {
+    // Cut is the Partition's own total_cut_pairs — adopt it directly; no
+    // term arithmetic, no summation drift at all.
+    p_.move(v, target);
+    value_ = p_.total_cut_pairs();
+    carry_ = 0.0;
+    maybe_rescue_precision();
+    return;
+  }
+  if (term_based_) {
+    const double term_before = part_term(from) + part_term(target);
+    const double aux_before =
+        aux_ != nullptr ? aux_(p_, from) + aux_(p_, target) : 0.0;
+    p_.move(v, target);
+    compensated_add(value_, carry_,
+                    part_term(from) + part_term(target) - term_before);
+    if (aux_ != nullptr) {
+      compensated_add(aux_sum_, aux_carry_,
+                      aux_(p_, from) + aux_(p_, target) - aux_before);
+    }
+  } else {
+    // Custom objective: its move_delta is the only incremental identity we
+    // have; accumulate it around the move.
+    const double delta = fn_->move_delta(p_, v, target);
+    const double aux_before =
+        aux_ != nullptr ? aux_(p_, from) + aux_(p_, target) : 0.0;
+    p_.move(v, target);
+    compensated_add(value_, carry_, delta);
+    if (aux_ != nullptr) {
+      compensated_add(aux_sum_, aux_carry_,
+                      aux_(p_, from) + aux_(p_, target) - aux_before);
+    }
+  }
+  maybe_rescue_precision();
+}
+
+void ObjectiveTracker::move(VertexId v, int target, double known_delta) {
+  if (term_based_) {
+    move(v, target);
+    return;
+  }
+  const int from = p_.part_of(v);
+  if (from == target) return;
+  const double aux_before =
+      aux_ != nullptr ? aux_(p_, from) + aux_(p_, target) : 0.0;
+  p_.move(v, target);
+  compensated_add(value_, carry_, known_delta);
+  if (aux_ != nullptr) {
+    compensated_add(aux_sum_, aux_carry_,
+                    aux_(p_, from) + aux_(p_, target) - aux_before);
+  }
+  maybe_rescue_precision();
+}
+
+void ObjectiveTracker::merge_parts(int src, int dst, Weight w_between) {
+  if (term_based_) {
+    const double term_before = part_term(src) + part_term(dst);
+    const double aux_before =
+        aux_ != nullptr ? aux_(p_, src) + aux_(p_, dst) : 0.0;
+    p_.merge_into(src, dst, w_between);
+    compensated_add(value_, carry_, part_term(dst) - term_before);
+    if (aux_ != nullptr) {
+      compensated_add(aux_sum_, aux_carry_, aux_(p_, dst) - aux_before);
+    }
+    maybe_rescue_precision();
+    return;
+  }
+  // Custom objective: no term decomposition to lean on — merge and pay one
+  // full evaluate (custom-fn callers don't sit in the fusion hot loop).
+  p_.merge_into(src, dst, w_between);
+  resync();
+}
+
+void ObjectiveTracker::split_part(int src, int fresh,
+                                  std::span<const VertexId> moved) {
+  if (term_based_) {
+    const double term_before = part_term(src) + part_term(fresh);
+    const double aux_before =
+        aux_ != nullptr ? aux_(p_, src) + aux_(p_, fresh) : 0.0;
+    p_.split_off(src, fresh, moved);
+    compensated_add(value_, carry_,
+                    part_term(src) + part_term(fresh) - term_before);
+    if (aux_ != nullptr) {
+      compensated_add(aux_sum_, aux_carry_,
+                      aux_(p_, src) + aux_(p_, fresh) - aux_before);
+    }
+    maybe_rescue_precision();
+    return;
+  }
+  p_.split_off(src, fresh, moved);
+  resync();
+}
+
+void ObjectiveTracker::maybe_rescue_precision() {
+  const double mag = std::abs(value_);
+  if (mag > peak_) {
+    peak_ = mag;
+    return;
+  }
+  // The running sum carries absolute rounding residue proportional to the
+  // largest magnitude it passed through (Mcut/RatioCut penalty spikes). Once
+  // the value has descended six orders below that peak, re-evaluate from
+  // scratch — rare (a few times per descent) and O(k).
+  if (mag * 1e6 < peak_) resync();
+}
+
+void ObjectiveTracker::reset(Partition p) {
+  p_ = std::move(p);
+  resync();
+}
+
+void ObjectiveTracker::reset(Partition p, double known_value) {
+  p_ = std::move(p);
+  value_ = known_value;
+  carry_ = 0.0;
+  peak_ = std::abs(known_value);
+  aux_resync();
+}
+
+double ObjectiveTracker::resync() {
+  value_ = fn_->evaluate(p_);
+  carry_ = 0.0;
+  peak_ = std::abs(value_);
+  aux_resync();
+  return value_;
+}
+
+double ObjectiveTracker::aux_resync() {
+  aux_sum_ = 0.0;
+  aux_carry_ = 0.0;
+  if (aux_ != nullptr) {
+    for (int q : p_.nonempty_parts()) aux_sum_ += aux_(p_, q);
+  }
+  return aux_sum_;
+}
+
+void ObjectiveTracker::track_aux(PartTermFn term) {
+  aux_ = term;
+  aux_resync();
+}
+
+void ObjectiveTracker::validate(double tol) const {
+  p_.validate();
+  const double fresh = fn_->evaluate(p_);
+  FFP_CHECK(close(fresh, value_, tol, tol), "tracked ", fn_->name(),
+            " value drifted: running ", value_, " vs evaluate ", fresh);
+  if (aux_ != nullptr) {
+    double fresh_aux = 0.0;
+    for (int q : p_.nonempty_parts()) fresh_aux += aux_(p_, q);
+    FFP_CHECK(close(fresh_aux, aux_sum_, tol, tol),
+              "tracked aux term sum drifted: running ", aux_sum_,
+              " vs recompute ", fresh_aux);
+  }
+}
+
+}  // namespace ffp

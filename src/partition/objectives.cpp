@@ -1,64 +1,21 @@
 #include "partition/objectives.hpp"
 
+#include "partition/objective_terms.hpp"
+
 namespace ffp {
 
 namespace {
 
-/// One part's contribution to Ncut: cut / (cut + internal).
-double ncut_term(Weight cut, Weight internal) {
-  const Weight assoc = cut + internal;
-  if (assoc <= 0.0) return 0.0;  // isolated part with no incident edges
-  return cut / assoc;
-}
-
-/// One part's contribution to Mcut, with the zero-denominator penalty.
-double mcut_term(Weight cut, Weight internal) {
-  if (cut <= 0.0) return 0.0;
-  if (internal <= 0.0) return cut * kZeroDenominatorPenalty;
-  return cut / internal;
-}
-
-/// One part's contribution to RatioCut: cut / vertex-weight.
-double rcut_term(Weight cut, Weight vweight) {
-  if (cut <= 0.0) return 0.0;
-  if (vweight <= 0.0) return cut * kZeroDenominatorPenalty;
-  return cut / vweight;
-}
-
-/// Shared machinery: the new (cut, internal, vweight) values of the source
-/// and target parts after moving v, straight from the move identities in
-/// Partition::move.
-struct MoveEffect {
-  int from;
-  Weight cut_from_new, int_from_new, vw_from_new;
-  Weight cut_to_new, int_to_new, vw_to_new;
-  bool trivial = false;  // target == current part
-};
-
-MoveEffect effect_of(const Partition& p, VertexId v, int target) {
-  MoveEffect e{};
-  e.from = p.part_of(v);
-  if (e.from == target) {
-    e.trivial = true;
-    return e;
-  }
+// The delta identities live in exactly one place —
+// detail::move_delta_from_profile — because hot loops that score many
+// candidate targets per neighbor scan must produce bit-identical deltas to
+// these virtual entry points.
+double profiled_delta(const Partition& p, ObjectiveKind kind, VertexId v,
+                      int target) {
+  if (p.part_of(v) == target) return 0.0;
   const auto prof = p.move_profile(v, target);
-  const Weight d = p.graph().weighted_degree(v);
-  const Weight vw = p.graph().vertex_weight(v);
-  e.cut_from_new = p.part_cut(e.from) + 2.0 * prof.ext_from - d;
-  e.int_from_new = p.part_internal(e.from) - 2.0 * prof.ext_from;
-  e.vw_from_new = p.part_vertex_weight(e.from) - vw;
-  e.cut_to_new = p.part_cut(target) + d - 2.0 * prof.ext_to;
-  e.int_to_new = p.part_internal(target) + 2.0 * prof.ext_to;
-  e.vw_to_new = p.part_vertex_weight(target) + vw;
-  // If the source part empties, its stats are exactly zero; clamp fp dust so
-  // ratio terms see a true empty part.
-  if (p.part_size(e.from) == 1) {
-    e.cut_from_new = 0.0;
-    e.int_from_new = 0.0;
-    e.vw_from_new = 0.0;
-  }
-  return e;
+  return detail::move_delta_from_profile(p, kind, v, target, prof.ext_from,
+                                         prof.ext_to);
 }
 
 class CutObjective final : public ObjectiveFn {
@@ -70,9 +27,7 @@ class CutObjective final : public ObjectiveFn {
   }
 
   double move_delta(const Partition& p, VertexId v, int target) const override {
-    if (p.part_of(v) == target) return 0.0;
-    const auto prof = p.move_profile(v, target);
-    return 2.0 * (prof.ext_from - prof.ext_to);
+    return profiled_delta(p, ObjectiveKind::Cut, v, target);
   }
 };
 
@@ -83,19 +38,13 @@ class NcutObjective final : public ObjectiveFn {
   double evaluate(const Partition& p) const override {
     double total = 0.0;
     for (int q : p.nonempty_parts()) {
-      total += ncut_term(p.part_cut(q), p.part_internal(q));
+      total += detail::ncut_term(p.part_cut(q), p.part_internal(q));
     }
     return total;
   }
 
   double move_delta(const Partition& p, VertexId v, int target) const override {
-    const auto e = effect_of(p, v, target);
-    if (e.trivial) return 0.0;
-    const double before = ncut_term(p.part_cut(e.from), p.part_internal(e.from)) +
-                          ncut_term(p.part_cut(target), p.part_internal(target));
-    const double after = ncut_term(e.cut_from_new, e.int_from_new) +
-                         ncut_term(e.cut_to_new, e.int_to_new);
-    return after - before;
+    return profiled_delta(p, ObjectiveKind::NormalizedCut, v, target);
   }
 };
 
@@ -106,19 +55,13 @@ class McutObjective final : public ObjectiveFn {
   double evaluate(const Partition& p) const override {
     double total = 0.0;
     for (int q : p.nonempty_parts()) {
-      total += mcut_term(p.part_cut(q), p.part_internal(q));
+      total += detail::mcut_term(p.part_cut(q), p.part_internal(q));
     }
     return total;
   }
 
   double move_delta(const Partition& p, VertexId v, int target) const override {
-    const auto e = effect_of(p, v, target);
-    if (e.trivial) return 0.0;
-    const double before = mcut_term(p.part_cut(e.from), p.part_internal(e.from)) +
-                          mcut_term(p.part_cut(target), p.part_internal(target));
-    const double after = mcut_term(e.cut_from_new, e.int_from_new) +
-                         mcut_term(e.cut_to_new, e.int_to_new);
-    return after - before;
+    return profiled_delta(p, ObjectiveKind::MinMaxCut, v, target);
   }
 };
 
@@ -129,20 +72,13 @@ class RatioCutObjective final : public ObjectiveFn {
   double evaluate(const Partition& p) const override {
     double total = 0.0;
     for (int q : p.nonempty_parts()) {
-      total += rcut_term(p.part_cut(q), p.part_vertex_weight(q));
+      total += detail::rcut_term(p.part_cut(q), p.part_vertex_weight(q));
     }
     return total;
   }
 
   double move_delta(const Partition& p, VertexId v, int target) const override {
-    const auto e = effect_of(p, v, target);
-    if (e.trivial) return 0.0;
-    const double before =
-        rcut_term(p.part_cut(e.from), p.part_vertex_weight(e.from)) +
-        rcut_term(p.part_cut(target), p.part_vertex_weight(target));
-    const double after = rcut_term(e.cut_from_new, e.vw_from_new) +
-                         rcut_term(e.cut_to_new, e.vw_to_new);
-    return after - before;
+    return profiled_delta(p, ObjectiveKind::RatioCut, v, target);
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "partition/part_scratch.hpp"
 #include "util/stats.hpp"
 
 namespace ffp {
@@ -136,6 +137,21 @@ void Partition::move(VertexId v, int target) {
     cut_[f] = 0.0;       // clear any residual floating-point dust
     internal_[f] = 0.0;
     vweight_[f] = 0.0;
+  } else if (from_members.size() == 1) {
+    // A singleton part has exactly zero internal weight and a cut equal to
+    // its vertex's weighted degree. Pin both: the ± dust that incremental
+    // updates leave behind would otherwise land in ratio denominators
+    // (Mcut's cut/W(A) on a true-zero W(A) becomes cut/1e-14 ≈ 1e15
+    // instead of the intended penalty — garbage energies).
+    cut_[f] = g_->weighted_degree(from_members[0]);
+    internal_[f] = 0.0;
+  } else if (internal_[f] < g_->min_edge_weight()) {
+    // A true internal edge contributes at least 2× the minimum edge weight,
+    // so anything below min_edge_weight is cancellation dust on an
+    // internal-edge-free part (e.g. a scattered independent set) — the same
+    // ratio-denominator hazard as the singleton case. Also covers negative
+    // dust (internal weight is a sum of edge weights, hence >= 0).
+    internal_[f] = 0.0;
   }
 
   if (members_[t].empty()) {
@@ -146,6 +162,128 @@ void Partition::move(VertexId v, int target) {
       static_cast<std::int32_t>(members_[t].size());
   members_[t].push_back(v);
   part_[static_cast<std::size_t>(v)] = target;
+}
+
+void Partition::merge_into(int src, int dst, Weight w_between) {
+  const auto s = check_part(src);
+  const auto d = check_part(dst);
+  FFP_CHECK(s != d, "cannot merge a part into itself");
+  FFP_CHECK(!members_[s].empty(), "cannot merge an empty part");
+#ifndef NDEBUG
+  {
+    Weight fresh = 0.0;
+    for (VertexId v : members_[s]) fresh += ext_degree(v, dst);
+    FFP_DCHECK(std::abs(fresh - w_between) <=
+                   1e-7 * std::max(1.0, std::abs(fresh)),
+               "merge_into w_between ", w_between,
+               " does not match recomputed ", fresh);
+  }
+#endif
+
+  cut_[d] = cut_[s] + cut_[d] - 2.0 * w_between;
+  internal_[d] = internal_[s] + internal_[d] + 2.0 * w_between;
+  vweight_[d] += vweight_[s];
+  total_cut_pairs_ -= 2.0 * w_between;
+
+  auto& dst_members = members_[d];
+  const bool dst_was_empty = dst_members.empty();
+  for (VertexId v : members_[s]) {
+    part_[static_cast<std::size_t>(v)] = dst;
+    pos_in_part_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(dst_members.size());
+    dst_members.push_back(v);
+  }
+  members_[s].clear();
+  cut_[s] = 0.0;
+  internal_[s] = 0.0;
+  vweight_[s] = 0.0;
+
+  // Non-empty list maintenance, as in move().
+  const auto npos = static_cast<std::size_t>(nonempty_pos_[s]);
+  const int moved = nonempty_.back();
+  nonempty_[npos] = moved;
+  nonempty_pos_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(npos);
+  nonempty_.pop_back();
+  nonempty_pos_[s] = -1;
+  if (dst_was_empty) {
+    nonempty_pos_[d] = static_cast<std::int32_t>(nonempty_.size());
+    nonempty_.push_back(dst);
+  }
+}
+
+void Partition::split_off(int src, int fresh, std::span<const VertexId> moved) {
+  const auto si = check_part(src);
+  const auto fi = check_part(fresh);
+  FFP_CHECK(si != fi, "cannot split a part into itself");
+  FFP_CHECK(members_[fi].empty(), "split target part must be empty");
+  FFP_CHECK(!moved.empty() && moved.size() < members_[si].size(),
+            "split must move a non-empty proper subset");
+
+  // Relabel the moved vertices, then compact the source member list.
+  auto& fresh_members = members_[fi];
+  for (VertexId v : moved) {
+    FFP_DCHECK(part_[static_cast<std::size_t>(v)] == src,
+               "split vertex not in source part");
+    part_[static_cast<std::size_t>(v)] = fresh;
+    pos_in_part_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(fresh_members.size());
+    fresh_members.push_back(v);
+  }
+  auto& src_members = members_[si];
+  std::size_t keep = 0;
+  for (VertexId v : src_members) {
+    if (part_[static_cast<std::size_t>(v)] == src) {
+      src_members[keep] = v;
+      pos_in_part_[static_cast<std::size_t>(v)] =
+          static_cast<std::int32_t>(keep);
+      ++keep;
+    }
+  }
+  src_members.resize(keep);
+
+  // One arc scan over the moved side gives its volume/internal weight and
+  // its connection to the remainder; the split identities give the rest.
+  Weight vol_moved = 0.0, int_moved = 0.0, w_between = 0.0, vw_moved = 0.0;
+  for (VertexId v : moved) {
+    vol_moved += g_->weighted_degree(v);
+    vw_moved += g_->vertex_weight(v);
+    const auto nbrs = g_->neighbors(v);
+    const auto ws = g_->neighbor_weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const int pu = part_[static_cast<std::size_t>(nbrs[i])];
+      if (pu == fresh) int_moved += ws[i];
+      else if (pu == src) w_between += ws[i];
+    }
+  }
+  const Weight vol_src_old = cut_[si] + internal_[si];  // assoc == vol
+  const Weight cut_src_old = cut_[si];
+  Weight int_kept = internal_[si] - int_moved - 2.0 * w_between;
+  // Subtraction dust below the smallest possible internal contribution
+  // means the kept side holds no internal edge at all (see move()).
+  if (int_kept < g_->min_edge_weight()) int_kept = 0.0;
+  const Weight cut_moved = vol_moved - int_moved;
+  const Weight cut_kept = (vol_src_old - vol_moved) - int_kept;
+
+  cut_[si] = cut_kept;
+  internal_[si] = int_kept;
+  vweight_[si] -= vw_moved;
+  cut_[fi] = cut_moved;
+  internal_[fi] = int_moved;
+  vweight_[fi] = vw_moved;
+  total_cut_pairs_ += cut_kept + cut_moved - cut_src_old;
+
+  // Exact singleton statistics, as in move().
+  if (src_members.size() == 1) {
+    cut_[si] = g_->weighted_degree(src_members[0]);
+    internal_[si] = 0.0;
+  }
+  if (fresh_members.size() == 1) {
+    cut_[fi] = g_->weighted_degree(fresh_members[0]);
+    internal_[fi] = 0.0;
+  }
+
+  nonempty_pos_[fi] = static_cast<std::int32_t>(nonempty_.size());
+  nonempty_.push_back(fresh);
 }
 
 int Partition::make_part() {
@@ -186,28 +324,18 @@ Partition::MoveProfile Partition::move_profile(VertexId v, int target) const {
 
 void Partition::connections(int p, std::vector<std::pair<int, Weight>>& out) const {
   check_part(p);
-  // Accumulate into a scratch map indexed by part; touched list keeps it
-  // O(boundary) instead of O(num_parts).
-  static thread_local std::vector<Weight> acc;
-  static thread_local std::vector<int> touched;
-  if (acc.size() < static_cast<std::size_t>(num_parts())) {
-    acc.assign(static_cast<std::size_t>(num_parts()), 0.0);
-  }
-  touched.clear();
+  // Epoch-stamped accumulation keeps this O(boundary), not O(num_parts).
+  static thread_local PartMarkScratch scratch;
+  scratch.begin(num_parts());
   for (VertexId v : members_[static_cast<std::size_t>(p)]) {
     const auto nbrs = g_->neighbors(v);
     const auto ws = g_->neighbor_weights(v);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       const int pu = part_[static_cast<std::size_t>(nbrs[i])];
-      if (pu == p) continue;
-      if (acc[static_cast<std::size_t>(pu)] == 0.0) touched.push_back(pu);
-      acc[static_cast<std::size_t>(pu)] += ws[i];
+      if (pu != p) scratch.add_weight(pu, ws[i]);
     }
   }
-  for (int q : touched) {
-    out.emplace_back(q, acc[static_cast<std::size_t>(q)]);
-    acc[static_cast<std::size_t>(q)] = 0.0;
-  }
+  for (int q : scratch.marked()) out.emplace_back(q, scratch.weight(q));
 }
 
 std::vector<int> Partition::compact() {

@@ -49,6 +49,23 @@ class Partition {
   /// Moves v to part `target` and updates all statistics in O(deg(v)).
   void move(VertexId v, int target);
 
+  /// Merges every vertex of `src` into `dst` in O(|src|) — no neighbor
+  /// scans. `w_between` must be the total connection weight between the two
+  /// parts (Σ w(e) over edges with one endpoint in each, each edge once),
+  /// which fusion callers already hold from connections(); it closes the
+  /// merge identities cut(S∪D) = cut(S) + cut(D) − 2w and
+  /// W(S∪D) = W(S) + W(D) + 2w. Checked against a fresh recompute in debug
+  /// builds. src must be non-empty and distinct from dst.
+  void merge_into(int src, int dst, Weight w_between);
+
+  /// Bulk fission: moves every vertex of `moved` (a non-empty proper subset
+  /// of part `src`'s members) into the empty part `fresh`, rebuilding both
+  /// parts' statistics from one scan over the moved vertices' arcs — the
+  /// split identities W(S) = W(A) + W(B) + 2w(A,B) and
+  /// cut(X) = vol(X) − W(X) close the rest. O(|src| + Σ deg(moved)),
+  /// versus per-vertex move() paying heavy bookkeeping per call.
+  void split_off(int src, int fresh, std::span<const VertexId> moved);
+
   /// Adds an empty part slot and returns its id.
   int make_part();
 

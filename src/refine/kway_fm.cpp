@@ -4,55 +4,69 @@
 #include <limits>
 #include <numeric>
 
+#include "partition/objective_tracker.hpp"
+#include "partition/part_scratch.hpp"
+
 namespace ffp {
 
 KwayFmResult kway_fm_refine(Partition& p, const ObjectiveFn& objective,
                             const KwayFmOptions& options, Rng& rng) {
-  const Graph& g = p.graph();
+  // The tracker owns the partition for the duration of the refinement and
+  // maintains the running objective across moves; the built-in criteria
+  // update in O(deg) per move, so initial/final values cost nothing extra.
+  // The caller's partition is handed back even if the objective throws —
+  // `p` must never be left moved-from: evaluate once while p is still
+  // intact (a throwing custom objective fails here, before the move), so
+  // the tracker's own resync on the identical state cannot throw, and the
+  // guard below covers everything after.
   KwayFmResult result;
   result.initial_objective = objective.evaluate(p);
+  ObjectiveTracker tracker(std::move(p), objective);
+  struct ReturnPartition {
+    Partition& p;
+    ObjectiveTracker& tracker;
+    ~ReturnPartition() { p = std::move(tracker).take(); }
+  } return_partition{p, tracker};
+  const Graph& g = tracker.partition().graph();
 
-  const int k = std::max(1, p.num_nonempty_parts());
+  const int k = std::max(1, tracker.partition().num_nonempty_parts());
   const double cap =
       g.total_vertex_weight() / k * options.max_imbalance;
 
   std::vector<VertexId> order(static_cast<std::size_t>(g.num_vertices()));
   std::iota(order.begin(), order.end(), 0);
 
-  std::vector<int> tried_parts;  // scratch: adjacent parts of a vertex
+  PartMarkScratch tried_parts;  // scratch: adjacent parts of a vertex
   for (int pass = 0; pass < options.max_passes; ++pass) {
     ++result.passes;
     rng.shuffle(order);
     double pass_gain = 0.0;
     for (VertexId v : order) {
-      const int from = p.part_of(v);
-      if (p.part_size(from) <= 1) continue;  // never empty a part
+      const Partition& cur = tracker.partition();
+      const int from = cur.part_of(v);
+      if (cur.part_size(from) <= 1) continue;  // never empty a part
 
       // Candidate targets: parts adjacent to v.
-      tried_parts.clear();
+      tried_parts.begin(cur.num_parts());
       for (VertexId u : g.neighbors(v)) {
-        const int t = p.part_of(u);
-        if (t != from &&
-            std::find(tried_parts.begin(), tried_parts.end(), t) ==
-                tried_parts.end()) {
-          tried_parts.push_back(t);
-        }
+        const int t = cur.part_of(u);
+        if (t != from) tried_parts.mark(t);
       }
       int best_t = -1;
       double best_delta = -1e-13;  // strict improvement only
-      for (int t : tried_parts) {
+      for (int t : tried_parts.marked()) {
         if (options.enforce_balance &&
-            p.part_vertex_weight(t) + g.vertex_weight(v) > cap) {
+            cur.part_vertex_weight(t) + g.vertex_weight(v) > cap) {
           continue;
         }
-        const double delta = objective.move_delta(p, v, t);
+        const double delta = tracker.move_delta(v, t);
         if (delta < best_delta) {
           best_delta = delta;
           best_t = t;
         }
       }
       if (best_t != -1) {
-        p.move(v, best_t);
+        tracker.move(v, best_t, best_delta);
         pass_gain -= best_delta;  // delta is negative
         ++result.moves;
       }
@@ -60,7 +74,7 @@ KwayFmResult kway_fm_refine(Partition& p, const ObjectiveFn& objective,
     if (pass_gain <= options.min_gain_per_pass) break;
   }
 
-  result.final_objective = objective.evaluate(p);
+  result.final_objective = tracker.value();
   return result;
 }
 

@@ -24,6 +24,17 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Runs `f()` and returns its wall-clock duration in seconds. The single
+/// timing path for benches and examples: everything that reports a duration
+/// (bench JSON, ASCII tables, example printouts) goes through WallTimer's
+/// monotonic clock so the numbers agree with each other.
+template <typename F>
+double timed_seconds(F&& f) {
+  WallTimer timer;
+  static_cast<F&&>(f)();
+  return timer.elapsed_seconds();
+}
+
 /// Stop condition shared by all anytime metaheuristics: whichever of the
 /// wall-clock and step budgets runs out first ends the search. Either budget
 /// may be unlimited.

@@ -58,5 +58,28 @@ TEST(Check, ConditionEvaluatedOnce) {
   EXPECT_EQ(count, 1);
 }
 
+// FFP_DCHECK's contract differs per build type, and CI builds both: the
+// Debug job proves it checks, the Release (NDEBUG) job proves it is
+// zero-cost — the condition must never be evaluated.
+TEST(Check, DcheckActiveOnlyInDebugBuilds) {
+  int evaluations = 0;
+  auto bump_and_fail = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+#ifdef NDEBUG
+  EXPECT_NO_THROW(FFP_DCHECK(bump_and_fail(), "unused ", evaluations));
+  EXPECT_EQ(evaluations, 0) << "NDEBUG FFP_DCHECK evaluated its condition";
+#else
+  EXPECT_THROW(FFP_DCHECK(bump_and_fail(), "fails in debug"), Error);
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+TEST(Check, DcheckPassingConditionDoesNothing) {
+  EXPECT_NO_THROW(FFP_DCHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(FFP_DCHECK(true, "with a message ", 42));
+}
+
 }  // namespace
 }  // namespace ffp
