@@ -1,0 +1,29 @@
+#include "core/batch_scheduler.hpp"
+
+namespace ffp {
+
+void AtomBatchScheduler::begin_batch(const Partition& p) {
+  claims_.begin(p.num_parts());
+}
+
+bool AtomBatchScheduler::try_claim(const Partition& p, int atom,
+                                   std::vector<int>& claimed) {
+  const Graph& g = p.graph();
+  territory_.begin(p.num_parts());
+  territory_.mark(atom);
+  for (VertexId v : p.members(atom)) {
+    for (VertexId u : g.neighbors(v)) {
+      territory_.mark(p.part_of(u));
+    }
+  }
+  for (int q : territory_.marked()) {
+    if (claims_.seen(q)) return false;
+  }
+  for (int q : territory_.marked()) {
+    claims_.mark(q);
+    claimed.push_back(q);
+  }
+  return true;
+}
+
+}  // namespace ffp

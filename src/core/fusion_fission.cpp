@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <tuple>
 
+#include "core/batch_scheduler.hpp"
 #include "metaheuristics/percolation.hpp"
 #include "partition/objective_terms.hpp"
 #include "partition/part_scratch.hpp"
@@ -41,6 +43,10 @@ struct FusionFission::State {
   /// record note_partition keeps without a map lookup in the hot loop; run()
   /// converts it into FusionFissionResult::best_by_part_count at the end.
   std::vector<double> best_by_p;
+  /// Batched commit phase only: every part a committed operation mutates is
+  /// marked here so later slots can detect stale speculation. Null outside
+  /// the commit phase (serial mode pays one predictable branch per bulk op).
+  PartMarkScratch* dirty = nullptr;
 
   State(Partition p, ObjectiveKind kind, int max_atom, double delta,
         std::uint64_t seed)
@@ -50,6 +56,13 @@ struct FusionFission::State {
         rng(seed) {}
 
   const Partition& cur() const { return tracker.partition(); }
+
+  void touch(int part) {
+    if (dirty != nullptr) {
+      dirty->grow(cur().num_parts());
+      dirty->mark(part);
+    }
+  }
 };
 
 FusionFission::FusionFission(const Graph& g, int k,
@@ -74,34 +87,38 @@ double FusionFission::energy_now(const State& s) const {
                           *scaling_);
 }
 
+double FusionFission::heat_of(double temperature) const {
+  return (temperature - options_.tmin) / (options_.tmax - options_.tmin);
+}
+
 // ---------------------------------------------------------------------------
 // Shared operators
 // ---------------------------------------------------------------------------
 
-std::pair<int, Weight> FusionFission::select_fusion_partner(State& s,
-                                                            int atom) {
+std::pair<int, Weight> FusionFission::select_fusion_partner(
+    const Partition& cur, double heat, int atom, Rng& rng) const {
   // §4.2: "a second partition is selected according to its size, its
   // distance to the first one, and temperature". Connection weight is the
   // inverse distance; the size preference cools with temperature: hot → big
-  // merged atoms are easy, cold → strongly size-penalized.
+  // merged atoms are easy, cold → strongly size-penalized. Const +
+  // thread_local scratch: the batched engine's workers score candidates
+  // concurrently against the frozen molecule.
   static thread_local std::vector<std::pair<int, Weight>> conns;
   conns.clear();
-  s.cur().connections(atom, conns);
+  cur.connections(atom, conns);
   if (conns.empty()) return {-1, 0.0};
 
-  const double heat = (s.temperature - options_.tmin) /
-                      (options_.tmax - options_.tmin);  // 1 hot … 0 cold
-  const double size_a = s.cur().part_size(atom);
+  const double size_a = cur.part_size(atom);
   static thread_local std::vector<double> scores;
   scores.clear();
   for (const auto& [b, w] : conns) {
-    const double merged = size_a + s.cur().part_size(b);
+    const double merged = size_a + cur.part_size(b);
     const double over = std::max(0.0, merged / choice_.target_size - 1.0);
     // Hot: penalty exponent ~0; cold: strong exponential size penalty.
     const double size_penalty = std::exp(-over * (1.0 - heat) * 3.0);
     scores.push_back(w * size_penalty);
   }
-  const auto pick = s.rng.weighted_pick(scores);
+  const auto pick = rng.weighted_pick(scores);
   if (pick >= scores.size()) return conns[0];
   return conns[static_cast<std::size_t>(pick)];
 }
@@ -202,28 +219,53 @@ int FusionFission::absorb_nucleon(State& s, VertexId v) {
   }
   if (best != -1 && s.cur().part_size(from) > 1) {
     s.tracker.move(v, best);
+    s.touch(from);
+    s.touch(best);
     ++s.result->ejections;
   }
   return best;
 }
 
-void FusionFission::split_atom(State& s, int atom, bool allow_percolation) {
-  const auto members_span = s.cur().members(atom);
-  if (members_span.size() < 2) return;
-  static thread_local std::vector<VertexId> members;
-  members.assign(members_span.begin(), members_span.end());
-
+void FusionFission::plan_split(std::span<const VertexId> members,
+                               bool allow_percolation, Rng& rng,
+                               std::vector<VertexId>& moved) const {
   static thread_local std::vector<int> side;
   if (allow_percolation && options_.percolation_fission) {
-    percolation_bisect_into(*g_, members, s.rng, side);
+    percolation_bisect_into(*g_, members, rng, side);
   } else {
     // Ablation / fallback: random halving.
     side.assign(members.size(), 0);
     for (std::size_t i = members.size() / 2; i < members.size(); ++i) {
       side[i] = 1;
     }
-    s.rng.shuffle(side);
+    rng.shuffle(side);
   }
+  // Keep the smaller half as the side to relocate (both halves' statistics
+  // are rebuilt from the same arc scan either way). An empty result means
+  // percolation labeled everything one side (pathological subgraph); the
+  // applier forces a single-vertex split.
+  const auto ones = static_cast<std::size_t>(
+      std::count(side.begin(), side.end(), 1));
+  const int move_label = 2 * ones > members.size() ? 0 : 1;
+  moved.clear();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (side[i] == move_label) moved.push_back(members[i]);
+  }
+}
+
+void FusionFission::split_atom(State& s, int atom, bool allow_percolation,
+                               Rng& rng, const FissionPlan* plan) {
+  const auto members = s.cur().members(atom);
+  if (members.size() < 2) return;
+
+  static thread_local std::vector<VertexId> planned;
+  const std::vector<VertexId>* moved = &planned;
+  if (plan != nullptr) {
+    moved = &plan->moved;
+  } else {
+    plan_split(members, allow_percolation, rng, planned);
+  }
+
   // Find a part slot for the new half (reuse an empty slot if any).
   int fresh = -1;
   for (int q = 0; q < s.cur().num_parts(); ++q) {
@@ -234,38 +276,39 @@ void FusionFission::split_atom(State& s, int atom, bool allow_percolation) {
   }
   if (fresh == -1) fresh = s.tracker.make_part();
 
-  // Relocate the smaller half (both halves' statistics are rebuilt from the
-  // same arc scan either way) in one bulk split.
-  const auto ones = static_cast<std::size_t>(
-      std::count(side.begin(), side.end(), 1));
-  const int move_label = 2 * ones > members.size() ? 0 : 1;
-  static thread_local std::vector<VertexId> moved;
-  moved.clear();
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    if (side[i] == move_label) moved.push_back(members[i]);
-  }
-  if (moved.empty()) {
+  if (moved->empty()) {
     // Percolation labeled everything one side (pathological subgraph):
     // force a non-trivial split.
     s.tracker.move(members.back(), fresh);
   } else {
-    // The minority-side choice above caps |moved| at half the atom, so
-    // this is always a proper subset.
-    FFP_DCHECK(moved.size() < members.size());
-    s.tracker.split_part(atom, fresh, moved);
+    // The minority-side choice in plan_split caps |moved| at half the atom,
+    // so this is always a proper subset.
+    FFP_DCHECK(moved->size() < members.size());
+    s.tracker.split_part(atom, fresh, *moved);
   }
+  s.touch(atom);
+  s.touch(fresh);
 }
 
-void FusionFission::simple_fission(State& s, int atom) {
-  split_atom(s, atom, /*allow_percolation=*/true);
+void FusionFission::simple_fission(State& s, int atom, Rng& rng) {
+  split_atom(s, atom, /*allow_percolation=*/true, rng, nullptr);
 }
 
 // ---------------------------------------------------------------------------
 // Algorithm 1 branches
 // ---------------------------------------------------------------------------
 
-void FusionFission::do_fusion(State& s, int atom) {
-  const auto [partner, w_conn] = select_fusion_partner(s, atom);
+void FusionFission::do_fusion(State& s, int atom, Rng& rng,
+                              const FusionPlan* plan) {
+  int partner = -1;
+  Weight w_conn = 0.0;
+  if (plan != nullptr) {
+    partner = plan->partner;
+    w_conn = plan->w_conn;
+  } else {
+    std::tie(partner, w_conn) =
+        select_fusion_partner(s.cur(), heat_of(s.temperature), atom, rng);
+  }
   if (partner == -1) return;  // isolated atom; nothing to fuse with
   ++s.result->fusions;
 
@@ -275,11 +318,13 @@ void FusionFission::do_fusion(State& s, int atom) {
   if (s.cur().part_size(src) > s.cur().part_size(dst)) std::swap(src, dst);
   const int merged_size = s.cur().part_size(src) + s.cur().part_size(dst);
   s.tracker.merge_parts(src, dst, w_conn);
+  s.touch(src);
+  s.touch(dst);
 
   // The fusion law for the merged size may eject nucleons.
   const int size_for_law = std::min(merged_size, s.laws.max_atom_size());
   const int eject =
-      options_.use_laws ? s.laws.sample(LawKind::Fusion, size_for_law, s.rng) : 0;
+      options_.use_laws ? s.laws.sample(LawKind::Fusion, size_for_law, rng) : 0;
   for (VertexId v : pick_ejected(s, dst, eject)) {
     absorb_nucleon(s, v);
   }
@@ -291,26 +336,26 @@ void FusionFission::do_fusion(State& s, int atom) {
   }
 }
 
-void FusionFission::do_fission(State& s, int atom) {
+void FusionFission::do_fission(State& s, int atom, Rng& rng,
+                               const FissionPlan* plan) {
   if (s.cur().part_size(atom) < 2) return;
   ++s.result->fissions;
 
   const int size_for_law =
       std::min(s.cur().part_size(atom), s.laws.max_atom_size());
-  split_atom(s, atom, /*allow_percolation=*/true);
+  split_atom(s, atom, /*allow_percolation=*/true, rng, plan);
 
   const int eject =
-      options_.use_laws ? s.laws.sample(LawKind::Fission, size_for_law, s.rng) : 0;
+      options_.use_laws ? s.laws.sample(LawKind::Fission, size_for_law, rng) : 0;
   const auto ejected = pick_ejected(s, atom, eject);
-  const double heat = (s.temperature - options_.tmin) /
-                      (options_.tmax - options_.tmin);
+  const double heat = heat_of(s.temperature);
   for (VertexId v : ejected) {
     // §4.2: hot nucleons trigger a simple fission of a connected atom; cold
     // nucleons are absorbed. Algorithm 2 (init) always absorbs.
-    if (!s.init_mode && s.rng.bernoulli(heat)) {
+    if (!s.init_mode && rng.bernoulli(heat)) {
       const int neighbor_atom = absorb_nucleon(s, v);
       if (neighbor_atom != -1 && s.cur().part_size(neighbor_atom) >= 2) {
-        simple_fission(s, neighbor_atom);
+        simple_fission(s, neighbor_atom, rng);
       }
     } else {
       absorb_nucleon(s, v);
@@ -325,8 +370,190 @@ void FusionFission::do_fission(State& s, int atom) {
 }
 
 // ---------------------------------------------------------------------------
-// Main loop
+// Main loops: the classic serial schedule, and the batched parallel engine
+// (select → speculate → commit; see the header comment).
 // ---------------------------------------------------------------------------
+
+void FusionFission::run_serial(State& s, const StopCondition& stop,
+                               AnytimeRecorder* recorder) {
+  const double t_step =
+      (options_.tmax - options_.tmin) / static_cast<double>(options_.nbt);
+
+  std::int64_t steps = 0;
+  while (!stop.done(steps)) {
+    ++steps;
+    step(s);
+    note_partition(s, recorder);
+
+    s.temperature -= t_step;
+    if (s.temperature <= options_.tmin) reheat(s);
+  }
+}
+
+namespace {
+
+/// One selected slot of a batch. The speculation seeds derive from the
+/// run's single splitmix64 stream at selection time, so an operation's
+/// draws depend only on (seed, how many candidates preceded it) — never on
+/// which worker executes it.
+struct BatchOp {
+  enum class Kind { Noop, Fusion, Fission };
+  Kind kind = Kind::Noop;
+  int atom = -1;
+  double temperature = 0.0;
+  std::uint64_t spec_seed = 0;    // speculation draws (bisect, partner pick)
+  std::uint64_t commit_seed = 0;  // commit draws (laws, hot/cold, absorb)
+  std::vector<int> claimed;       // the operation's territory (read set)
+  int partner = -1;               // fusion speculation output
+  Weight w_conn = 0.0;
+  std::vector<VertexId> moved;    // fission speculation output (FissionPlan)
+};
+
+}  // namespace
+
+void FusionFission::run_batched(State& s, const StopCondition& stop,
+                                AnytimeRecorder* recorder) {
+  const int batch_size =
+      options_.batch >= 1 ? options_.batch : kDefaultFusionFissionBatch;
+  const auto workers = static_cast<unsigned>(std::max(1, options_.threads));
+  std::shared_ptr<ThreadPool> pool = options_.pool;
+  if (pool == nullptr && workers > 1) pool = std::make_shared<ThreadPool>(workers);
+
+  const double t_step =
+      (options_.tmax - options_.tmin) / static_cast<double>(options_.nbt);
+
+  AtomBatchScheduler scheduler;
+  PartMarkScratch dirty;
+  // Slot storage persists across batches so per-op vectors keep capacity.
+  std::vector<BatchOp> ops(static_cast<std::size_t>(batch_size));
+  std::uint64_t stream = options_.seed ^ 0x9e3779b97f4a7c15ULL;
+
+  std::int64_t steps = 0;
+  while (!stop.done(steps)) {
+    // ---- SELECT (serial): draw candidates, claim disjoint territories ----
+    Rng select_rng(splitmix64(stream));
+    scheduler.begin_batch(s.cur());
+    const double t_base = s.temperature;
+    std::size_t n_ops = 0;
+    for (int c = 0; c < batch_size; ++c) {
+      const std::uint64_t op_seed = splitmix64(stream);
+      const auto atoms = s.cur().nonempty_parts();
+      const int atom = atoms[select_rng.below(atoms.size())];
+      const double t_op = std::max(
+          options_.tmin, t_base - static_cast<double>(n_ops) * t_step);
+
+      const double p_fission = choice_probability(s, atom, t_op);
+
+      const bool can_fission = s.cur().part_size(atom) >= 2;
+      const bool can_fusion = s.cur().num_nonempty_parts() >= 2;
+      BatchOp& op = ops[n_ops];
+      op.claimed.clear();
+      op.moved.clear();
+      op.partner = -1;
+      op.w_conn = 0.0;
+      op.atom = atom;
+      op.temperature = t_op;
+      std::uint64_t seed_state = op_seed;
+      op.spec_seed = splitmix64(seed_state);
+      op.commit_seed = splitmix64(seed_state);
+      if ((select_rng.bernoulli(p_fission) && can_fission) || !can_fusion) {
+        op.kind = can_fission ? BatchOp::Kind::Fission : BatchOp::Kind::Noop;
+      } else {
+        op.kind = BatchOp::Kind::Fusion;
+      }
+      if (op.kind != BatchOp::Kind::Noop &&
+          !scheduler.try_claim(s.cur(), atom, op.claimed)) {
+        ++s.result->conflicts;  // discarded: overlapping territory
+        continue;
+      }
+      ++n_ops;
+    }
+
+    // ---- SPECULATE (parallel): bisect fissions, score fusion partners ----
+    // One planner for both the parallel phase and the commit-phase stale
+    // re-plan, so the two can never diverge — only the molecule they read
+    // differs (frozen vs current).
+    const auto plan_op = [this](const Partition& molecule, BatchOp& op) {
+      Rng rng(op.spec_seed);
+      if (op.kind == BatchOp::Kind::Fusion) {
+        std::tie(op.partner, op.w_conn) = select_fusion_partner(
+            molecule, heat_of(op.temperature), op.atom, rng);
+      } else if (op.kind == BatchOp::Kind::Fission &&
+                 molecule.part_size(op.atom) >= 2) {
+        plan_split(molecule.members(op.atom), /*allow_percolation=*/true, rng,
+                   op.moved);
+      }
+    };
+    const Partition& frozen = s.cur();
+    const auto speculate = [&frozen, &plan_op](BatchOp& op) {
+      plan_op(frozen, op);
+    };
+    if (pool != nullptr && n_ops > 1) {
+      TaskGroup group(*pool);
+      const std::size_t lanes = std::min<std::size_t>(pool->size(), n_ops);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        group.submit([&ops, &speculate, lane, lanes, n_ops] {
+          for (std::size_t i = lane; i < n_ops; i += lanes) {
+            speculate(ops[i]);
+          }
+        });
+      }
+      group.wait();
+    } else {
+      for (std::size_t i = 0; i < n_ops; ++i) speculate(ops[i]);
+    }
+
+    // ---- COMMIT (serial, fixed slot order) ----
+    dirty.begin(s.cur().num_parts());
+    s.dirty = &dirty;
+    std::size_t committed = 0;
+    for (std::size_t i = 0; i < n_ops; ++i) {
+      // Honor the budget mid-batch: after_steps(N) must mean exactly N
+      // committed steps, as the serial loop guarantees. (Step budgets make
+      // this check thread-count independent; wall-clock budgets are
+      // nondeterministic in any mode.)
+      if (stop.done(steps)) break;
+      BatchOp& op = ops[i];
+      ++steps;
+      ++s.result->steps;
+      ++committed;
+      s.temperature = op.temperature;
+      if (op.kind != BatchOp::Kind::Noop) {
+        // A committed predecessor that wrote into this operation's
+        // territory (ejection absorbs reach two hops out) invalidates its
+        // speculation; re-plan serially against the current state with the
+        // same speculation stream.
+        bool stale = false;
+        for (int q : op.claimed) {
+          if (dirty.seen(q)) {
+            stale = true;
+            break;
+          }
+        }
+        if (stale) {
+          ++s.result->stale_redone;
+          plan_op(s.cur(), op);
+        }
+        Rng rng(op.commit_seed);
+        if (op.kind == BatchOp::Kind::Fusion) {
+          const FusionPlan plan{op.partner, op.w_conn};
+          do_fusion(s, op.atom, rng, &plan);
+        } else {
+          FissionPlan plan;
+          plan.moved.swap(op.moved);
+          do_fission(s, op.atom, rng, &plan);
+          plan.moved.swap(op.moved);  // hand the capacity back to the slot
+        }
+      }
+      note_partition(s, recorder);
+    }
+    s.dirty = nullptr;
+    ++s.result->batches;
+
+    s.temperature = t_base - static_cast<double>(committed) * t_step;
+    if (s.temperature <= options_.tmin) reheat(s);
+  }
+}
 
 void FusionFission::note_partition(State& s, AnytimeRecorder* recorder) {
   const double value = s.tracker.value();
@@ -351,15 +578,27 @@ void FusionFission::note_partition(State& s, AnytimeRecorder* recorder) {
   }
 }
 
-void FusionFission::step(State& s) {
-  ++s.result->steps;
+void FusionFission::reheat(State& s) {
+  // The paper does not say which "best" the reheat restarts from;
+  // restarting from the best TARGET-k partition keeps the drift centered
+  // on k, which measures better than restarting from the best-energy
+  // molecule at any k.
+  s.temperature = options_.tmax;
+  if (s.best_at_k.has_value()) {
+    s.tracker.reset(*s.best_at_k, s.best_at_k_value);
+    s.current_energy = partition_energy(
+        s.best_at_k_value, s.cur().num_nonempty_parts(), *scaling_);
+  } else {
+    s.tracker.reset(s.best);
+    s.current_energy = s.best_energy;
+  }
+  ++s.result->reheats;
+}
 
-  // choose_atom: uniformly over non-empty atoms.
-  const auto atoms = s.cur().nonempty_parts();
-  const int atom = atoms[s.rng.below(atoms.size())];
-
+double FusionFission::choice_probability(const State& s, int atom,
+                                         double temperature) const {
   double p_fission =
-      fission_probability(s.cur().part_size(atom), s.temperature, choice_);
+      fission_probability(s.cur().part_size(atom), temperature, choice_);
 
   // Customized choice function (see FusionFissionOptions::choice_term_bias):
   // an atom whose ratio term is worse than the molecule average is pushed
@@ -368,20 +607,32 @@ void FusionFission::step(State& s) {
   if (options_.choice_term_bias > 0.0 && !s.init_mode) {
     const double term = leak_ratio_term(s.cur(), atom);
     const double avg_term =
-        s.tracker.aux_sum() / static_cast<double>(atoms.size());
+        s.tracker.aux_sum() /
+        static_cast<double>(s.cur().num_nonempty_parts());
     if (avg_term > 0.0) {
       const double bias = std::clamp((term - avg_term) / avg_term, -1.0, 1.0);
       p_fission = std::clamp(
           p_fission + options_.choice_term_bias * bias, 0.0, 1.0);
     }
   }
+  return p_fission;
+}
+
+void FusionFission::step(State& s) {
+  ++s.result->steps;
+
+  // choose_atom: uniformly over non-empty atoms.
+  const auto atoms = s.cur().nonempty_parts();
+  const int atom = atoms[s.rng.below(atoms.size())];
+
+  const double p_fission = choice_probability(s, atom, s.temperature);
 
   const bool can_fission = s.cur().part_size(atom) >= 2;
   const bool can_fusion = s.cur().num_nonempty_parts() >= 2;
   if ((s.rng.bernoulli(p_fission) && can_fission) || !can_fusion) {
-    if (can_fission) do_fission(s, atom);
+    if (can_fission) do_fission(s, atom, s.rng, nullptr);
   } else {
-    do_fusion(s, atom);
+    do_fusion(s, atom, s.rng, nullptr);
   }
 }
 
@@ -430,32 +681,10 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
   s.best = s.cur();
   s.best_energy = s.current_energy;
 
-  const double t_step =
-      (options_.tmax - options_.tmin) / static_cast<double>(options_.nbt);
-
-  std::int64_t steps = 0;
-  while (!stop.done(steps)) {
-    ++steps;
-    step(s);
-    note_partition(s, recorder);
-
-    s.temperature -= t_step;
-    if (s.temperature <= options_.tmin) {
-      // low_temperature: reheat from the best partition (Algorithm 1). The
-      // paper does not say which "best"; restarting from the best
-      // TARGET-k partition keeps the drift centered on k, which measures
-      // better than restarting from the best-energy molecule at any k.
-      s.temperature = options_.tmax;
-      if (s.best_at_k.has_value()) {
-        s.tracker.reset(*s.best_at_k, s.best_at_k_value);
-        s.current_energy = partition_energy(
-            s.best_at_k_value, s.cur().num_nonempty_parts(), *scaling_);
-      } else {
-        s.tracker.reset(s.best);
-        s.current_energy = s.best_energy;
-      }
-      ++result.reheats;
-    }
+  if (batched()) {
+    run_batched(s, stop, recorder);
+  } else {
+    run_serial(s, stop, recorder);
   }
 
   // Result: best at k if we ever reached k, else force the best overall to
@@ -489,7 +718,7 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
         if (s.cur().part_size(q) > s.cur().part_size(largest)) largest = q;
       }
       if (s.cur().part_size(largest) < 2) break;
-      split_atom(s, largest, true);
+      split_atom(s, largest, /*allow_percolation=*/true, s.rng, nullptr);
     }
     result.best = s.cur();
     result.best_value = s.tracker.value();

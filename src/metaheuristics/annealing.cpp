@@ -95,11 +95,14 @@ AnnealingResult SimulatedAnnealing::run(const Partition& initial,
     }
     if (target == -1 || target == from) continue;
 
-    const double delta = tracker.move_delta(v, target);
+    // trial_move's single neighbor scan covers both the acceptance test and
+    // the apply — an accepted move no longer pays a second scan.
+    const auto trial = tracker.trial_move(v, target);
+    const double delta = trial.delta;
     const bool accept =
         delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
     if (accept) {
-      tracker.move(v, target);
+      tracker.move(trial);
       ++result.accepted;
       // Epsilon guard: dust-level "improvements" between equal-quality
       // states would otherwise trigger O(n) best copies and meaningless

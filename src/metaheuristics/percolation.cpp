@@ -249,7 +249,11 @@ struct BisectScratch {
   std::uint32_t epoch = 0;
   std::vector<std::int32_t> local;  // parent id -> local id while stamped
 
-  // Local CSR over the set; local id == index into `vertices`.
+  // Local CSR over the set; local id == index into `vertices`. When the
+  // parent graph's edge weights are uniform the weight lane stays
+  // unmaterialized (empty) and the kernels substitute the constant — on
+  // dense-neighborhood families (geometric) the lane was half the
+  // compaction traffic for arcs whose value never varies.
   int n = 0;
   std::vector<std::int32_t> xadj;
   std::vector<std::int32_t> adj;
@@ -264,7 +268,8 @@ struct BisectScratch {
   std::vector<std::pair<double, int>> heap;  // Dijkstra min-heap
   std::vector<int> frontier, touched;
 
-  void build(const Graph& g, std::span<const VertexId> vertices) {
+  void build(const Graph& g, std::span<const VertexId> vertices,
+             bool uniform) {
     n = static_cast<int>(vertices.size());
     const auto gn = static_cast<std::size_t>(g.num_vertices());
     if (stamp.size() < gn) {
@@ -290,6 +295,18 @@ struct BisectScratch {
     adj.clear();
     wgt.clear();
     xadj[0] = 0;
+    if (uniform) {
+      for (int i = 0; i < n; ++i) {
+        const VertexId v = vertices[static_cast<std::size_t>(i)];
+        for (const VertexId nb : g.neighbors(v)) {
+          const auto u = static_cast<std::size_t>(nb);
+          if (stamp[u] == epoch) adj.push_back(local[u]);
+        }
+        xadj[static_cast<std::size_t>(i) + 1] =
+            static_cast<std::int32_t>(adj.size());
+      }
+      return;
+    }
     for (int i = 0; i < n; ++i) {
       const VertexId v = vertices[static_cast<std::size_t>(i)];
       const auto nbrs = g.neighbors(v);
@@ -374,9 +391,16 @@ int farthest_local(BisectScratch& s, bool uniform, int source, int& reached) {
 
 /// The two-liquid percolation of percolate() on the local CSR (phase 1
 /// synchronized dripping, phase 2 bond fixed point). Owners land in
-/// s.owner; both sides are guaranteed non-empty on return.
+/// s.owner; both sides are guaranteed non-empty on return. The kUniform
+/// instantiation substitutes the constant edge weight `uw` for the
+/// unmaterialized weight lane — identical arithmetic (every load would have
+/// produced uw), none of the memory traffic.
+template <bool kUniform>
 void percolate_pair_local(BisectScratch& s, int seed0, int seed1,
-                          int max_rounds) {
+                          int max_rounds, Weight uw) {
+  const auto arc_weight = [&s, uw](std::int32_t a) {
+    return kUniform ? uw : s.wgt[static_cast<std::size_t>(a)];
+  };
   s.frontier.clear();
   for (int c = 0; c < 2; ++c) {
     const auto seed = static_cast<std::size_t>(c == 0 ? seed0 : seed1);
@@ -395,7 +419,7 @@ void percolate_pair_local(BisectScratch& s, int seed0, int seed1,
       for (auto a = s.xadj[su]; a < s.xadj[su + 1]; ++a) {
         const auto sv = static_cast<std::size_t>(s.adj[static_cast<std::size_t>(a)]);
         if (s.owner[sv] != -1) continue;  // already claimed
-        const double b = s.bond[su] + s.wgt[static_cast<std::size_t>(a)] * decay;
+        const double b = s.bond[su] + arc_weight(a) * decay;
         if (b > s.cand_bond[sv]) {
           if (s.cand_bond[sv] < 0.0) s.touched.push_back(static_cast<int>(sv));
           s.cand_bond[sv] = b;
@@ -454,7 +478,7 @@ void percolate_pair_local(BisectScratch& s, int seed0, int seed1,
     double attach[2] = {0.0, 0.0};
     for (auto a = s.xadj[sv]; a < s.xadj[sv + 1]; ++a) {
       attach[s.owner[static_cast<std::size_t>(s.adj[static_cast<std::size_t>(a)])]] +=
-          s.wgt[static_cast<std::size_t>(a)];
+          arc_weight(a);
     }
     const int other = 1 - own;
     if (attach[other] > attach[own] + 1e-12) {
@@ -488,10 +512,10 @@ void percolation_bisect_into(const Graph& g,
                              std::span<const VertexId> vertices, Rng& rng,
                              std::vector<int>& side) {
   FFP_CHECK(vertices.size() >= 2, "cannot bisect fewer than two vertices");
-  static thread_local BisectScratch s;
-  s.build(g, vertices);
-
   const bool uniform = g.has_uniform_edge_weights();
+  static thread_local BisectScratch s;
+  s.build(g, vertices, uniform);
+
   int a = static_cast<int>(rng.below(vertices.size()));
   int reached = 0;
   a = farthest_local(s, uniform, a, reached);  // doubles as connectivity probe
@@ -518,18 +542,27 @@ void percolation_bisect_into(const Graph& g,
       }
     }
     // …then assign whole components to sides, largest first, lighter side
-    // first — a balanced split that never cuts an edge.
+    // first — a balanced split that never cuts an edge. The group buffers
+    // persist across calls (clear keeps capacity) so repeated disconnected
+    // splits stop churning inner-vector allocations.
     static thread_local std::vector<std::vector<int>> groups;
-    groups.assign(static_cast<std::size_t>(comp_count), {});
+    if (groups.size() < static_cast<std::size_t>(comp_count)) {
+      groups.resize(static_cast<std::size_t>(comp_count));
+    }
+    for (int c = 0; c < comp_count; ++c) {
+      groups[static_cast<std::size_t>(c)].clear();
+    }
     for (int v = 0; v < s.n; ++v) {
       groups[static_cast<std::size_t>(s.owner[static_cast<std::size_t>(v)])]
           .push_back(v);
     }
-    std::sort(groups.begin(), groups.end(),
+    const auto live = groups.begin() + comp_count;
+    std::sort(groups.begin(), live,
               [](const auto& a, const auto& b) { return a.size() > b.size(); });
     side.assign(vertices.size(), 0);
     double w0 = 0.0, w1 = 0.0;
-    for (const auto& grp : groups) {
+    for (auto it = groups.begin(); it != live; ++it) {
+      const auto& grp = *it;
       double gw = 0.0;
       for (int v : grp) {
         gw += g.vertex_weight(vertices[static_cast<std::size_t>(v)]);
@@ -547,7 +580,13 @@ void percolation_bisect_into(const Graph& g,
   // sweep above already moved `a` to a far point.
   const int partner_sweep = farthest_local(s, uniform, a, reached);
   const int partner = partner_sweep != a ? partner_sweep : (a == 0 ? 1 : 0);
-  percolate_pair_local(s, a, partner, PercolationOptions{}.max_rounds);
+  if (uniform) {
+    percolate_pair_local<true>(s, a, partner, PercolationOptions{}.max_rounds,
+                               g.min_edge_weight());
+  } else {
+    percolate_pair_local<false>(s, a, partner, PercolationOptions{}.max_rounds,
+                                0.0);
+  }
 
   side.assign(s.owner.begin(), s.owner.begin() + s.n);
 }

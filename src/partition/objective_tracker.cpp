@@ -107,6 +107,55 @@ void ObjectiveTracker::move(VertexId v, int target, double known_delta) {
   maybe_rescue_precision();
 }
 
+ObjectiveTracker::TrialMove ObjectiveTracker::trial_move(VertexId v,
+                                                         int target) const {
+  TrialMove trial;
+  trial.v = v;
+  trial.target = target;
+  if (p_.part_of(v) == target) return trial;
+  trial.profile = p_.move_profile(v, target);
+  // The profile-based delta and ObjectiveFn::move_delta share identities
+  // and operation order, so built-in criteria get the scan-free delta;
+  // custom objectives keep their own (possibly scanning) move_delta.
+  trial.delta = term_based_
+                    ? detail::move_delta_from_profile(
+                          p_, kind_, v, target, trial.profile.ext_from,
+                          trial.profile.ext_to)
+                    : fn_->move_delta(p_, v, target);
+  return trial;
+}
+
+void ObjectiveTracker::move(const TrialMove& trial) {
+  const VertexId v = trial.v;
+  const int target = trial.target;
+  const int from = p_.part_of(v);
+  if (from == target) return;
+
+  if (term_based_ && kind_ == ObjectiveKind::Cut && aux_ == nullptr) {
+    p_.move(v, target, trial.profile);
+    value_ = p_.total_cut_pairs();
+    carry_ = 0.0;
+    maybe_rescue_precision();
+    return;
+  }
+  const double aux_before =
+      aux_ != nullptr ? aux_(p_, from) + aux_(p_, target) : 0.0;
+  if (term_based_) {
+    const double term_before = part_term(from) + part_term(target);
+    p_.move(v, target, trial.profile);
+    compensated_add(value_, carry_,
+                    part_term(from) + part_term(target) - term_before);
+  } else {
+    p_.move(v, target, trial.profile);
+    compensated_add(value_, carry_, trial.delta);
+  }
+  if (aux_ != nullptr) {
+    compensated_add(aux_sum_, aux_carry_,
+                    aux_(p_, from) + aux_(p_, target) - aux_before);
+  }
+  maybe_rescue_precision();
+}
+
 void ObjectiveTracker::merge_parts(int src, int dst, Weight w_between) {
   if (term_based_) {
     const double term_before = part_term(src) + part_term(dst);

@@ -25,6 +25,10 @@
 // peak |value| since the last from-scratch sync and re-evaluates once the
 // value drops six orders of magnitude below it, bounding the relative drift
 // at ~1e-9 with at most a handful of O(k) rescues per descent.
+//
+// Thread safety mirrors Partition's: const members (value, move_delta,
+// trial_move, partition) are safe to call from any number of threads while
+// no thread mutates the tracker; mutating members need exclusive access.
 #pragma once
 
 #include <utility>
@@ -66,6 +70,27 @@ class ObjectiveTracker {
   /// second move_delta; built-in criteria ignore it (their per-part term
   /// update is exact and no dearer).
   void move(VertexId v, int target, double known_delta);
+
+  /// Accept-test fast path (the ROADMAP's "move_applying_delta"): one
+  /// neighbor scan yields both the exact delta AND the connection profile
+  /// needed to apply the move, so an accepted move costs a single scan
+  /// instead of move_delta + move paying one each. Pattern:
+  ///
+  ///   const auto trial = tracker.trial_move(v, target);
+  ///   if (accept(trial.delta)) tracker.move(trial);
+  ///
+  /// trial.delta is bit-identical to move_delta(v, target), and move(trial)
+  /// leaves the tracker bit-identical to move(v, target) — the fast path
+  /// changes cost, never results. A trial is only valid against the exact
+  /// state it was computed from (checked in debug builds).
+  struct TrialMove {
+    VertexId v = -1;
+    int target = -1;
+    double delta = 0.0;
+    Partition::MoveProfile profile;
+  };
+  TrialMove trial_move(VertexId v, int target) const;
+  void move(const TrialMove& trial);
 
   /// Bulk fusion: merges part `src` into `dst` (Partition::merge_into) and
   /// updates the running value in O(1) on top of the O(|src|) relabel.

@@ -24,16 +24,24 @@ class PartMarkScratch {
  public:
   /// Starts a new marking round over part ids in [0, num_parts).
   void begin(int num_parts) {
-    const auto need = static_cast<std::size_t>(num_parts);
-    if (stamp_.size() < need) {
-      stamp_.resize(need, 0);
-      acc_.resize(need, 0.0);
-    }
+    grow(num_parts);
     if (++epoch_ == 0) {  // epoch wrapped: stale stamps could collide
       std::fill(stamp_.begin(), stamp_.end(), 0);
       epoch_ = 1;
     }
     marked_.clear();
+  }
+
+  /// Extends the id range mid-round without ending it — for callers whose
+  /// round outlives part creation (the fusion-fission batch commit marks
+  /// parts dirty while fissions mint fresh part slots). New cells start
+  /// unmarked (stamp 0 can never equal a live epoch).
+  void grow(int num_parts) {
+    const auto need = static_cast<std::size_t>(num_parts);
+    if (stamp_.size() < need) {
+      stamp_.resize(need, 0);
+      acc_.resize(need, 0.0);
+    }
   }
 
   /// Marks p; returns true iff p was not yet marked since begin().

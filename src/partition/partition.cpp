@@ -91,20 +91,29 @@ void Partition::rebuild() {
 
 void Partition::move(VertexId v, int target) {
   FFP_DCHECK(v >= 0 && v < g_->num_vertices());
+  if (part_[static_cast<std::size_t>(v)] == target) {
+    check_part(target);
+    return;
+  }
+  // One neighbor scan gives both connection weights.
+  move(v, target, move_profile(v, target));
+}
+
+void Partition::move(VertexId v, int target, const MoveProfile& profile) {
+  FFP_DCHECK(v >= 0 && v < g_->num_vertices());
   const auto t = check_part(target);
   const auto f = static_cast<std::size_t>(part_[static_cast<std::size_t>(v)]);
   if (f == t) return;
-
-  // One neighbor scan gives both connection weights.
-  Weight ext_from = 0.0, ext_to = 0.0;
-  const auto nbrs = g_->neighbors(v);
-  const auto ws = g_->neighbor_weights(v);
-  for (std::size_t i = 0; i < nbrs.size(); ++i) {
-    const auto pu = static_cast<std::size_t>(
-        part_[static_cast<std::size_t>(nbrs[i])]);
-    if (pu == f) ext_from += ws[i];
-    else if (pu == t) ext_to += ws[i];
+#ifndef NDEBUG
+  {
+    const MoveProfile fresh = move_profile(v, target);
+    FFP_DCHECK(fresh.ext_from == profile.ext_from &&
+                   fresh.ext_to == profile.ext_to,
+               "profiled move given a stale profile for vertex ", v);
   }
+#endif
+  const Weight ext_from = profile.ext_from;
+  const Weight ext_to = profile.ext_to;
   const Weight d = g_->weighted_degree(v);
 
   // cut(A,V−A) updates follow from counting which of v's edges flip between

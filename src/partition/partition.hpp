@@ -11,6 +11,14 @@
 //     assoc(A,V) = cut(A,V−A) + W(A) equals vol(A),
 //   - vertex count and vertex weight of A,
 //   - member list of A (unordered, O(1) move via swap-remove).
+//
+// Thread safety: every const member function only reads state (the one
+// internal scratch, in connections(), is thread_local), so any number of
+// threads may read one Partition concurrently as long as no thread mutates
+// it — the contract the fusion-fission batched engine relies on during its
+// speculative phase, where worker threads score fusions and plan fissions
+// against a frozen molecule through const references. Mutating members are
+// not synchronized; mutation requires exclusive access.
 #pragma once
 
 #include <span>
@@ -95,6 +103,13 @@ class Partition {
     Weight ext_to = 0.0;    ///< connection of v to the target part
   };
   MoveProfile move_profile(VertexId v, int target) const;
+
+  /// As move(v, target), reusing a profile the caller already computed for
+  /// THIS exact state (via move_profile) — skips the neighbor scan, making
+  /// the apply O(1) beyond member bookkeeping. The accept-test loops
+  /// (simulated annealing via ObjectiveTracker::trial_move) pay one scan
+  /// per step instead of two. Checked against a fresh scan in debug builds.
+  void move(VertexId v, int target, const MoveProfile& profile);
 
   /// Total connection weight from part p to every other part it touches.
   /// Appends (part, weight) pairs; weight > 0. O(Σ deg over members).

@@ -154,7 +154,9 @@ SolverRegistry make_builtin() {
   r.add("fusion_fission",
         "the paper's fusion-fission metaheuristic (tmax, tmin, nbt, "
         "choice_slope, choice_offset, law_delta, use_laws, "
-        "percolation_fission, scaling=binding|linear|identity)",
+        "percolation_fission, scaling=binding|linear|identity, "
+        "threads, batch — threads>=1 or batch>=1 selects the batched "
+        "parallel engine, byte-identical across thread counts)",
         [](const SolverOptions& o) -> SolverPtr {
           FusionFissionOptions opt;
           opt.tmax = o.get_double("tmax", opt.tmax);
@@ -168,6 +170,10 @@ SolverRegistry make_builtin() {
           opt.use_laws = o.get_bool("use_laws", opt.use_laws);
           opt.percolation_fission =
               o.get_bool("percolation_fission", opt.percolation_fission);
+          opt.threads = static_cast<int>(o.get_int("threads", opt.threads));
+          FFP_CHECK(opt.threads >= 0, "fusion_fission threads must be >= 0");
+          opt.batch = static_cast<int>(o.get_int("batch", opt.batch));
+          FFP_CHECK(opt.batch >= 0, "fusion_fission batch must be >= 0");
           opt.scaling = o.get_enum<ScalingKind>(
               "scaling", opt.scaling,
               {{"binding", ScalingKind::BindingEnergy},

@@ -1,6 +1,7 @@
 #include "solver/solver.hpp"
 
 #include "refine/kway_fm.hpp"
+#include "solver/worker_pool.hpp"
 #include "util/rng.hpp"
 
 namespace ffp {
@@ -34,6 +35,13 @@ SolverResult FusionFissionSolver::run(const Graph& g,
   FusionFissionOptions opt = base_;
   opt.objective = request.objective;
   opt.seed = request.seed;
+  if (request.threads > 0) opt.threads = static_cast<int>(request.threads);
+  if (opt.threads > 1 && opt.pool == nullptr) {
+    // Speculation workers come from the process-wide shared pool so
+    // repeated solves (and concurrent portfolio restarts) reuse warm
+    // threads instead of spawning per run.
+    opt.pool = shared_worker_pool(static_cast<unsigned>(opt.threads));
+  }
   WallTimer timer;
   const StopCondition stop = armed(request);
   FusionFission ff(g, request.k, opt);
@@ -47,6 +55,12 @@ SolverResult FusionFissionSolver::run(const Graph& g,
                {"reheats", static_cast<double>(res.reheats)},
                {"part_counts_visited",
                 static_cast<double>(res.best_by_part_count.size())}};
+  if (res.batches > 0) {
+    out.stats.emplace_back("batches", static_cast<double>(res.batches));
+    out.stats.emplace_back("conflicts", static_cast<double>(res.conflicts));
+    out.stats.emplace_back("stale_redone",
+                           static_cast<double>(res.stale_redone));
+  }
   return out;
 }
 

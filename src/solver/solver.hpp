@@ -45,6 +45,12 @@ struct SolverRequest {
   StopCondition stop;                   ///< metaheuristics only
   std::uint64_t seed = 1;
   AnytimeRecorder* recorder = nullptr;  ///< optional anytime trajectory
+  /// Worker threads the solver may use INSIDE one run (fusion-fission's
+  /// batched engine; solvers without intra-run parallelism ignore it).
+  /// 0 keeps the solver's own default. Distinct from portfolio threads,
+  /// which parallelize across restarts — the two levels never share a
+  /// pool (see solver/worker_pool.hpp).
+  unsigned threads = 0;
 };
 
 struct SolverResult {

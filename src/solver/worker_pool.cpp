@@ -1,0 +1,23 @@
+#include "solver/worker_pool.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace ffp {
+
+std::shared_ptr<ThreadPool> shared_worker_pool(unsigned threads) {
+  FFP_CHECK(threads >= 1, "shared_worker_pool needs at least one thread");
+  static std::mutex mu;
+  // Weak cache: handles keep a pool alive; a size nobody uses anymore is
+  // reclaimed and lazily rebuilt on the next request.
+  static std::map<unsigned, std::weak_ptr<ThreadPool>>* cache =
+      new std::map<unsigned, std::weak_ptr<ThreadPool>>();
+  std::lock_guard lock(mu);
+  auto& slot = (*cache)[threads];
+  if (auto pool = slot.lock()) return pool;
+  auto pool = std::make_shared<ThreadPool>(threads);
+  slot = pool;
+  return pool;
+}
+
+}  // namespace ffp

@@ -143,6 +143,49 @@ TEST(ObjectiveTracker, MoveDeltaMatchesTrialMoveOracle) {
   }
 }
 
+TEST(ObjectiveTracker, TrialMoveFastPathMatchesMoveExactly) {
+  // The single-scan accept-test path: trial_move's delta must be bitwise
+  // equal to move_delta, and applying the trial must leave the tracker in
+  // the bitwise-identical state plain move() would have produced —
+  // simulated annealing's results may not shift by a single ulp.
+  const auto g = with_random_weights(make_grid2d(8, 7), 0.5, 7.5, 13);
+  for (const auto kind : kAllKinds) {
+    Rng rng(77);
+    ObjectiveTracker fast(Partition(g, 5), kind);
+    ObjectiveTracker slow(Partition(g, 5), kind);
+    for (int step = 0; step < 4000; ++step) {
+      const auto v = static_cast<VertexId>(
+          rng.below(static_cast<std::uint64_t>(g.num_vertices())));
+      const int target = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(fast.partition().num_parts())));
+      const auto trial = fast.trial_move(v, target);
+      ASSERT_EQ(trial.delta, slow.move_delta(v, target))
+          << objective_name(kind) << " at step " << step;
+      if (step % 3 != 0) {  // mix accepted and "rejected" moves
+        fast.move(trial);
+        slow.move(v, target);
+        ASSERT_EQ(fast.value(), slow.value())
+            << objective_name(kind) << " at step " << step;
+      }
+    }
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_EQ(fast.partition().part_of(v), slow.partition().part_of(v));
+    }
+    ASSERT_NO_THROW(fast.validate());
+  }
+}
+
+TEST(ObjectiveTracker, TrialMoveToOwnPartIsNoop) {
+  const auto g = make_grid2d(4, 4);
+  ObjectiveTracker t(Partition(g, 2), ObjectiveKind::Cut);
+  const int own = t.partition().part_of(3);
+  const auto trial = t.trial_move(3, own);
+  EXPECT_EQ(trial.delta, 0.0);
+  const double before = t.value();
+  t.move(trial);
+  EXPECT_EQ(t.value(), before);
+}
+
 TEST(ObjectiveTracker, AuxTermSumTracksRecompute) {
   const auto g = with_random_weights(make_grid2d(6, 6), 1.0, 3.0, 7);
   const auto leak = +[](const Partition& p, int q) {

@@ -9,12 +9,15 @@
 // With --graph atc:<seed> it uses the synthetic core-area instance instead
 // of a file; with --list it prints the available methods and solvers.
 //
-// --restarts N fans N independently seeded runs across --threads T workers
-// (a parallel portfolio, solver/portfolio.hpp) and keeps the best. So the
-// portfolio result is bit-identical for a fixed seed regardless of thread
-// count, metaheuristic restarts then run under a deterministic *step*
-// budget derived from --budget-ms (override with --steps) instead of the
-// wall clock.
+// --threads T parallelizes. With --restarts N it fans N independently
+// seeded runs across T portfolio workers (solver/portfolio.hpp) and keeps
+// the best; with a single restart it goes to the solver itself —
+// fusion-fission runs its batched intra-run engine on T speculation
+// workers (the two levels never share a pool). Either way the result is
+// bit-identical for a fixed seed regardless of thread count: whenever
+// parallelism is requested, metaheuristics run under a deterministic
+// *step* budget derived from --budget-ms (override with --steps) instead
+// of the wall clock.
 #include <cstdio>
 #include <string>
 
@@ -59,6 +62,22 @@ ffp::SolverPtr resolve_method(const std::string& method) {
   }
 }
 
+/// True when a registry spec itself asks for intra-run parallelism
+/// (threads=/batch= keys, e.g. "fusion_fission:threads=8") — such runs
+/// need the deterministic step budget just like --threads/--restarts
+/// requests, or the wall clock would break the byte-identical guarantee.
+bool spec_requests_parallelism(const std::string& method) {
+  const std::size_t colon = method.find(':');
+  if (colon == std::string::npos) return false;
+  try {
+    const auto opts =
+        ffp::SolverOptions::parse(std::string_view(method).substr(colon + 1));
+    return opts.get_int("threads", 0) > 0 || opts.get_int("batch", 0) > 0;
+  } catch (const ffp::Error&) {
+    return false;  // not a parsable spec; resolve_method surfaces the error
+  }
+}
+
 void list_methods() {
   std::printf("Table-1 rows (--method accepts the label):\n");
   for (const auto& m : ffp::table1_methods()) {
@@ -83,7 +102,10 @@ int main(int argc, char** argv) {
       .flag("budget-ms", "5000", "metaheuristic wall-clock budget")
       .flag("steps", "0", "metaheuristic step budget (0 = derive from budget)")
       .flag("restarts", "1", "portfolio restarts (parallel multi-start)")
-      .flag("threads", "0", "portfolio worker threads (0 = hardware)")
+      .flag("threads", "0",
+            "worker threads: portfolio workers when --restarts > 1 "
+            "(0 = hardware), otherwise the solver's intra-run engine "
+            "(0 = serial)")
       .flag("seed", "2006", "random seed")
       .flag("out", "", "partition output file (optional)")
       .toggle("report", "print the full per-part report")
@@ -131,9 +153,13 @@ int main(int argc, char** argv) {
     request.k = static_cast<int>(args.get_int("k"));
     request.objective = parse_objective(args.get("objective"));
     request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    if (restarts > 1 && solver->is_metaheuristic() && steps == 0) {
-      // Deterministic portfolio: replace the wall clock with a step budget
-      // so the best partition never depends on scheduling or thread count.
+    if (restarts == 1) request.threads = threads;
+    if ((restarts > 1 || threads > 0 ||
+         spec_requests_parallelism(args.get("method"))) &&
+        solver->is_metaheuristic() && steps == 0) {
+      // Deterministic parallelism: replace the wall clock with a step
+      // budget so the best partition never depends on scheduling or
+      // thread count.
       steps = static_cast<std::int64_t>(budget_ms * kStepsPerMs);
     }
     request.stop = steps > 0 ? ffp::StopCondition::after_steps(steps)
