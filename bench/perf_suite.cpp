@@ -31,6 +31,7 @@
 #include "metaheuristics/annealing.hpp"
 #include "metaheuristics/percolation.hpp"
 #include "refine/kway_fm.hpp"
+#include "service/job_scheduler.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -301,6 +302,38 @@ int main(int argc, char** argv) {
                best_value, "obj");
       }
     }
+  }
+
+  // ----------------------------------------- service job throughput ------
+  // serve_jobs_per_sec: how many small solve jobs the service layer
+  // completes per second — scheduler dispatch + budget leasing + per-job
+  // solver construction on top of the raw solve. The job set is fixed and
+  // step-budgeted, so the work per job is deterministic; the metric tracks
+  // the service overhead trajectory, not solver quality.
+  {
+    const int n = quick ? 1024 : 2500;
+    const int jobs = quick ? 8 : 24;
+    const std::int64_t steps = quick ? 300 : 1000;
+    const auto g = std::make_shared<const Graph>(grid_of(n, seed));
+    const double sec = best_seconds([&] {
+      ThreadBudget budget(2);
+      JobSchedulerOptions options;
+      options.runners = 2;
+      options.budget = &budget;
+      JobScheduler scheduler(std::move(options));
+      for (int i = 0; i < jobs; ++i) {
+        JobSpec spec;
+        spec.graph = g;
+        spec.k = 16;
+        spec.seed = seed + static_cast<std::uint64_t>(i);
+        spec.steps = steps;
+        spec.threads = 2;
+        scheduler.submit(spec);
+      }
+      scheduler.drain();
+    });
+    record(point_name("serve_jobs_per_sec", "grid", g->num_vertices(), 16),
+           static_cast<double>(jobs) / std::max(sec, 1e-9), "jobs/s");
   }
 
   table.print(std::cout);

@@ -77,6 +77,7 @@
 #include "core/laws.hpp"
 #include "core/scaling.hpp"
 #include "metaheuristics/anytime.hpp"
+#include "service/thread_budget.hpp"
 #include "partition/objective_tracker.hpp"
 #include "partition/objectives.hpp"
 #include "partition/partition.hpp"
@@ -127,6 +128,14 @@ struct FusionFissionOptions {
   /// Optional shared worker pool (solver/worker_pool.hpp). When null and
   /// threads > 1, run() creates a private pool for the run.
   std::shared_ptr<ThreadPool> pool;
+  /// Optional process-wide governor (service/thread_budget.hpp). When set
+  /// and no pool was injected, the run *leases* its speculation workers:
+  /// `threads` becomes a want, the pool is sized to the grant (possibly
+  /// inline-only), and the slots return when the run ends. `threads` and
+  /// `batch` alone still fix the schedule, so the result stays
+  /// byte-identical whatever the grant. This is how the engine composes
+  /// with portfolio restarts and service jobs without oversubscribing.
+  ThreadBudget* budget = nullptr;
 
   std::uint64_t seed = 17;
 };

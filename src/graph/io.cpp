@@ -1,9 +1,11 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -45,9 +47,26 @@ std::ifstream open_in(const std::string& path) {
   return in;
 }
 
+/// Reservations trust the declared size only up to this many elements — a
+/// lying header must not be able to allocate gigabytes before the parser
+/// discovers the file is ten lines long.
+constexpr std::int64_t kTrustedReserve = 1 << 22;
+
 }  // namespace
 
-Graph read_chaco(std::istream& in) {
+// The hard ceiling a header's vertex count must fit regardless of limits:
+// VertexId is 32-bit, and a silently truncating cast used to be the
+// overflow hole the service hardening closed.
+std::int64_t IoLimits::vertex_cap() const {
+  constexpr std::int64_t id_max = std::numeric_limits<VertexId>::max();
+  return max_vertices > 0 ? std::min(max_vertices, id_max) : id_max;
+}
+
+std::int64_t IoLimits::edge_cap() const {
+  return max_edges > 0 ? max_edges : std::numeric_limits<std::int64_t>::max();
+}
+
+Graph read_chaco(std::istream& in, const IoLimits& limits) {
   std::string line;
   std::int64_t line_no = 0;
   if (!next_line(in, line, line_no)) fail(line_no, "missing header line");
@@ -61,13 +80,26 @@ Graph read_chaco(std::istream& in) {
   if (!n_opt || !m_opt || *n_opt < 0 || *m_opt < 0) {
     fail(line_no, "invalid n or m in header");
   }
+  if (*n_opt > limits.vertex_cap()) {
+    fail(line_no, "header declares " + std::to_string(*n_opt) +
+                      " vertices, limit is " +
+                      std::to_string(limits.vertex_cap()));
+  }
+  if (*m_opt > limits.edge_cap()) {
+    fail(line_no, "header declares " + std::to_string(*m_opt) +
+                      " edges, limit is " + std::to_string(limits.edge_cap()));
+  }
   const auto n = static_cast<VertexId>(*n_opt);
   const std::int64_t m = *m_opt;
 
   int fmt = 0;
   if (header.size() >= 3) {
     const auto f = parse_int(header[2]);
-    if (!f) fail(line_no, "invalid fmt field");
+    if (!f || *f < 0 || *f > 111 || (*f % 10) > 1 || (*f / 10 % 10) > 1 ||
+        (*f / 100) > 1) {
+      fail(line_no, "invalid fmt field (expected digits from {0,1}: 0, 1, "
+                    "10, 11, 100, 101, 110, 111)");
+    }
     fmt = static_cast<int>(*f);
   }
   const bool has_vertex_sizes = (fmt / 100) % 10 != 0;
@@ -76,19 +108,37 @@ Graph read_chaco(std::istream& in) {
   int ncon = has_vertex_weights ? 1 : 0;
   if (header.size() == 4) {
     const auto c = parse_int(header[3]);
-    if (!c || *c < 0) fail(line_no, "invalid ncon field");
+    if (!c || *c < 0 || *c > 64) fail(line_no, "invalid ncon field");
     ncon = static_cast<int>(*c);
   }
 
   std::vector<WeightedEdge> edges;
-  edges.reserve(static_cast<std::size_t>(m));
+  edges.reserve(static_cast<std::size_t>(std::min(m, kTrustedReserve)));
   std::vector<Weight> vweights;
-  if (has_vertex_weights) vweights.reserve(static_cast<std::size_t>(n));
+  if (has_vertex_weights) {
+    vweights.reserve(static_cast<std::size_t>(
+        std::min<std::int64_t>(n, kTrustedReserve)));
+  }
+  // Epoch stamps for duplicate-neighbor detection: seen[u] == v means u
+  // already appeared on v's line. O(1) per neighbor, one array overall.
+  // Grown on demand (doubling, bounded by n) rather than allocated to the
+  // declared n up front, so a lying header alone cannot trigger a giant
+  // allocation — growth is driven by ids the file actually contains.
+  std::vector<VertexId> seen;
+  const auto seen_slot = [&seen, n](VertexId id) -> VertexId& {
+    const auto needed = static_cast<std::size_t>(id) + 1;
+    if (seen.size() < needed) {
+      auto grown = std::max(needed, seen.size() * 2);
+      grown = std::min(grown, static_cast<std::size_t>(n));
+      seen.resize(grown, -1);
+    }
+    return seen[static_cast<std::size_t>(id)];
+  };
 
   for (VertexId v = 0; v < n; ++v) {
     if (!next_line(in, line, line_no)) {
       fail(line_no, "unexpected EOF: expected " + std::to_string(n) +
-                        " vertex lines");
+                        " vertex lines, got " + std::to_string(v));
     }
     const auto tok = split_ws(line);
     std::size_t i = 0;
@@ -100,7 +150,9 @@ Graph read_chaco(std::istream& in) {
       // Multi-constraint files: use the first weight (ffp is single
       // constraint; documented in the header).
       const auto w = parse_double(tok[i]);
-      if (!w || *w <= 0) fail(line_no, "invalid vertex weight");
+      if (!w || !std::isfinite(*w) || *w <= 0) {
+        fail(line_no, "invalid vertex weight (must be finite and > 0)");
+      }
       vweights.push_back(*w);
       i += static_cast<std::size_t>(ncon);
     }
@@ -113,12 +165,30 @@ Graph read_chaco(std::istream& in) {
       if (has_edge_weights) {
         if (i >= tok.size()) fail(line_no, "missing edge weight");
         const auto we = parse_double(tok[i++]);
-        if (!we || *we < 0) fail(line_no, "invalid edge weight");
+        if (!we || !std::isfinite(*we) || *we < 0) {
+          fail(line_no, "invalid edge weight (must be finite and >= 0)");
+        }
         w = *we;
       }
       const auto nb = static_cast<VertexId>(*u - 1);
-      if (nb == v) fail(line_no, "self loop");
-      if (nb > v) edges.push_back({v, nb, w});  // each edge appears twice
+      if (nb == v) {
+        fail(line_no, "self loop on vertex " + std::to_string(v + 1) +
+                          " (1-based)");
+      }
+      VertexId& stamp = seen_slot(nb);
+      if (stamp == v) {
+        fail(line_no, "duplicate edge: neighbor " + std::to_string(*u) +
+                          " listed twice for vertex " + std::to_string(v + 1) +
+                          " (1-based)");
+      }
+      stamp = v;
+      if (nb > v) {  // each edge appears twice; store the forward copy
+        if (static_cast<std::int64_t>(edges.size()) >= limits.edge_cap()) {
+          fail(line_no, "edge limit " + std::to_string(limits.edge_cap()) +
+                            " exceeded");
+        }
+        edges.push_back({v, nb, w});
+      }
     }
   }
 
@@ -129,9 +199,9 @@ Graph read_chaco(std::istream& in) {
   return Graph::from_edges(n, edges, std::move(vweights));
 }
 
-Graph read_chaco_file(const std::string& path) {
+Graph read_chaco_file(const std::string& path, const IoLimits& limits) {
   auto in = open_in(path);
-  return read_chaco(in);
+  return read_chaco(in, limits);
 }
 
 void write_chaco(const Graph& g, std::ostream& out) {
@@ -178,7 +248,7 @@ void write_chaco_file(const Graph& g, const std::string& path) {
   write_chaco(g, out);
 }
 
-Graph read_edge_list(std::istream& in) {
+Graph read_edge_list(std::istream& in, const IoLimits& limits) {
   std::string line;
   std::int64_t line_no = 0;
   std::vector<WeightedEdge> edges;
@@ -192,11 +262,26 @@ Graph read_edge_list(std::istream& in) {
     const auto u = parse_int(tok[0]);
     const auto v = parse_int(tok[1]);
     if (!u || !v || *u < 0 || *v < 0) fail(line_no, "invalid endpoint");
+    // Endpoints imply the vertex count (max id + 1): range-check them so a
+    // single bogus line cannot make from_edges allocate by a huge id.
+    if (*u >= limits.vertex_cap() || *v >= limits.vertex_cap()) {
+      fail(line_no, "endpoint exceeds vertex limit " +
+                        std::to_string(limits.vertex_cap()));
+    }
+    if (*u == *v) {
+      fail(line_no, "self loop on vertex " + std::to_string(*u));
+    }
     Weight w = 1.0;
     if (tok.size() == 3) {
       const auto wd = parse_double(tok[2]);
-      if (!wd || *wd < 0) fail(line_no, "invalid weight");
+      if (!wd || !std::isfinite(*wd) || *wd < 0) {
+        fail(line_no, "invalid weight (must be finite and >= 0)");
+      }
       w = *wd;
+    }
+    if (static_cast<std::int64_t>(edges.size()) >= limits.edge_cap()) {
+      fail(line_no,
+           "edge limit " + std::to_string(limits.edge_cap()) + " exceeded");
     }
     edges.push_back(
         {static_cast<VertexId>(*u), static_cast<VertexId>(*v), w});
@@ -206,9 +291,9 @@ Graph read_edge_list(std::istream& in) {
   return Graph::from_edges(max_v + 1, edges);
 }
 
-Graph read_edge_list_file(const std::string& path) {
+Graph read_edge_list_file(const std::string& path, const IoLimits& limits) {
   auto in = open_in(path);
-  return read_edge_list(in);
+  return read_edge_list(in, limits);
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -230,7 +315,9 @@ std::vector<int> read_partition(std::istream& in) {
     const auto t = trim(line);
     if (t.empty()) continue;
     const auto p = parse_int(t);
-    if (!p || *p < 0) fail(line_no, "invalid part id");
+    if (!p || *p < 0 || *p > std::numeric_limits<int>::max()) {
+      fail(line_no, "invalid part id");
+    }
     parts.push_back(static_cast<int>(*p));
   }
   return parts;

@@ -10,9 +10,16 @@
 //  - Plain edge list: "u v [w]" per line, 0-indexed.
 //  - Partition files: one part id per line, as written by Chaco/METIS.
 //
-// All readers throw ffp::Error with a line number on malformed input.
+// All readers throw ffp::Error with a line number on malformed input —
+// they are hardened for UNTRUSTED files (the ffp_serve daemon parses
+// whatever a client names): header counts are range-checked before any
+// allocation, weights must be finite and positive where required,
+// duplicate neighbor entries and self loops are rejected with the
+// offending vertex named, and `IoLimits` lets a service cap instance size
+// so a hostile header cannot trigger a giant allocation.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -21,13 +28,27 @@
 
 namespace ffp {
 
-Graph read_chaco(std::istream& in);
-Graph read_chaco_file(const std::string& path);
+/// Ceilings enforced while parsing, BEFORE anything is allocated to the
+/// declared size. Defaults accept anything the in-memory Graph can hold;
+/// services parsing untrusted input pass tighter caps.
+struct IoLimits {
+  std::int64_t max_vertices = 0;  ///< 0 → VertexId range
+  std::int64_t max_edges = 0;     ///< 0 → unlimited
+  /// The effective caps with the 0-defaults resolved — the one place the
+  /// "0 means VertexId-range / unlimited" rule lives (file readers and the
+  /// service protocol's inline graphs share it).
+  std::int64_t vertex_cap() const;
+  std::int64_t edge_cap() const;
+};
+
+Graph read_chaco(std::istream& in, const IoLimits& limits = {});
+Graph read_chaco_file(const std::string& path, const IoLimits& limits = {});
 void write_chaco(const Graph& g, std::ostream& out);
 void write_chaco_file(const Graph& g, const std::string& path);
 
-Graph read_edge_list(std::istream& in);
-Graph read_edge_list_file(const std::string& path);
+Graph read_edge_list(std::istream& in, const IoLimits& limits = {});
+Graph read_edge_list_file(const std::string& path,
+                          const IoLimits& limits = {});
 void write_edge_list(const Graph& g, std::ostream& out);
 
 std::vector<int> read_partition(std::istream& in);

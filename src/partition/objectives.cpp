@@ -88,6 +88,14 @@ std::string_view objective_name(ObjectiveKind kind) {
   return objective(kind).name();
 }
 
+std::optional<ObjectiveKind> objective_from_name(std::string_view name) {
+  if (name == "cut") return ObjectiveKind::Cut;
+  if (name == "ncut") return ObjectiveKind::NormalizedCut;
+  if (name == "mcut") return ObjectiveKind::MinMaxCut;
+  if (name == "rcut") return ObjectiveKind::RatioCut;
+  return std::nullopt;
+}
+
 const ObjectiveFn& objective(ObjectiveKind kind) {
   static const CutObjective cut;
   static const NcutObjective ncut;

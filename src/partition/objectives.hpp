@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "partition/partition.hpp"
@@ -26,6 +27,11 @@ namespace ffp {
 enum class ObjectiveKind { Cut, NormalizedCut, MinMaxCut, RatioCut };
 
 std::string_view objective_name(ObjectiveKind kind);
+
+/// Inverse for the short CLI/protocol names (cut|ncut|mcut|rcut, case
+/// sensitive); nullopt on anything else. ffp_part and the service protocol
+/// share this single mapping.
+std::optional<ObjectiveKind> objective_from_name(std::string_view name);
 
 class ObjectiveFn {
  public:

@@ -1,0 +1,234 @@
+#include "service/job_scheduler.hpp"
+
+#include <utility>
+
+#include "solver/registry.hpp"
+#include "util/timer.hpp"
+
+namespace ffp {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+void JobScheduler::ProgressRecorder::start() {
+  std::lock_guard lock(mu_);
+  AnytimeRecorder::start();
+}
+
+void JobScheduler::ProgressRecorder::record(double best_value) {
+  Point point{};
+  {
+    std::lock_guard lock(mu_);
+    AnytimeRecorder::record(best_value);
+    point = points().back();
+  }
+  // Outside the recorder lock: the hook may do arbitrary (slow) I/O.
+  if (scheduler_->options_.on_improvement) {
+    scheduler_->options_.on_improvement(job_->id, point.seconds,
+                                        point.best_value);
+  }
+}
+
+std::vector<AnytimeRecorder::Point> JobScheduler::ProgressRecorder::snapshot()
+    const {
+  std::lock_guard lock(mu_);
+  return points();
+}
+
+JobScheduler::JobScheduler(JobSchedulerOptions options)
+    : options_(std::move(options)),
+      budget_(options_.budget != nullptr ? options_.budget
+                                         : &ThreadBudget::process()) {
+  const unsigned runners = std::max(1u, options_.runners);
+  runners_.reserve(runners);
+  for (unsigned i = 0; i < runners; ++i) {
+    runners_.emplace_back([this] { runner_loop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { shutdown(); }
+
+std::uint64_t JobScheduler::submit(JobSpec spec) {
+  FFP_CHECK(spec.graph != nullptr, "job needs a graph");
+  FFP_CHECK(spec.graph->num_vertices() >= 1, "job graph is empty");
+  FFP_CHECK(spec.k >= 1, "job needs k >= 1");
+  FFP_CHECK(spec.steps >= 0, "job step budget must be >= 0");
+  FFP_CHECK(spec.budget_ms >= 0, "job wall-clock budget must be >= 0");
+  // Resolve the method now so a typo fails the submit, not the runner.
+  SolverPtr solver = make_solver(spec.method);
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    FFP_CHECK(!stopping_, "submit on a shut-down JobScheduler");
+    id = next_id_++;
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->spec = std::move(spec);
+    job->solver = std::move(solver);
+    job->recorder = std::make_unique<ProgressRecorder>(this, job.get());
+    queue_.emplace(-job->spec.priority, id);
+    jobs_.emplace(id, std::move(job));
+  }
+  queue_cv_.notify_one();
+  return id;
+}
+
+bool JobScheduler::cancel(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (terminal(job.state)) return false;
+  if (job.state == JobState::Queued) {
+    queue_.erase({-job.spec.priority, id});
+    job.state = JobState::Cancelled;
+    ++completed_;
+    lock.unlock();
+    changed_cv_.notify_all();
+    return true;
+  }
+  // Running (or claimed and waiting for budget): the flag stops the solver
+  // at its next StopCondition check; the runner finalizes the state.
+  job.cancel_flag.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+JobStatus JobScheduler::status_locked(const Job& job) const {
+  JobStatus out;
+  out.state = job.state;
+  out.seconds =
+      job.state == JobState::Running ? job.timer.elapsed_seconds() : job.seconds;
+  out.error = job.error;
+  out.progress = job.recorder->snapshot();
+  out.result = job.result;
+  return out;
+}
+
+JobStatus JobScheduler::status(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  FFP_CHECK(it != jobs_.end(), "unknown job id ", id);
+  return status_locked(*it->second);
+}
+
+JobStatus JobScheduler::wait(std::uint64_t id) {
+  std::unique_lock lock(mu_);
+  const auto it = jobs_.find(id);
+  FFP_CHECK(it != jobs_.end(), "unknown job id ", id);
+  Job& job = *it->second;
+  changed_cv_.wait(lock, [&] { return terminal(job.state); });
+  return status_locked(job);
+}
+
+void JobScheduler::drain() {
+  std::unique_lock lock(mu_);
+  changed_cv_.wait(lock, [this] {
+    return completed_ == static_cast<std::int64_t>(jobs_.size());
+  });
+}
+
+void JobScheduler::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    // Cancel everything still queued; running jobs finish on their own.
+    for (const auto& [neg_priority, id] : queue_) {
+      (void)neg_priority;
+      Job& job = *jobs_.at(id);
+      job.state = JobState::Cancelled;
+      ++completed_;
+    }
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+  changed_cv_.notify_all();
+  for (auto& runner : runners_) {
+    if (runner.joinable()) runner.join();
+  }
+}
+
+std::int64_t JobScheduler::jobs_completed() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+void JobScheduler::runner_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;  // spurious wakeup
+      }
+      const auto it = queue_.begin();
+      job = jobs_.at(it->second).get();
+      queue_.erase(it);
+      job->state = JobState::Running;
+      job->timer.reset();
+    }
+
+    // The runner's own slot: the one blocking wait in the whole budget
+    // protocol, safe exactly here because the runner holds nothing while
+    // waiting (thread_budget.hpp).
+    WorkerLease self = budget_->acquire(1);
+    if (job->cancel_flag.load(std::memory_order_relaxed)) {
+      std::lock_guard lock(mu_);
+      job->state = JobState::Cancelled;
+      job->seconds = job->timer.elapsed_seconds();
+      ++completed_;
+    } else {
+      run_job(*job);
+    }
+    self.release();
+    changed_cv_.notify_all();
+  }
+}
+
+void JobScheduler::run_job(Job& job) {
+  const JobSpec& spec = job.spec;
+  SolverRequest request;
+  request.k = spec.k;
+  request.objective = spec.objective;
+  request.seed = spec.seed;
+  request.threads = spec.threads;
+  request.budget = budget_;
+  request.recorder = job.recorder.get();
+  request.stop = spec.steps > 0 ? StopCondition::after_steps(spec.steps)
+                                : StopCondition::after_millis(spec.budget_ms);
+  request.stop.set_cancel_flag(&job.cancel_flag);
+
+  std::shared_ptr<const SolverResult> result;
+  std::string error;
+  try {
+    result = std::make_shared<const SolverResult>(
+        job.solver->run(*spec.graph, request));
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  std::lock_guard lock(mu_);
+  job.seconds = job.timer.elapsed_seconds();
+  if (!error.empty()) {
+    job.state = JobState::Failed;
+    job.error = std::move(error);
+  } else {
+    job.result = std::move(result);
+    job.state = job.cancel_flag.load(std::memory_order_relaxed)
+                    ? JobState::Cancelled
+                    : JobState::Done;
+  }
+  ++completed_;
+}
+
+}  // namespace ffp

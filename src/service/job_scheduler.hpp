@@ -1,0 +1,176 @@
+// Multi-tenant job scheduling over the solver engine layer: the service
+// subsystem's core. Clients submit JobSpecs (graph + method spec + budget +
+// seed + priority); a fixed set of runner threads executes them
+// highest-priority-first (FIFO within a priority), each solve leasing its
+// workers from a ThreadBudget so N concurrent jobs can never oversubscribe
+// the machine no matter how much intra-run parallelism each one asks for.
+//
+// Determinism contract (what the service tests prove): a job's result
+// depends only on its JobSpec — seed, step budget, method, k, objective.
+// Runner scheduling, the budget size, and how many worker slots a solve
+// happens to be granted never change the partition, because (a) every
+// random draw derives from the spec's seed and (b) the batched
+// fusion-fission engine is byte-identical at any worker count. So a fixed
+// set of step-budgeted jobs yields byte-identical partitions whether
+// submitted serially or concurrently, at any budget. (Wall-clock-budgeted
+// jobs trade that guarantee for latency control, exactly like the CLI.)
+//
+// Cancellation: cancel() removes a queued job outright and flips a running
+// job's cancel flag, which the solver's StopCondition observes — the job
+// then finishes early with state Cancelled and its best-so-far partition
+// attached, an anytime result rather than wasted work.
+//
+// Progress: each job owns a thread-safe AnytimeRecorder subclass;
+// progress() snapshots the improvement trajectory mid-run, and an optional
+// on_improvement hook streams events as they happen (ffp_serve forwards
+// them to the client as `progress` lines).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metaheuristics/anytime.hpp"
+#include "service/thread_budget.hpp"
+#include "solver/solver.hpp"
+
+namespace ffp {
+
+enum class JobState { Queued, Running, Done, Cancelled, Failed };
+
+std::string_view to_string(JobState state);
+
+struct JobSpec {
+  std::shared_ptr<const Graph> graph;  ///< required, shared across jobs
+  std::string method = "fusion_fission";  ///< registry spec (solver/registry)
+  int k = 2;
+  ObjectiveKind objective = ObjectiveKind::MinMaxCut;
+  std::uint64_t seed = 1;
+  /// Deterministic step budget; 0 falls back to the wall clock, which
+  /// forfeits the byte-identical guarantee (documented above).
+  std::int64_t steps = 0;
+  double budget_ms = 5000;
+  int priority = 0;    ///< higher runs first; FIFO within a priority
+  unsigned threads = 0;  ///< intra-run worker *want*, leased from the budget
+};
+
+/// Point-in-time view of a job. `result` is set once the job is terminal
+/// and produced a partition (Done always; Cancelled when it was cancelled
+/// mid-run, carrying the best-so-far).
+struct JobStatus {
+  JobState state = JobState::Queued;
+  double seconds = 0.0;  ///< run time so far (terminal: total)
+  std::string error;     ///< Failed only
+  std::vector<AnytimeRecorder::Point> progress;
+  std::shared_ptr<const SolverResult> result;
+};
+
+struct JobSchedulerOptions {
+  unsigned runners = 1;  ///< concurrent jobs (each runner leases a slot)
+  /// Budget all runners and their solves lease from; null uses the
+  /// process-wide ThreadBudget::process().
+  ThreadBudget* budget = nullptr;
+  /// Streaming hook: called from runner threads on every improvement a
+  /// job's recorder sees. Must be thread-safe.
+  std::function<void(std::uint64_t job, double seconds, double value)>
+      on_improvement;
+};
+
+class JobScheduler {
+ public:
+  explicit JobScheduler(JobSchedulerOptions options = {});
+  /// Cancels everything still queued, lets running jobs finish, joins.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Enqueues a job; returns its id (monotonic from 1). Validates the spec
+  /// (graph present, k ≥ 1, known method) up front so bad submissions fail
+  /// at the API boundary, not inside a runner.
+  std::uint64_t submit(JobSpec spec);
+
+  /// Queued → removed (terminal Cancelled, no result); Running → flagged,
+  /// the job finishes early with its best-so-far. Returns false when the
+  /// id is unknown or the job was already terminal.
+  bool cancel(std::uint64_t id);
+
+  /// Snapshot, any time. Throws on unknown ids.
+  JobStatus status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal, then returns its final status.
+  JobStatus wait(std::uint64_t id);
+
+  /// Blocks until every submitted job is terminal.
+  void drain();
+
+  /// Stops accepting submissions, cancels the queue, waits for running
+  /// jobs. Idempotent; the destructor calls it. Safe on an empty queue.
+  void shutdown();
+
+  unsigned runners() const { return static_cast<unsigned>(runners_.size()); }
+  ThreadBudget& budget() const { return *budget_; }
+  std::int64_t jobs_completed() const;
+
+ private:
+  struct Job;
+  /// Thread-safe per-job recorder: serializes the base AnytimeRecorder and
+  /// forwards improvements to the scheduler's streaming hook.
+  class ProgressRecorder final : public AnytimeRecorder {
+   public:
+    ProgressRecorder(JobScheduler* scheduler, Job* job)
+        : scheduler_(scheduler), job_(job) {}
+    void start() override;
+    void record(double best_value) override;
+    std::vector<Point> snapshot() const;
+
+   private:
+    JobScheduler* scheduler_;
+    Job* job_;
+    mutable std::mutex mu_;
+  };
+
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    SolverPtr solver;  ///< resolved at submit so typos fail the API call
+    JobState state = JobState::Queued;
+    std::atomic<bool> cancel_flag{false};
+    WallTimer timer;       ///< armed when the job starts running
+    double seconds = 0.0;  ///< total run time once terminal
+    std::string error;
+    std::shared_ptr<const SolverResult> result;
+    std::unique_ptr<ProgressRecorder> recorder;
+  };
+
+  void runner_loop();
+  void run_job(Job& job);
+  JobStatus status_locked(const Job& job) const;
+  static bool terminal(JobState s) {
+    return s == JobState::Done || s == JobState::Cancelled ||
+           s == JobState::Failed;
+  }
+
+  JobSchedulerOptions options_;
+  ThreadBudget* budget_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;   ///< runners: work or shutdown
+  std::condition_variable changed_cv_; ///< waiters: a job went terminal
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  /// Pop order: highest priority first, FIFO (lowest id) within one.
+  std::set<std::pair<int, std::uint64_t>> queue_;  // (-priority, id)
+  std::uint64_t next_id_ = 1;
+  std::int64_t completed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> runners_;
+};
+
+}  // namespace ffp

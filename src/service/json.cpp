@@ -1,0 +1,356 @@
+#include "service/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <set>
+
+namespace ffp {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& msg) {
+  throw Error("JSON error at byte " + std::to_string(offset) + ": " + msg);
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
+
+  JsonValue run() {
+    if (text_.size() > limits_.max_bytes) {
+      fail_at(0, "document exceeds " + std::to_string(limits_.max_bytes) +
+                     " bytes");
+    }
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing bytes after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail_at(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void count_element() {
+    if (++elements_ > limits_.max_elements) {
+      fail_at(pos_, "document exceeds " + std::to_string(limits_.max_elements) +
+                        " values");
+    }
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > limits_.max_depth) fail_at(pos_, "nesting too deep");
+    count_element();
+    JsonValue v;
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        v.kind_ = JsonValue::Kind::String;
+        v.string_ = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail_at(pos_, "invalid literal");
+        v.kind_ = JsonValue::Kind::Bool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail_at(pos_, "invalid literal");
+        v.kind_ = JsonValue::Kind::Bool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail_at(pos_, "invalid literal");
+        v.kind_ = JsonValue::Kind::Null;
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Object;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    // Set-based duplicate detection: a linear scan per key would make a
+    // crafted million-key object quadratic — a CPU DoS on untrusted input.
+    std::set<std::string> keys;
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail_at(pos_, "expected object key string");
+      std::string key = parse_string();
+      if (!keys.insert(key).second) {
+        fail_at(pos_, "duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.members_.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail_at(pos_, "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Array;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.array_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail_at(pos_, "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) fail_at(pos_, "unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume backslash
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default:
+          fail_at(pos_ - 1, "invalid escape character");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail_at(pos_ - 1, "invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail_at(pos_, "high surrogate not followed by \\u escape");
+      }
+      pos_ += 2;
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) {
+        fail_at(pos_, "invalid low surrogate");
+      }
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail_at(pos_, "unpaired low surrogate");
+    }
+    // Encode the code point as UTF-8.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail_at(start, "invalid number");
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Number;
+    double d = 0.0;
+    const auto* end = token.data() + token.size();
+    auto [p, ec] = std::from_chars(token.data(), end, d);
+    if (ec != std::errc() || p != end || !std::isfinite(d)) {
+      fail_at(start, "invalid number");
+    }
+    v.number_ = d;
+    // Preserve exact integers (ids, counts) when the token has no
+    // fractional syntax and fits int64.
+    if (token.find_first_of(".eE") == std::string_view::npos) {
+      std::int64_t i = 0;
+      auto [pi, eci] = std::from_chars(token.data(), end, i);
+      if (eci == std::errc() && pi == end) {
+        v.int_ = i;
+        v.is_int_ = true;
+      }
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  JsonLimits limits_;
+  std::size_t pos_ = 0;
+  std::size_t elements_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text, const JsonLimits& limits) {
+  return JsonParser(text, limits).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw Error("JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw Error("JSON value is not a number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (!is_number() || !is_int_) throw Error("JSON value is not an integer");
+  return int_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw Error("JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (!is_array()) throw Error("JSON value is not an array");
+  return array_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::as_object() const {
+  if (!is_object()) throw Error("JSON value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void json_append_quoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[c >> 4]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace ffp

@@ -1,0 +1,142 @@
+#include "service/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ffp {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void FdHandle::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+FdHandle tcp_listen(int port, int* bound_port) {
+  FFP_CHECK(port >= 0 && port <= 65535, "port out of range: ", port);
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    fail_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd.get(), 8) != 0) fail_errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      fail_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+FdHandle tcp_accept(const FdHandle& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) return FdHandle(fd);
+    if (errno == EINTR) continue;
+    fail_errno("accept");
+  }
+}
+
+FdHandle tcp_connect(int port) {
+  FFP_CHECK(port > 0 && port <= 65535, "port out of range: ", port);
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    fail_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  return fd;
+}
+
+void write_line(const FdHandle& fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd.get(), framed.data() + sent, framed.size() - sent,
+               MSG_NOSIGNAL);  // EPIPE as an error, not a process signal
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void shutdown_write(const FdHandle& fd) {
+  if (::shutdown(fd.get(), SHUT_WR) != 0) fail_errno("shutdown(SHUT_WR)");
+}
+
+bool LineReader::next(std::string& line, std::size_t max_line_bytes) {
+  for (;;) {
+    const std::size_t eol = buffer_.find('\n', pos_);
+    if (eol != std::string::npos) {
+      line.assign(buffer_, pos_, eol - pos_);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      pos_ = eol + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > (1u << 16) && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (buffer_.size() - pos_ > max_line_bytes) {
+      throw Error("line exceeds " + std::to_string(max_line_bytes) +
+                  " bytes without a newline");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_->get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) {
+      // Orderly EOF: a final unterminated line still counts.
+      if (pos_ < buffer_.size()) {
+        line.assign(buffer_, pos_, buffer_.size() - pos_);
+        buffer_.clear();
+        pos_ = 0;
+        return true;
+      }
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace ffp

@@ -1,0 +1,67 @@
+// Tiny POSIX TCP helpers for the service tools: ffp_serve listens, the
+// client connects, both speak newline-delimited lines over a buffered
+// reader. Loopback-oriented (the daemon binds 127.0.0.1 only — putting a
+// partitioner on a public interface is a deployment's job, behind whatever
+// auth it has); every failure is an ffp::Error with errno text, never a
+// silent -1.
+#pragma once
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ffp {
+
+/// RAII file descriptor.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept;
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  ~FdHandle() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:port (port 0 → ephemeral). `bound_port`
+/// receives the actual port.
+FdHandle tcp_listen(int port, int* bound_port);
+
+/// Accepts one connection; blocks.
+FdHandle tcp_accept(const FdHandle& listener);
+
+/// Connects to 127.0.0.1:port.
+FdHandle tcp_connect(int port);
+
+/// Writes `line` plus '\n', handling partial writes. Throws on error.
+void write_line(const FdHandle& fd, const std::string& line);
+
+/// Half-closes the write side: the peer's reader sees EOF while this end
+/// can keep reading — how a client says "no more requests" and still
+/// collects every response.
+void shutdown_write(const FdHandle& fd);
+
+/// Buffered newline-delimited reader over a connected socket.
+class LineReader {
+ public:
+  explicit LineReader(const FdHandle& fd) : fd_(&fd) {}
+
+  /// Reads the next line (without the '\n'); false on orderly EOF.
+  /// `max_line_bytes` guards against a peer streaming an unbounded line.
+  bool next(std::string& line, std::size_t max_line_bytes = 1u << 26);
+
+ private:
+  const FdHandle* fd_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ffp

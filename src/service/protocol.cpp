@@ -1,0 +1,305 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace ffp {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& msg) {
+  throw Error("bad request: " + msg);
+}
+
+/// Every key the submit op understands; anything else is a typo and fails
+/// loudly, same policy as the solver registry's option parsing.
+const std::set<std::string_view>& submit_keys() {
+  static const std::set<std::string_view> keys = {
+      "op",        "id",    "graph_file", "graph",    "method", "k",
+      "objective", "seed",  "steps",      "budget_ms", "priority",
+      "threads"};
+  return keys;
+}
+
+std::string parse_id(const JsonValue& root, const ProtocolLimits& limits) {
+  const JsonValue* id = root.find("id");
+  if (id == nullptr) reject("missing 'id'");
+  if (!id->is_string()) reject("'id' must be a string");
+  const std::string& value = id->as_string();
+  if (value.empty()) reject("'id' must not be empty");
+  if (value.size() > limits.max_id_bytes) {
+    reject("'id' longer than " + std::to_string(limits.max_id_bytes) +
+           " bytes");
+  }
+  return value;
+}
+
+std::int64_t int_field(const JsonValue& root, std::string_view key,
+                       std::int64_t fallback, std::int64_t lo,
+                       std::int64_t hi) {
+  const JsonValue* v = root.find(key);
+  if (v == nullptr) return fallback;
+  std::int64_t value = 0;
+  try {
+    value = v->as_int();
+  } catch (const Error&) {
+    reject("'" + std::string(key) + "' must be an integer");
+  }
+  if (value < lo || value > hi) {
+    reject("'" + std::string(key) + "' out of range [" + std::to_string(lo) +
+           ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+std::shared_ptr<const Graph> parse_inline_graph(const JsonValue& spec,
+                                                const ProtocolLimits& limits) {
+  if (!spec.is_object()) reject("'graph' must be an object");
+  for (const auto& [key, unused] : spec.as_object()) {
+    (void)unused;
+    if (key != "n" && key != "edges") {
+      reject("unknown key '" + key + "' in 'graph'");
+    }
+  }
+  // The same resolved ceilings the hardened file readers enforce — so the
+  // inline and file paths can never diverge — plus the inline-only vertex
+  // cap (see ProtocolLimits: a declared n costs the sender nothing but
+  // costs the server O(n) allocation).
+  const std::int64_t vcap =
+      std::min(limits.graph.vertex_cap(), limits.max_inline_vertices);
+  const std::int64_t ecap = limits.graph.edge_cap();
+
+  const JsonValue* edges_v = spec.find("edges");
+  if (edges_v == nullptr || !edges_v->is_array()) {
+    reject("'graph' needs an 'edges' array");
+  }
+  const auto& raw = edges_v->as_array();
+  if (static_cast<std::int64_t>(raw.size()) > ecap) {
+    reject("'graph.edges' exceeds the edge limit " + std::to_string(ecap));
+  }
+
+  std::int64_t n = int_field(spec, "n", 0, 0, vcap);
+  std::vector<WeightedEdge> edges;
+  edges.reserve(raw.size());
+  VertexId max_v = -1;
+  for (const JsonValue& e : raw) {
+    if (!e.is_array() || (e.as_array().size() != 2 && e.as_array().size() != 3)) {
+      reject("each edge must be [u, v] or [u, v, w]");
+    }
+    const auto& t = e.as_array();
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    try {
+      u = t[0].as_int();
+      v = t[1].as_int();
+    } catch (const Error&) {
+      reject("edge endpoints must be integers");
+    }
+    if (u < 0 || v < 0 || u >= vcap || v >= vcap) {
+      reject("edge endpoint out of range");
+    }
+    if (u == v) reject("self loop on vertex " + std::to_string(u));
+    double w = 1.0;
+    if (t.size() == 3) {
+      if (!t[2].is_number()) reject("edge weight must be a number");
+      w = t[2].as_number();
+      if (!std::isfinite(w) || w < 0) {
+        reject("edge weight must be finite and >= 0");
+      }
+    }
+    edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), w});
+    max_v = std::max(max_v, static_cast<VertexId>(std::max(u, v)));
+  }
+  if (n == 0) n = static_cast<std::int64_t>(max_v) + 1;
+  if (n <= 0) reject("'graph' is empty");
+  if (max_v >= n) {
+    reject("edge endpoint " + std::to_string(max_v) +
+           " exceeds declared n = " + std::to_string(n));
+  }
+  // from_edges re-checks every invariant; wrap its Error as a bad request.
+  try {
+    return std::make_shared<const Graph>(
+        Graph::from_edges(static_cast<VertexId>(n), edges));
+  } catch (const Error& e) {
+    reject(e.what());
+  }
+}
+
+Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
+  Request req;
+  req.op = RequestOp::Submit;
+  req.id = parse_id(root, limits);
+  for (const auto& [key, unused] : root.as_object()) {
+    (void)unused;
+    if (submit_keys().count(key) == 0) {
+      reject("unknown key '" + key + "' in submit");
+    }
+  }
+
+  const JsonValue* file = root.find("graph_file");
+  const JsonValue* inline_g = root.find("graph");
+  if ((file != nullptr) == (inline_g != nullptr)) {
+    reject("submit needs exactly one of 'graph_file' or 'graph'");
+  }
+  if (file != nullptr) {
+    if (!file->is_string() || file->as_string().empty()) {
+      reject("'graph_file' must be a non-empty string");
+    }
+    req.graph_file = file->as_string();
+  } else {
+    req.inline_graph = parse_inline_graph(*inline_g, limits);
+  }
+
+  if (const JsonValue* m = root.find("method"); m != nullptr) {
+    if (!m->is_string() || m->as_string().empty()) {
+      reject("'method' must be a non-empty string");
+    }
+    req.spec.method = m->as_string();
+  }
+  if (const JsonValue* o = root.find("objective"); o != nullptr) {
+    if (!o->is_string()) reject("'objective' must be a string");
+    const auto kind = objective_from_name(o->as_string());
+    if (!kind) {
+      reject("unknown objective '" + o->as_string() +
+             "' (expected cut|ncut|mcut|rcut)");
+    }
+    req.spec.objective = *kind;
+  }
+  req.spec.k = static_cast<int>(int_field(root, "k", 2, 1, 1 << 24));
+  req.spec.seed = static_cast<std::uint64_t>(int_field(
+      root, "seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+  req.spec.steps =
+      int_field(root, "steps", 0, 0, limits.max_steps);
+  req.spec.priority = static_cast<int>(
+      int_field(root, "priority", 0, -1'000'000, 1'000'000));
+  req.spec.threads = static_cast<unsigned>(
+      int_field(root, "threads", 0, 0, limits.max_threads));
+  if (const JsonValue* b = root.find("budget_ms"); b != nullptr) {
+    if (!b->is_number()) reject("'budget_ms' must be a number");
+    const double ms = b->as_number();
+    if (!(ms >= 0) || ms > limits.max_budget_ms) {
+      reject("'budget_ms' out of range [0, " +
+             std::to_string(limits.max_budget_ms) + "]");
+    }
+    req.spec.budget_ms = ms;
+  }
+  return req;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line, const ProtocolLimits& limits) {
+  JsonValue root = JsonValue::parse(line, limits.json);
+  if (!root.is_object()) reject("request must be a JSON object");
+  const JsonValue* op = root.find("op");
+  if (op == nullptr || !op->is_string()) reject("missing string 'op'");
+  const std::string& name = op->as_string();
+
+  if (name == "submit") return parse_submit(root, limits);
+
+  if (name == "shutdown") {
+    for (const auto& [key, unused] : root.as_object()) {
+      (void)unused;
+      if (key != "op") reject("unknown key '" + key + "' in shutdown");
+    }
+    Request req;
+    req.op = RequestOp::Shutdown;
+    return req;
+  }
+
+  RequestOp kind;
+  if (name == "status") kind = RequestOp::Status;
+  else if (name == "cancel") kind = RequestOp::Cancel;
+  else if (name == "result") kind = RequestOp::Result;
+  else reject("unknown op '" + name + "'");
+
+  for (const auto& [key, unused] : root.as_object()) {
+    (void)unused;
+    if (key != "op" && key != "id") {
+      reject("unknown key '" + key + "' in " + name);
+    }
+  }
+  Request req;
+  req.op = kind;
+  req.id = parse_id(root, limits);
+  return req;
+}
+
+namespace {
+
+void append_number(std::string& out, double value) {
+  out += format("%.17g", value);
+}
+
+}  // namespace
+
+std::string format_ack(std::string_view id) {
+  std::string out = "{\"event\":\"ack\",\"id\":";
+  json_append_quoted(out, id);
+  out += "}";
+  return out;
+}
+
+std::string format_error(std::string_view id, std::string_view message) {
+  std::string out = "{\"event\":\"error\",\"id\":";
+  json_append_quoted(out, id);
+  out += ",\"message\":";
+  json_append_quoted(out, message);
+  out += "}";
+  return out;
+}
+
+std::string format_progress(std::string_view id, double seconds,
+                            double value) {
+  std::string out = "{\"event\":\"progress\",\"id\":";
+  json_append_quoted(out, id);
+  out += ",\"seconds\":";
+  append_number(out, seconds);
+  out += ",\"value\":";
+  append_number(out, value);
+  out += "}";
+  return out;
+}
+
+std::string format_status(std::string_view id, const JobStatus& status) {
+  std::string out = "{\"event\":\"status\",\"id\":";
+  json_append_quoted(out, id);
+  out += ",\"state\":\"";
+  out += to_string(status.state);
+  out += "\",\"seconds\":";
+  append_number(out, status.seconds);
+  if (!status.progress.empty()) {
+    out += ",\"best_value\":";
+    append_number(out, status.progress.back().best_value);
+  }
+  out += ",\"improvements\":" + std::to_string(status.progress.size());
+  out += "}";
+  return out;
+}
+
+std::string format_result(std::string_view id, const JobStatus& status) {
+  FFP_CHECK(status.result != nullptr,
+            "format_result needs a terminal job with a partition");
+  std::string out = "{\"event\":\"result\",\"id\":";
+  json_append_quoted(out, id);
+  out += ",\"state\":\"";
+  out += to_string(status.state);
+  out += "\",\"value\":";
+  append_number(out, status.result->best_value);
+  out += ",\"seconds\":";
+  append_number(out, status.seconds);
+  out += ",\"partition\":[";
+  const auto parts = status.result->best.assignment();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(parts[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string format_bye() { return "{\"event\":\"bye\"}"; }
+
+}  // namespace ffp

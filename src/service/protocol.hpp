@@ -1,0 +1,92 @@
+// The service wire protocol: line-delimited JSON, transport-agnostic.
+// One request object per line in, one event object per line out — the same
+// codec serves a TCP socket, a stdin/stdout pipe, and the in-process tests.
+//
+// Requests (all carry "op"; job ops carry the client-chosen string "id"):
+//
+//   {"op":"submit","id":"j1","graph_file":"mesh.graph","k":8,
+//    "method":"fusion_fission","objective":"mcut","seed":7,"steps":20000,
+//    "priority":0,"threads":2}
+//   {"op":"submit","id":"j2","graph":{"n":4,"edges":[[0,1],[1,2],[2,3,2.5]]},
+//    "k":2,"steps":1000}
+//   {"op":"status","id":"j1"}
+//   {"op":"cancel","id":"j1"}
+//   {"op":"result","id":"j1"}          // blocks until the job is terminal
+//   {"op":"shutdown"}
+//
+// Responses:
+//
+//   {"event":"ack","id":"j1"}
+//   {"event":"error","id":"j1","message":"..."}        // id "" if unknown
+//   {"event":"progress","id":"j1","seconds":0.41,"value":6.02}
+//   {"event":"status","id":"j1","state":"running","seconds":0.5,
+//    "best_value":6.1,"improvements":3}
+//   {"event":"result","id":"j1","state":"done","value":5.9,"seconds":1.2,
+//    "partition":[0,1,0,2,...]}
+//   {"event":"bye"}
+//
+// Input is UNTRUSTED: the parser is strict (unknown ops, unknown keys, bad
+// types, out-of-range values, oversized ids and documents all fail with a
+// clear message and never touch the scheduler), and inline graphs are
+// range-checked edge by edge under the same IoLimits the hardened file
+// readers enforce. Every parse failure throws ffp::Error; the session
+// turns it into an `error` event instead of dying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "graph/io.hpp"
+#include "service/job_scheduler.hpp"
+#include "service/json.hpp"
+
+namespace ffp {
+
+struct ProtocolLimits {
+  JsonLimits json;     ///< per-line document limits
+  IoLimits graph;      ///< inline-graph and graph_file ceilings
+  /// Extra ceiling on an inline graph's declared `n`. Unlike a file —
+  /// where n lines must physically exist — an inline submit pays nothing
+  /// for a huge declared n while Graph::from_edges allocates O(n), so a
+  /// 70-byte request could otherwise demand gigabytes. Big graphs travel
+  /// by file path. The effective inline cap is min(this, graph cap).
+  std::int64_t max_inline_vertices = 1 << 22;
+  std::size_t max_id_bytes = 128;
+  std::int64_t max_steps = 1'000'000'000'000;  ///< 1e12 committed steps
+  double max_budget_ms = 86'400'000;           ///< one day of wall clock
+  unsigned max_threads = 4096;
+};
+
+enum class RequestOp { Submit, Status, Cancel, Result, Shutdown };
+
+/// A validated request. For Submit, `spec` carries everything but the
+/// graph; the graph arrives either inline (`inline_graph`) or by path
+/// (`graph_file`, loaded by the session subject to its file policy).
+struct Request {
+  RequestOp op = RequestOp::Shutdown;
+  std::string id;  ///< client job id (empty only for shutdown)
+  JobSpec spec;    ///< Submit only (spec.graph left null here)
+  std::string graph_file;                  ///< Submit, file variant
+  std::shared_ptr<const Graph> inline_graph;  ///< Submit, inline variant
+};
+
+/// Parses and validates one request line. Throws ffp::Error on anything
+/// malformed — syntax, unknown op, unknown key, bad type or range.
+Request parse_request(std::string_view line, const ProtocolLimits& limits = {});
+
+// ---- response formatting (one line each, no trailing newline) ----------
+
+std::string format_ack(std::string_view id);
+std::string format_error(std::string_view id, std::string_view message);
+std::string format_progress(std::string_view id, double seconds, double value);
+/// `status` event: state, seconds, best value seen (absent before the
+/// first improvement) and the improvement count.
+std::string format_status(std::string_view id, const JobStatus& status);
+/// `result` event for a terminal job with a partition attached (Done, or
+/// Cancelled mid-run). Failed/cancelled-before-running jobs get `error`.
+std::string format_result(std::string_view id, const JobStatus& status);
+std::string format_bye();
+
+}  // namespace ffp

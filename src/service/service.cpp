@@ -1,0 +1,139 @@
+#include "service/service.hpp"
+
+#include <iterator>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace ffp {
+
+ServiceSession::ServiceSession(ServiceOptions options, Emit emit)
+    : options_(std::move(options)), sink_(std::move(emit)) {
+  JobSchedulerOptions sched;
+  sched.runners = options_.runners;
+  sched.budget = options_.budget;
+  if (options_.stream_progress) {
+    sched.on_improvement = [this](std::uint64_t job, double seconds,
+                                  double value) {
+      on_improvement(job, seconds, value);
+    };
+  }
+  scheduler_ = std::make_unique<JobScheduler>(std::move(sched));
+}
+
+void ServiceSession::emit(const std::string& line) {
+  std::lock_guard lock(emit_mu_);
+  sink_(line);
+}
+
+void ServiceSession::on_improvement(std::uint64_t job, double seconds,
+                                    double value) {
+  std::string name;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = names_.find(job);
+    if (it == names_.end()) return;  // unreachable: named before submitted
+    name = it->second;
+  }
+  emit(format_progress(name, seconds, value));
+}
+
+std::uint64_t ServiceSession::lookup(const std::string& id) {
+  std::lock_guard lock(mu_);
+  const auto it = ids_.find(id);
+  if (it == ids_.end()) throw Error("unknown job id '" + id + "'");
+  return it->second;
+}
+
+std::shared_ptr<const Graph> ServiceSession::load_graph(
+    const Request& request) {
+  if (request.inline_graph != nullptr) return request.inline_graph;
+  if (!options_.allow_files) {
+    throw Error("graph_file submissions are disabled on this server "
+                "(inline 'graph' only)");
+  }
+  {
+    std::lock_guard lock(mu_);
+    const auto it = graph_cache_.find(request.graph_file);
+    if (it != graph_cache_.end()) {
+      if (auto cached = it->second.lock()) return cached;
+    }
+  }
+  // Parse outside mu_ — runner threads take it for every progress event,
+  // and a big (or slow) file must not stall them. A concurrent submit of
+  // the same path may parse twice; last one in wins the cache slot, both
+  // graphs are equal, and the losers die with their jobs.
+  auto graph = std::make_shared<const Graph>(
+      read_chaco_file(request.graph_file, options_.limits.graph));
+  std::lock_guard lock(mu_);
+  // Insert only after a successful read (a failing path must not leave a
+  // node behind), and sweep expired entries so a long-running daemon fed
+  // many distinct paths cannot grow the cache without bound.
+  for (auto it = graph_cache_.begin(); it != graph_cache_.end();) {
+    it = it->second.expired() ? graph_cache_.erase(it) : std::next(it);
+  }
+  graph_cache_[request.graph_file] = graph;
+  return graph;
+}
+
+bool ServiceSession::handle_line(std::string_view line) {
+  if (trim(line).empty()) return true;  // blank lines are keep-alives
+  std::string id;
+  try {
+    Request request = parse_request(line, options_.limits);
+    id = request.id;
+    switch (request.op) {
+      case RequestOp::Submit: {
+        request.spec.graph = load_graph(request);
+        {
+          std::lock_guard lock(mu_);
+          if (ids_.count(request.id) > 0) {
+            throw Error("duplicate job id '" + request.id + "'");
+          }
+          // Holding mu_ across submit + map insert means the progress hook
+          // (which locks mu_ to resolve the name) cannot observe the gap
+          // between the scheduler knowing the job and us knowing its name.
+          const std::uint64_t job =
+              scheduler_->submit(std::move(request.spec));
+          ids_.emplace(request.id, job);
+          names_.emplace(job, request.id);
+        }
+        // Emit outside mu_: a slow client draining the socket must not
+        // stall runner threads blocked on the name lookup.
+        emit(format_ack(request.id));
+        return true;
+      }
+      case RequestOp::Status:
+        emit(format_status(id, scheduler_->status(lookup(id))));
+        return true;
+      case RequestOp::Cancel:
+        if (!scheduler_->cancel(lookup(id))) {
+          throw Error("job '" + id + "' is already terminal");
+        }
+        emit(format_ack(id));
+        return true;
+      case RequestOp::Result: {
+        const JobStatus status = scheduler_->wait(lookup(id));
+        if (status.result != nullptr) {
+          emit(format_result(id, status));
+        } else if (status.state == JobState::Failed) {
+          throw Error("job failed: " + status.error);
+        } else {
+          throw Error("job was cancelled before it ran");
+        }
+        return true;
+      }
+      case RequestOp::Shutdown:
+        scheduler_->shutdown();
+        emit(format_bye());
+        return false;
+    }
+  } catch (const std::exception& e) {
+    emit(format_error(id, e.what()));
+  }
+  return true;
+}
+
+void ServiceSession::drain() { scheduler_->drain(); }
+
+}  // namespace ffp

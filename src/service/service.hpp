@@ -1,0 +1,86 @@
+// ServiceSession: one client's view of the partitioning service — the
+// piece ffp_serve wraps around a socket, ffp_serve's stdin mode wraps
+// around a pipe, and the tests drive directly with no transport at all.
+//
+// The session owns a JobScheduler and speaks the line protocol
+// (service/protocol.hpp): feed it request lines, it emits response lines
+// through a callback. Responses to commands are emitted synchronously from
+// handle_line(); `progress` events are emitted from scheduler runner
+// threads as improvements happen (when streaming is on), serialized with
+// everything else through one internal emit lock — the callback itself
+// never needs to be thread-safe.
+//
+// Untrusted-input policy: every parse or validation failure becomes an
+// `error` event (the session never throws, never dies); graph files are
+// read through the hardened readers under the session's IoLimits, and
+// `allow_files = false` turns graph_file submissions off entirely for
+// deployments that must not touch the server's filesystem. Graphs named
+// by the same path are parsed once and shared across jobs (weak cache),
+// which is what makes a burst of jobs on one mesh cheap.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "service/job_scheduler.hpp"
+#include "service/protocol.hpp"
+
+namespace ffp {
+
+struct ServiceOptions {
+  unsigned runners = 1;  ///< concurrent jobs (JobSchedulerOptions::runners)
+  /// Worker governor shared with everything else in the process; null uses
+  /// ThreadBudget::process().
+  ThreadBudget* budget = nullptr;
+  bool stream_progress = false;  ///< emit `progress` events as they happen
+  bool allow_files = true;       ///< permit graph_file submissions
+  ProtocolLimits limits;
+};
+
+class ServiceSession {
+ public:
+  using Emit = std::function<void(const std::string& line)>;
+
+  ServiceSession(ServiceOptions options, Emit emit);
+  /// Waits for running jobs (scheduler shutdown) before tearing down.
+  ~ServiceSession() = default;
+
+  ServiceSession(const ServiceSession&) = delete;
+  ServiceSession& operator=(const ServiceSession&) = delete;
+
+  /// Handles one request line, emitting the response line(s). Returns
+  /// false when the line was a shutdown request — the transport loop
+  /// should stop reading. Never throws on bad input; `error` events carry
+  /// the diagnosis instead.
+  bool handle_line(std::string_view line);
+
+  /// Blocks until every submitted job is terminal.
+  void drain();
+
+  JobScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  void emit(const std::string& line);
+  void on_improvement(std::uint64_t job, double seconds, double value);
+  std::uint64_t lookup(const std::string& id);
+  std::shared_ptr<const Graph> load_graph(const Request& request);
+
+  ServiceOptions options_;
+  Emit sink_;
+  std::mutex emit_mu_;  ///< serializes command responses with progress events
+
+  std::mutex mu_;  ///< id maps + graph cache (runner threads read names_)
+  std::map<std::string, std::uint64_t> ids_;    ///< client id → job id
+  std::map<std::uint64_t, std::string> names_;  ///< job id → client id
+  std::map<std::string, std::weak_ptr<const Graph>> graph_cache_;
+
+  /// Last member: destroyed first, so runner threads are joined before the
+  /// maps and sink they reach through the progress hook go away.
+  std::unique_ptr<JobScheduler> scheduler_;
+};
+
+}  // namespace ffp

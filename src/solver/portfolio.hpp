@@ -28,6 +28,14 @@ namespace ffp {
 struct PortfolioOptions {
   int restarts = 1;
   unsigned threads = 0;  ///< 0 → hardware concurrency
+  /// Process-wide governor (service/thread_budget.hpp). When set, the
+  /// restart workers are *leased*: the runner takes min(threads, restarts)
+  /// − 1 extra workers beyond its calling thread, or fewer when the budget
+  /// is contended, and each restart's solver leases its own intra-run
+  /// workers from what remains (the request's `budget` field carries the
+  /// same governor down). Restarts × intra-run threads can therefore never
+  /// exceed the budget. Null keeps the historical fixed-size pool.
+  ThreadBudget* budget = nullptr;
 };
 
 class PortfolioRunner {

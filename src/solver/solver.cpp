@@ -36,10 +36,14 @@ SolverResult FusionFissionSolver::run(const Graph& g,
   opt.objective = request.objective;
   opt.seed = request.seed;
   if (request.threads > 0) opt.threads = static_cast<int>(request.threads);
-  if (opt.threads > 1 && opt.pool == nullptr) {
-    // Speculation workers come from the process-wide shared pool so
-    // repeated solves (and concurrent portfolio restarts) reuse warm
-    // threads instead of spawning per run.
+  if (opt.budget == nullptr) opt.budget = request.budget;
+  if (opt.threads > 1 && opt.pool == nullptr && opt.budget == nullptr) {
+    // Ungoverned: speculation workers come from the process-wide shared
+    // pool so repeated solves (and concurrent portfolio restarts) reuse
+    // warm threads instead of spawning per run. Budget-governed runs skip
+    // this — the engine leases its own exactly-sized private pool inside
+    // run_batched, because a size-keyed shared pool cannot match lease
+    // accounting (equal grants would share threads).
     opt.pool = shared_worker_pool(static_cast<unsigned>(opt.threads));
   }
   WallTimer timer;

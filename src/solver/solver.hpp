@@ -36,6 +36,8 @@
 
 namespace ffp {
 
+class ThreadBudget;  // service/thread_budget.hpp
+
 /// Everything a solver needs for one run. The stop condition is re-armed
 /// (copied and restarted) by each solver at the top of run(), so a request
 /// can be built ahead of time and reused across restarts.
@@ -51,6 +53,12 @@ struct SolverRequest {
   /// which parallelize across restarts — the two levels never share a
   /// pool (see solver/worker_pool.hpp).
   unsigned threads = 0;
+  /// Process-wide worker governor (service/thread_budget.hpp). When set,
+  /// `threads` becomes a *want*: the solver leases min(threads−1, free)
+  /// extra workers beyond its own calling thread and degrades gracefully
+  /// to fewer lanes — never changing the result, only where phase work
+  /// runs. Null keeps the historical fixed-size-pool behavior.
+  ThreadBudget* budget = nullptr;
 };
 
 struct SolverResult {

@@ -20,4 +20,9 @@ std::shared_ptr<ThreadPool> shared_worker_pool(unsigned threads) {
   return pool;
 }
 
+std::shared_ptr<ThreadPool> leased_worker_pool(const WorkerLease& lease) {
+  if (lease.granted() == 0) return nullptr;
+  return std::make_shared<ThreadPool>(lease.granted());
+}
+
 }  // namespace ffp

@@ -17,6 +17,7 @@
 
 #include <memory>
 
+#include "service/thread_budget.hpp"
 #include "util/parallel.hpp"
 
 namespace ffp {
@@ -25,5 +26,13 @@ namespace ffp {
 /// first use. The pool stays alive while any client holds the handle and is
 /// torn down when the last handle drops.
 std::shared_ptr<ThreadPool> shared_worker_pool(unsigned threads);
+
+/// Budget-aware variant: a PRIVATE pool with exactly `lease.granted()`
+/// workers — one pool worker per leased slot, so ThreadBudget accounting
+/// stays truthful. Deliberately NOT the size-keyed shared cache above:
+/// concurrent clients with equal grants must not share threads, or the
+/// budget would record capacity that does not exist. Null on a 0 grant —
+/// the caller runs inline on its own (parent-accounted) thread.
+std::shared_ptr<ThreadPool> leased_worker_pool(const WorkerLease& lease);
 
 }  // namespace ffp

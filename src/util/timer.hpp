@@ -1,6 +1,7 @@
 // Wall-clock timing and time/step budget control for anytime algorithms.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -59,11 +60,20 @@ class StopCondition {
     return s;
   }
 
+  /// Attaches an external cancellation flag (owned by the caller, must
+  /// outlive every run using this condition). The service JobScheduler
+  /// flips it to interrupt a running job; the solver then returns its
+  /// best-so-far exactly as if the budget had run out.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_ = flag; }
+
   /// Arms the wall-clock. Algorithms call this once at the top of run().
   void start() { timer_.reset(); }
 
   bool done(std::int64_t steps_taken) const {
     if (steps_taken >= max_steps_) return true;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
     // Checking the clock is ~20ns; amortize it in callers' hot loops by
     // testing only every few hundred steps if profiling ever shows it.
     return timer_.elapsed_millis() >= max_millis_;
@@ -76,6 +86,7 @@ class StopCondition {
  private:
   double max_millis_ = std::numeric_limits<double>::infinity();
   std::int64_t max_steps_ = std::numeric_limits<std::int64_t>::max();
+  const std::atomic<bool>* cancel_ = nullptr;
   WallTimer timer_;
 };
 

@@ -90,6 +90,75 @@ TEST(ChacoIo, ErrorMessagesCarryLineNumbers) {
   }
 }
 
+// ---- hardening against untrusted input (the ffp_serve attack surface) ----
+
+TEST(ChacoIo, ErrorOnVertexCountBeyondVertexIdRange) {
+  // 2^33 vertices: used to truncate silently through the VertexId cast.
+  std::istringstream in("8589934592 1\n2\n1\n");
+  EXPECT_THROW(read_chaco(in), Error);
+}
+
+TEST(ChacoIo, ErrorOnDeclaredEdgeCountBeyondLimit) {
+  std::istringstream in("3 9000000000000000000\n2\n1\n\n");
+  // A huge declared m must fail cleanly (count mismatch at worst), not
+  // pre-allocate by the header.
+  EXPECT_THROW(read_chaco(in), Error);
+}
+
+TEST(ChacoIo, IoLimitsCapVerticesAndEdges) {
+  IoLimits limits;
+  limits.max_vertices = 4;
+  std::istringstream big_n("5 0\n\n\n\n\n\n");
+  EXPECT_THROW(read_chaco(big_n, limits), Error);
+
+  limits = {};
+  limits.max_edges = 1;
+  std::istringstream big_m("3 2\n2 3\n1 3\n1 2\n");
+  EXPECT_THROW(read_chaco(big_m, limits), Error);
+
+  // Within the caps everything still parses.
+  limits.max_vertices = 3;
+  limits.max_edges = 3;
+  std::istringstream ok("3 3\n2 3\n1 3\n1 2\n");
+  EXPECT_EQ(read_chaco(ok, limits).num_edges(), 3);
+}
+
+TEST(ChacoIo, ErrorOnDuplicateNeighborEntry) {
+  std::istringstream in("3 3\n2 2 3\n1 3\n1 2\n");
+  try {
+    read_chaco(in);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate edge"), std::string::npos);
+  }
+}
+
+TEST(ChacoIo, ErrorOnNonFiniteWeights) {
+  // from_chars happily parses "nan" and "inf"; the reader must not.
+  std::istringstream nan_ew("2 1 1\n2 nan\n1 nan\n");
+  EXPECT_THROW(read_chaco(nan_ew), Error);
+  std::istringstream inf_vw("2 1 10\ninf 2\n4 1\n");
+  EXPECT_THROW(read_chaco(inf_vw), Error);
+}
+
+TEST(ChacoIo, ErrorOnBogusFmtField) {
+  std::istringstream in("2 1 2\n2\n1\n");  // fmt digit not in {0, 1}
+  EXPECT_THROW(read_chaco(in), Error);
+  std::istringstream neg("2 1 -1\n2\n1\n");
+  EXPECT_THROW(read_chaco(neg), Error);
+}
+
+TEST(ChacoIo, SelfLoopErrorNamesTheVertex) {
+  std::istringstream in("2 1\n1\n2\n");
+  try {
+    read_chaco(in);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("self loop on vertex 1"),
+              std::string::npos);
+  }
+}
+
 TEST(ChacoIo, RoundTripUnweighted) {
   const auto g = make_grid2d(4, 5);
   std::ostringstream out;
@@ -138,6 +207,21 @@ TEST(EdgeListIo, RoundTrip) {
 TEST(EdgeListIo, ErrorOnGarbage) {
   std::istringstream in("0 x\n");
   EXPECT_THROW(read_edge_list(in), Error);
+}
+
+TEST(EdgeListIo, HardenedAgainstHostileLines) {
+  std::istringstream self_loop("3 3\n");
+  EXPECT_THROW(read_edge_list(self_loop), Error);
+  std::istringstream nan_w("0 1 nan\n");
+  EXPECT_THROW(read_edge_list(nan_w), Error);
+  // A single bogus endpoint must not imply a multi-gigabyte vertex count.
+  IoLimits limits;
+  limits.max_vertices = 100;
+  std::istringstream huge("0 99999999\n");
+  EXPECT_THROW(read_edge_list(huge, limits), Error);
+  limits.max_edges = 2;
+  std::istringstream many("0 1\n1 2\n2 3\n");
+  EXPECT_THROW(read_edge_list(many, limits), Error);
 }
 
 TEST(PartitionIo, RoundTrip) {

@@ -1,0 +1,102 @@
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ffp {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_EQ(JsonValue::parse("true").as_bool(), true);
+  EXPECT_EQ(JsonValue::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, PreservesExactIntegers) {
+  EXPECT_EQ(JsonValue::parse("9007199254740993").as_int(),
+            9007199254740993LL);  // beyond double's exact range
+  EXPECT_EQ(JsonValue::parse("-42").as_int(), -42);
+  // Written as a float → not an integer, even when integral-valued.
+  EXPECT_THROW(JsonValue::parse("42.0").as_int(), Error);
+  EXPECT_THROW(JsonValue::parse("1e3").as_int(), Error);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto v = JsonValue::parse(
+      R"({"a":[1,2,{"b":"c"}],"d":{"e":null},"f":-1.5})");
+  EXPECT_EQ(v.as_object().size(), 3u);
+  EXPECT_EQ(v.find("a")->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find("d")->find("e")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, HandlesStringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\te")").as_string(),
+            "a\"b\\c\nd\te");
+  EXPECT_EQ(JsonValue::parse(R"("Aé")").as_string(), "A\xc3\xa9");
+  // Surrogate pair → 4-byte UTF-8.
+  EXPECT_EQ(JsonValue::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(JsonValue::parse(R"("\ud83d")"), Error);  // unpaired high
+  EXPECT_THROW(JsonValue::parse(R"("\udc00")"), Error);  // unpaired low
+  EXPECT_THROW(JsonValue::parse(R"("\x41")"), Error);    // bad escape
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{"), Error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":}"), Error);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(JsonValue::parse("{a:1}"), Error);
+  EXPECT_THROW(JsonValue::parse("nul"), Error);
+  EXPECT_THROW(JsonValue::parse("1 2"), Error);       // trailing bytes
+  EXPECT_THROW(JsonValue::parse("\"a\" x"), Error);   // trailing bytes
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+  EXPECT_THROW(JsonValue::parse("\"ctrl\x01char\""), Error);
+  EXPECT_THROW(JsonValue::parse("inf"), Error);
+  EXPECT_THROW(JsonValue::parse("1e999"), Error);  // overflows to inf
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(JsonValue::parse(R"({"a":1,"a":2})"), Error);
+}
+
+TEST(Json, EnforcesLimits) {
+  JsonLimits tight;
+  tight.max_depth = 3;
+  EXPECT_NO_THROW(JsonValue::parse("[[[1]]]", tight));
+  EXPECT_THROW(JsonValue::parse("[[[[1]]]]", tight), Error);
+
+  tight = {};
+  tight.max_bytes = 8;
+  EXPECT_THROW(JsonValue::parse("[1,2,3,4,5]", tight), Error);
+
+  tight = {};
+  tight.max_elements = 4;
+  EXPECT_THROW(JsonValue::parse("[1,2,3,4,5]", tight), Error);
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  try {
+    JsonValue::parse("{\"a\": bogus}");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Json, QuotedAppendEscapes) {
+  std::string out;
+  json_append_quoted(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+  // Round-trip through the parser.
+  EXPECT_EQ(JsonValue::parse(out).as_string(), "a\"b\\c\nd\x01");
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,290 @@
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "service/json.hpp"
+
+namespace ffp {
+namespace {
+
+/// Session harness: captures every emitted line and offers JSON access.
+struct Harness {
+  explicit Harness(ServiceOptions options = {})
+      : session(std::move(options),
+                [this](const std::string& line) { lines.push_back(line); }) {}
+
+  bool feed(const std::string& line) { return session.handle_line(line); }
+
+  JsonValue last() const {
+    EXPECT_FALSE(lines.empty());
+    return JsonValue::parse(lines.back());
+  }
+  std::string last_event() const { return last().find("event")->as_string(); }
+  std::string last_message() const {
+    return last().find("message")->as_string();
+  }
+
+  std::vector<std::string> lines;
+  ServiceSession session;
+};
+
+const char* kInlineSubmit =
+    R"({"op":"submit","id":"job","graph":{"n":6,"edges":[[0,1],[1,2],[2,3,0.1],[3,4],[4,5]]},"k":2,"steps":400,"seed":9})";
+
+TEST(ServiceProtocol, RejectsMalformedRequests) {
+  Harness h;
+  const std::vector<std::string> bad = {
+      "not json at all",
+      "[1,2,3]",                                   // not an object
+      R"({"id":"x"})",                             // missing op
+      R"({"op":"submit","id":"x"})",               // no graph at all
+      R"({"op":"submit","id":"x","graph_file":"a","graph":{"edges":[[0,1]]}})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]]},"bogus":1})",
+      R"({"op":"submit","graph":{"edges":[[0,1]]}})",          // missing id
+      R"({"op":"submit","id":"","graph":{"edges":[[0,1]]}})",  // empty id
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,0]]}})",  // self loop
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,-1]]}})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0]]}})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1,"w"]]}})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]],"extra":1}})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]]},"k":0})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]]},"steps":-1})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]]},"objective":"x"})",
+      R"({"op":"submit","id":"x","graph":{"edges":[[0,1]]},"method":""})",
+      R"({"op":"submit","id":"x","graph":{"n":2,"edges":[[0,5]]}})",
+      R"({"op":"status"})",
+      R"({"op":"status","id":"x","extra":1})",
+      R"({"op":"shutdown","extra":1})",
+      R"({"op":"bogus"})",
+  };
+  for (const auto& line : bad) {
+    EXPECT_TRUE(h.feed(line)) << line;
+    EXPECT_EQ(h.last_event(), "error") << line << " -> " << h.lines.back();
+  }
+  // None of it reached the scheduler.
+  EXPECT_EQ(h.session.scheduler().jobs_completed(), 0);
+}
+
+TEST(ServiceProtocol, RejectsOversizedIdsAndDocuments) {
+  ServiceOptions options;
+  options.limits.max_id_bytes = 8;
+  options.limits.json.max_bytes = 256;
+  Harness h(std::move(options));
+  h.feed(R"({"op":"status","id":"way_too_long_for_the_limit"})");
+  EXPECT_EQ(h.last_event(), "error");
+  std::string big = R"({"op":"status","id":")";
+  big.append(300, 'a');
+  big += "\"}";
+  h.feed(big);
+  EXPECT_EQ(h.last_event(), "error");
+}
+
+TEST(ServiceProtocol, EnforcesGraphLimitsOnInlineGraphs) {
+  ServiceOptions options;
+  options.limits.graph.max_vertices = 4;
+  options.limits.graph.max_edges = 2;
+  Harness h(std::move(options));
+  h.feed(R"({"op":"submit","id":"a","graph":{"edges":[[0,9]]}})");
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(R"({"op":"submit","id":"a","graph":{"edges":[[0,1],[1,2],[2,3]]}})");
+  EXPECT_EQ(h.last_event(), "error");
+
+  // Even with DEFAULT limits, a tiny request declaring a huge `n` must be
+  // rejected before Graph::from_edges can allocate O(n) for it.
+  Harness defaults;
+  defaults.feed(
+      R"({"op":"submit","id":"a","graph":{"n":2147483000,"edges":[[0,1]]},"k":2})");
+  EXPECT_EQ(defaults.last_event(), "error");
+}
+
+TEST(ServiceSession, SubmitStatusResultRoundTrip) {
+  Harness h;
+  EXPECT_TRUE(h.feed(kInlineSubmit));
+  EXPECT_EQ(h.last_event(), "ack");
+
+  EXPECT_TRUE(h.feed(R"({"op":"result","id":"job"})"));
+  const JsonValue result = h.last();
+  EXPECT_EQ(result.find("event")->as_string(), "result");
+  EXPECT_EQ(result.find("state")->as_string(), "done");
+  const auto& parts = result.find("partition")->as_array();
+  ASSERT_EQ(parts.size(), 6u);
+  // The 0.1-weight bridge is the obvious min cut: {0,1,2} | {3,4,5}.
+  EXPECT_EQ(parts[0].as_int(), parts[1].as_int());
+  EXPECT_EQ(parts[1].as_int(), parts[2].as_int());
+  EXPECT_EQ(parts[3].as_int(), parts[4].as_int());
+  EXPECT_EQ(parts[4].as_int(), parts[5].as_int());
+  EXPECT_NE(parts[0].as_int(), parts[3].as_int());
+
+  EXPECT_TRUE(h.feed(R"({"op":"status","id":"job"})"));
+  EXPECT_EQ(h.last().find("state")->as_string(), "done");
+}
+
+TEST(ServiceSession, DuplicateIdsAndUnknownIdsError) {
+  Harness h;
+  h.feed(kInlineSubmit);
+  EXPECT_EQ(h.last_event(), "ack");
+  h.feed(kInlineSubmit);
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(R"({"op":"status","id":"nobody"})");
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(R"({"op":"cancel","id":"nobody"})");
+  EXPECT_EQ(h.last_event(), "error");
+}
+
+TEST(ServiceSession, FilePolicyAndFileSubmissions) {
+  const std::string path = ::testing::TempDir() + "/ffp_service_test.graph";
+  write_chaco_file(make_grid2d(8, 8), path);
+
+  ServiceOptions closed;
+  closed.allow_files = false;
+  Harness no_files(std::move(closed));
+  const std::string submit =
+      R"({"op":"submit","id":"f","graph_file":)" +
+      [&] {
+        std::string q;
+        json_append_quoted(q, path);
+        return q;
+      }() +
+      R"(,"k":4,"steps":300})";
+  no_files.feed(submit);
+  EXPECT_EQ(no_files.last_event(), "error");
+
+  Harness open;
+  open.feed(submit);
+  EXPECT_EQ(open.last_event(), "ack");
+  open.feed(R"({"op":"result","id":"f"})");
+  EXPECT_EQ(open.last_event(), "result");
+  EXPECT_EQ(open.last().find("partition")->as_array().size(), 64u);
+
+  Harness missing;
+  missing.feed(
+      R"({"op":"submit","id":"f","graph_file":"/nonexistent.graph","k":2})");
+  EXPECT_EQ(missing.last_event(), "error");
+  std::remove(path.c_str());
+}
+
+TEST(ServiceSession, CancelMidRunReturnsAnytimeResult) {
+  Harness h;
+  h.feed(
+      R"({"op":"submit","id":"long","graph":{"n":9,"edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8]]},"k":3,"steps":80000000,"seed":3})");
+  EXPECT_EQ(h.last_event(), "ack");
+  // Poll until running, then cancel; result must come back promptly with
+  // the best-so-far partition and state "cancelled".
+  h.feed(R"({"op":"cancel","id":"long"})");
+  EXPECT_EQ(h.last_event(), "ack");
+  h.feed(R"({"op":"result","id":"long"})");
+  const JsonValue result = h.last();
+  const std::string event = result.find("event")->as_string();
+  if (event == "result") {
+    EXPECT_EQ(result.find("state")->as_string(), "cancelled");
+    EXPECT_EQ(result.find("partition")->as_array().size(), 9u);
+  } else {
+    // Cancelled before the runner picked it up: no partition to return.
+    EXPECT_EQ(event, "error");
+  }
+}
+
+TEST(ServiceSession, ShutdownEmitsByeAndStopsTheLoop) {
+  Harness h;
+  EXPECT_FALSE(h.feed(R"({"op":"shutdown"})"));
+  EXPECT_EQ(h.last_event(), "bye");
+}
+
+TEST(ServiceSession, BlankLinesAreKeepAlives) {
+  Harness h;
+  EXPECT_TRUE(h.feed(""));
+  EXPECT_TRUE(h.feed("   "));
+  EXPECT_TRUE(h.lines.empty());
+}
+
+TEST(ServiceSession, StreamsProgressWhenEnabled) {
+  ServiceOptions options;
+  options.stream_progress = true;
+  Harness h(std::move(options));
+  h.feed(kInlineSubmit);
+  h.feed(R"({"op":"result","id":"job"})");
+  h.session.drain();
+  int progress = 0;
+  for (const auto& line : h.lines) {
+    if (JsonValue::parse(line).find("event")->as_string() == "progress") {
+      ++progress;
+    }
+  }
+  EXPECT_GE(progress, 1);
+}
+
+// Acceptance criterion, end to end through the protocol: the same seeded
+// job set submitted serially (await each result before the next submit)
+// and concurrently (submit all, then collect) produces byte-identical
+// partitions at worker budgets 1, 4 and 8.
+TEST(ServiceSession, SerialVsConcurrentSubmissionByteIdentical) {
+  const int kJobs = 4;
+  const auto submit_line = [](int i) {
+    return std::string(R"({"op":"submit","id":"j)") + std::to_string(i) +
+           R"(","graph_file":")" + ::testing::TempDir() +
+           R"(/ffp_det_test.graph","k":5,"steps":2500,"seed":)" +
+           std::to_string(40 + i) + R"(,"threads":2})";
+  };
+  const auto result_line = [](int i) {
+    return std::string(R"({"op":"result","id":"j)") + std::to_string(i) +
+           R"("})";
+  };
+  const std::string path = ::testing::TempDir() + "/ffp_det_test.graph";
+  write_chaco_file(make_random_geometric(150, 0.18, 5), path);
+
+  const auto partition_of = [](const std::string& line) {
+    const JsonValue v = JsonValue::parse(line);
+    EXPECT_EQ(v.find("event")->as_string(), "result") << line;
+    std::string out;
+    for (const auto& p : v.find("partition")->as_array()) {
+      out += std::to_string(p.as_int());
+      out += '\n';
+    }
+    return out;
+  };
+
+  // Serial reference: one runner, one worker, one job in flight at a time.
+  std::vector<std::string> reference;
+  {
+    ThreadBudget budget(1);
+    ServiceOptions options;
+    options.runners = 1;
+    options.budget = &budget;
+    Harness h(std::move(options));
+    for (int i = 0; i < kJobs; ++i) {
+      h.feed(submit_line(i));
+      ASSERT_EQ(h.last_event(), "ack") << h.lines.back();
+      h.feed(result_line(i));
+      reference.push_back(partition_of(h.lines.back()));
+    }
+  }
+
+  for (const unsigned budget_size : {1u, 4u, 8u}) {
+    ThreadBudget budget(budget_size);
+    ServiceOptions options;
+    options.runners = 3;
+    options.budget = &budget;
+    Harness h(std::move(options));
+    for (int i = 0; i < kJobs; ++i) {
+      h.feed(submit_line(i));
+      ASSERT_EQ(h.last_event(), "ack") << h.lines.back();
+    }
+    for (int i = 0; i < kJobs; ++i) {
+      h.feed(result_line(i));
+      EXPECT_EQ(partition_of(h.lines.back()), reference[static_cast<std::size_t>(i)])
+          << "job " << i << " diverged at budget " << budget_size;
+    }
+    EXPECT_LE(budget.peak_in_use(), budget.total());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ffp

@@ -1,0 +1,211 @@
+// ffp_client — submit/poll/batch driver for ffp_serve, used by the CI
+// smoke job and by hand when poking at a running daemon.
+//
+//   # 4 jobs on one graph, distinct seeds, partitions written per job:
+//   ffp_client --connect 17917 --graph mesh.graph --k 8 --jobs 4
+//              --seed 7 --steps 20000 --out-dir parts/
+//
+//   # replay raw protocol lines from a file (one request per line):
+//   ffp_client --connect 17917 --script requests.jsonl
+//
+// In graph mode the client submits --jobs copies of the job (ids j0, j1,
+// …, seeds seed, seed+1, …), then requests every result and writes each
+// partition to --out-dir/<id>.part. Every response line is echoed to
+// stdout, so logs double as protocol transcripts. Exit status is 0 only
+// if every submitted job came back with a result.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "service/json.hpp"
+#include "service/net.hpp"
+#include "graph/io.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+/// Result lines carry one array element per vertex, so the client must
+/// parse far bigger documents than the server accepts as requests.
+ffp::JsonLimits client_limits() {
+  ffp::JsonLimits limits;
+  limits.max_bytes = 1u << 30;
+  limits.max_elements = 1u << 30;
+  return limits;
+}
+constexpr std::size_t kClientMaxLineBytes = 1u << 30;
+
+/// Reads lines until the terminal event (result/error) for `id` arrives,
+/// echoing everything; returns true when it was a result, writing the
+/// partition to `out_path` if non-empty.
+bool await_result(ffp::LineReader& reader, const std::string& id,
+                  const std::string& out_path) {
+  std::string line;
+  while (reader.next(line, kClientMaxLineBytes)) {
+    std::printf("%s\n", line.c_str());
+    const ffp::JsonValue event = ffp::JsonValue::parse(line, client_limits());
+    const ffp::JsonValue* ev = event.find("event");
+    const ffp::JsonValue* eid = event.find("id");
+    if (ev == nullptr || eid == nullptr || !eid->is_string() ||
+        eid->as_string() != id) {
+      continue;  // progress or an event for another job
+    }
+    if (ev->as_string() == "result") {
+      if (!out_path.empty()) {
+        const ffp::JsonValue* partition = event.find("partition");
+        if (partition == nullptr || !partition->is_array()) {
+          throw ffp::Error("result event for '" + id + "' has no partition");
+        }
+        const auto& parts_json = partition->as_array();
+        std::vector<int> parts;
+        parts.reserve(parts_json.size());
+        for (const auto& p : parts_json) {
+          parts.push_back(static_cast<int>(p.as_int()));
+        }
+        ffp::write_partition_file(parts, out_path);
+      }
+      return true;
+    }
+    if (ev->as_string() == "error") return false;
+  }
+  throw ffp::Error("server closed the connection before result of '" + id +
+                   "'");
+}
+
+/// Reads until the ack/error response for `id`; true on ack.
+bool await_ack(ffp::LineReader& reader, const std::string& id) {
+  std::string line;
+  while (reader.next(line)) {
+    std::printf("%s\n", line.c_str());
+    const ffp::JsonValue event = ffp::JsonValue::parse(line);
+    const ffp::JsonValue* ev = event.find("event");
+    const ffp::JsonValue* eid = event.find("id");
+    if (ev == nullptr || eid == nullptr || !eid->is_string() ||
+        eid->as_string() != id) {
+      continue;
+    }
+    if (ev->as_string() == "ack") return true;
+    if (ev->as_string() == "error") return false;
+  }
+  throw ffp::Error("server closed the connection before ack of '" + id + "'");
+}
+
+std::string submit_line(const ffp::ArgParser& args, const std::string& id,
+                        std::uint64_t seed) {
+  std::string out = "{\"op\":\"submit\",\"id\":";
+  ffp::json_append_quoted(out, id);
+  out += ",\"graph_file\":";
+  ffp::json_append_quoted(out, args.get("graph"));
+  out += ",\"method\":";
+  ffp::json_append_quoted(out, args.get("method"));
+  out += ",\"objective\":";
+  ffp::json_append_quoted(out, args.get("objective"));
+  out += ",\"k\":" + std::to_string(args.get_int("k"));
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"steps\":" + std::to_string(args.get_int("steps"));
+  out += ",\"threads\":" + std::to_string(args.get_int("threads"));
+  out += ",\"priority\":" + std::to_string(args.get_int("priority"));
+  out += "}";
+  return out;
+}
+
+int run_script(const ffp::FdHandle& conn, ffp::LineReader& reader,
+               const std::string& path, bool send_shutdown) {
+  std::ifstream in(path);
+  FFP_CHECK(in.good(), "cannot open script: ", path);
+  std::string line;
+  std::int64_t sent = 0;
+  while (std::getline(in, line)) {
+    if (ffp::trim(line).empty()) continue;
+    ffp::write_line(conn, line);
+    ++sent;
+  }
+  if (send_shutdown) ffp::write_line(conn, "{\"op\":\"shutdown\"}");
+  // Half-close so the server sees EOF after the last request, drains the
+  // session, and closes — without this (and without a shutdown op in the
+  // script) both sides would wait on each other forever.
+  ffp::shutdown_write(conn);
+  std::string reply;
+  while (sent > 0 && reader.next(reply, kClientMaxLineBytes)) {
+    std::printf("%s\n", reply.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ffp::ArgParser args;
+  args.flag("connect", "", "ffp_serve port on 127.0.0.1 (required)")
+      .flag("script", "", "file of raw request lines to replay")
+      .flag("graph", "", "graph file to submit (server-side path)")
+      .flag("jobs", "1", "number of jobs to submit (ids j0..jN-1)")
+      .flag("k", "8", "parts per job")
+      .flag("method", "fusion_fission", "registry solver spec")
+      .flag("objective", "mcut", "cut|ncut|mcut|rcut")
+      .flag("seed", "1", "seed of job j0; job ji uses seed+i")
+      .flag("steps", "10000", "deterministic step budget per job")
+      .flag("threads", "0", "intra-run worker want per job")
+      .flag("priority", "0", "job priority (higher runs first)")
+      .flag("out-dir", "", "write each partition to <out-dir>/<id>.part")
+      .toggle("shutdown", "send shutdown after the last result")
+      .toggle("help", "show this help");
+  try {
+    args.parse(argc, argv);
+    if (args.get_bool("help")) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+    const auto port = ffp::parse_int(args.get("connect"));
+    FFP_CHECK(port.has_value() && *port > 0 && *port <= 65535,
+              "--connect must be a port number");
+    ffp::FdHandle conn = ffp::tcp_connect(static_cast<int>(*port));
+    ffp::LineReader reader(conn);
+
+    if (!args.get("script").empty()) {
+      return run_script(conn, reader, args.get("script"),
+                        args.get_bool("shutdown"));
+    }
+
+    FFP_CHECK(!args.get("graph").empty(),
+              "need --graph (or --script) to submit jobs");
+    const std::int64_t jobs = args.get_int("jobs");
+    FFP_CHECK(jobs >= 1, "--jobs must be >= 1");
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    // Submit everything first (the scheduler runs jobs concurrently),
+    // then collect results in submission order.
+    std::set<std::string> failed;
+    for (std::int64_t i = 0; i < jobs; ++i) {
+      const std::string id = "j" + std::to_string(i);
+      ffp::write_line(conn, submit_line(args, id, seed + static_cast<std::uint64_t>(i)));
+      if (!await_ack(reader, id)) failed.insert(id);
+    }
+    for (std::int64_t i = 0; i < jobs; ++i) {
+      const std::string id = "j" + std::to_string(i);
+      if (failed.count(id) > 0) continue;
+      std::string request = "{\"op\":\"result\",\"id\":";
+      ffp::json_append_quoted(request, id);
+      request += "}";
+      ffp::write_line(conn, request);
+      const std::string out_dir = args.get("out-dir");
+      const std::string out_path =
+          out_dir.empty() ? std::string() : out_dir + "/" + id + ".part";
+      if (!await_result(reader, id, out_path)) failed.insert(id);
+    }
+    if (args.get_bool("shutdown")) {
+      ffp::write_line(conn, "{\"op\":\"shutdown\"}");
+      std::string line;
+      while (reader.next(line)) std::printf("%s\n", line.c_str());
+    }
+    if (!failed.empty()) {
+      std::fprintf(stderr, "ffp_client: %zu job(s) failed\n", failed.size());
+      return 1;
+    }
+    return 0;
+  } catch (const ffp::Error& e) {
+    std::fprintf(stderr, "ffp_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -26,6 +26,7 @@
 #include "graph/io.hpp"
 #include "partition/balance.hpp"
 #include "partition/report.hpp"
+#include "service/thread_budget.hpp"
 #include "solver/portfolio.hpp"
 #include "solver/registry.hpp"
 #include "util/args.hpp"
@@ -34,12 +35,12 @@
 namespace {
 
 ffp::ObjectiveKind parse_objective(const std::string& name) {
-  if (name == "cut") return ffp::ObjectiveKind::Cut;
-  if (name == "ncut") return ffp::ObjectiveKind::NormalizedCut;
-  if (name == "mcut") return ffp::ObjectiveKind::MinMaxCut;
-  if (name == "rcut") return ffp::ObjectiveKind::RatioCut;
-  throw ffp::Error("unknown objective '" + name +
-                   "' (expected cut|ncut|mcut|rcut)");
+  const auto kind = ffp::objective_from_name(name);
+  if (!kind) {
+    throw ffp::Error("unknown objective '" + name +
+                     "' (expected cut|ncut|mcut|rcut)");
+  }
+  return *kind;
 }
 
 /// Nominal metaheuristic step rate used to turn --budget-ms into a
@@ -103,9 +104,12 @@ int main(int argc, char** argv) {
       .flag("steps", "0", "metaheuristic step budget (0 = derive from budget)")
       .flag("restarts", "1", "portfolio restarts (parallel multi-start)")
       .flag("threads", "0",
-            "worker threads: portfolio workers when --restarts > 1 "
-            "(0 = hardware), otherwise the solver's intra-run engine "
-            "(0 = serial)")
+            "process-wide worker budget. All levels lease from it: with "
+            "--restarts R the portfolio takes min(R, budget) restart "
+            "workers and each restart's intra-run engine leases whatever "
+            "remains, so restarts x engine threads never exceeds the "
+            "budget (total workers <= --threads, not R x T). 0 = hardware "
+            "concurrency for the portfolio, serial engine otherwise")
       .flag("seed", "2006", "random seed")
       .flag("out", "", "partition output file (optional)")
       .toggle("report", "print the full per-part report")
@@ -149,11 +153,19 @@ int main(int argc, char** argv) {
     std::int64_t steps = args.get_int("steps");
     FFP_CHECK(restarts >= 1, "--restarts must be >= 1");
 
+    // Both parallelism levels lease from one process-wide budget sized by
+    // --threads: the portfolio takes its restart workers first, and each
+    // restart's intra-run engine leases what remains — so the old R×T
+    // oversubscription (restarts × speculation workers) cannot happen.
+    // The partition is budget-independent: engine schedules are fixed by
+    // the request, and leases only decide where the work runs.
+    ffp::ThreadBudget::set_process_total(threads);
     ffp::SolverRequest request;
     request.k = static_cast<int>(args.get_int("k"));
     request.objective = parse_objective(args.get("objective"));
     request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    if (restarts == 1) request.threads = threads;
+    request.threads = threads;
+    request.budget = &ffp::ThreadBudget::process();
     if ((restarts > 1 || threads > 0 ||
          spec_requests_parallelism(args.get("method"))) &&
         solver->is_metaheuristic() && steps == 0) {
@@ -176,11 +188,14 @@ int main(int argc, char** argv) {
     if (restarts > 1) std::printf("  restarts=%d", restarts);
     std::printf("\n");
 
-    ffp::SolverResult result =
-        restarts > 1
-            ? ffp::PortfolioRunner(solver, {restarts, threads}).run(graph,
-                                                                    request)
-            : solver->run(graph, request);
+    ffp::PortfolioOptions popt;
+    popt.restarts = restarts;
+    popt.threads = threads;
+    popt.budget = &ffp::ThreadBudget::process();
+    ffp::SolverResult result = restarts > 1
+                                   ? ffp::PortfolioRunner(solver, popt)
+                                         .run(graph, request)
+                                   : solver->run(graph, request);
     const auto& p = result.best;
 
     std::printf("\n  Cut       = %14.1f\n",

@@ -1,0 +1,136 @@
+// ffp_serve — the partitioning service daemon.
+//
+//   ffp_serve --listen 17917 --runners 2 --budget 8 --stream
+//   ffp_serve < requests.jsonl > responses.jsonl        # pipe mode
+//
+// Speaks the line-delimited JSON protocol (src/service/protocol.hpp):
+// submit / status / cancel / result / shutdown in, ack / status / result /
+// progress / error events out. Without --listen it serves exactly one
+// session over stdin/stdout — the zero-config mode scripts and tests pipe
+// into. With --listen it binds 127.0.0.1:<port> (0 picks an ephemeral
+// port, printed on stderr) and serves connections one at a time, each with
+// a fresh session, until a client sends {"op":"shutdown"}.
+//
+// Concurrency model: --runners jobs execute at once, and every solve
+// leases its workers from the process-wide ThreadBudget capped by
+// --budget — so runners × per-job threads can never exceed the budget no
+// matter what clients ask for. Input is untrusted: requests are strictly
+// validated, graph files go through the hardened readers under
+// --max-vertices/--max-edges, and --no-files restricts submissions to
+// inline graphs.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "service/net.hpp"
+#include "service/service.hpp"
+#include "service/thread_budget.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+ffp::ServiceOptions session_options(const ffp::ArgParser& args) {
+  ffp::ServiceOptions options;
+  options.runners = static_cast<unsigned>(args.get_int("runners"));
+  options.stream_progress = args.get_bool("stream");
+  options.allow_files = !args.get_bool("no-files");
+  options.limits.graph.max_vertices = args.get_int("max-vertices");
+  options.limits.graph.max_edges = args.get_int("max-edges");
+  FFP_CHECK(options.limits.graph.max_vertices >= 0,
+            "--max-vertices must be >= 0");
+  FFP_CHECK(options.limits.graph.max_edges >= 0, "--max-edges must be >= 0");
+  return options;
+}
+
+/// One session over stdin/stdout. Returns when the client shuts down or
+/// the pipe closes.
+void serve_stdio(const ffp::ArgParser& args) {
+  ffp::ServiceSession session(session_options(args), [](const std::string& line) {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);  // clients poll line by line; never buffer
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!session.handle_line(line)) return;
+  }
+  // EOF without shutdown: finish what was accepted so piped batch runs
+  // (generate requests | ffp_serve > responses) still get their results.
+  session.drain();
+}
+
+/// TCP accept loop: one connection at a time, fresh session each, until a
+/// session ends with shutdown.
+int serve_tcp(const ffp::ArgParser& args, int port) {
+  int bound = 0;
+  ffp::FdHandle listener = ffp::tcp_listen(port, &bound);
+  std::fprintf(stderr, "ffp_serve: listening on 127.0.0.1:%d\n", bound);
+  for (;;) {
+    ffp::FdHandle conn = ffp::tcp_accept(listener);
+    bool shutdown_requested = false;
+    {
+      ffp::ServiceSession session(
+          session_options(args), [&conn](const std::string& line) {
+            ffp::write_line(conn, line);
+          });
+      ffp::LineReader reader(conn);
+      std::string line;
+      try {
+        while (reader.next(line)) {
+          if (!session.handle_line(line)) {
+            shutdown_requested = true;
+            break;
+          }
+        }
+      } catch (const ffp::Error& e) {
+        // Connection-level failure (peer vanished mid-line): log, keep
+        // serving the next client.
+        std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
+      }
+      if (!shutdown_requested) session.drain();
+    }
+    if (shutdown_requested) return 0;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ffp::ArgParser args;
+  args.flag("listen", "", "TCP port on 127.0.0.1 (0 = ephemeral; "
+                          "unset = serve stdin/stdout)")
+      .flag("runners", "1", "concurrent jobs")
+      .flag("budget", "0", "process-wide worker-thread budget "
+                           "(0 = hardware concurrency)")
+      .flag("max-vertices", "0", "per-graph vertex ceiling (0 = VertexId range)")
+      .flag("max-edges", "0", "per-graph edge ceiling (0 = unlimited)")
+      .toggle("stream", "stream progress events as improvements happen")
+      .toggle("no-files", "reject graph_file submissions (inline graphs only)")
+      .toggle("help", "show this help");
+  try {
+    args.parse(argc, argv);
+    if (args.get_bool("help")) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+    const std::int64_t runners = args.get_int("runners");
+    FFP_CHECK(runners >= 1, "--runners must be >= 1");
+    const std::int64_t budget = args.get_int("budget");
+    FFP_CHECK(budget >= 0 && budget <= 1 << 20,
+              "--budget must be in [0, 2^20] (0 = hardware concurrency)");
+    ffp::ThreadBudget::set_process_total(static_cast<unsigned>(budget));
+
+    const std::string listen = args.get("listen");
+    if (listen.empty()) {
+      serve_stdio(args);
+      return 0;
+    }
+    const auto port = ffp::parse_int(listen);
+    FFP_CHECK(port.has_value() && *port >= 0 && *port <= 65535,
+              "--listen must be a port number (0..65535)");
+    return serve_tcp(args, static_cast<int>(*port));
+  } catch (const ffp::Error& e) {
+    std::fprintf(stderr, "ffp_serve: %s\n", e.what());
+    return 1;
+  }
+}
