@@ -6,7 +6,7 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "solver/registry.hpp"
+#include "ffp/api.hpp"
 #include "util/strings.hpp"
 
 int main() {
@@ -21,17 +21,18 @@ int main() {
   std::printf("%8s", "");
   for (double offset : {0.1, 0.25, 0.5}) std::printf("  r=%-8.2f", offset);
   std::printf("\n");
+  const api::Problem problem = api::Problem::viewing(core.graph);
   for (double slope : {1.0, 4.0, 12.0}) {
     std::printf("k=%-6.1f", slope);
     for (double offset : {0.1, 0.25, 0.5}) {
-      const auto solver = make_solver(format(
-          "fusion_fission:choice_slope=%g,choice_offset=%g", slope, offset));
-      SolverRequest request;
-      request.k = 32;
-      request.objective = ObjectiveKind::MinMaxCut;
-      request.stop = StopCondition::after_millis(budget);
-      request.seed = bench_seed();
-      const auto res = solver->run(core.graph, request);
+      api::SolveSpec spec;
+      spec.method = format("fusion_fission:choice_slope=%g,choice_offset=%g",
+                           slope, offset);
+      spec.k = 32;
+      spec.objective = ObjectiveKind::MinMaxCut;
+      spec.budget_ms = budget;
+      spec.seed = bench_seed();
+      const auto res = api::Engine::shared().solve(problem, spec);
       std::printf("  %-10.2f", res.best_value);
     }
     std::printf("\n");
@@ -39,13 +40,13 @@ int main() {
 
   std::printf("\n=== SA tmax sweep (its single tuned parameter, §6) ===\n\n");
   for (double tmax : {0.0 /*auto*/, 1e-3, 1e-1, 10.0}) {
-    const auto solver = make_solver(format("annealing:tmax=%g", tmax));
-    SolverRequest request;
-    request.k = 32;
-    request.objective = ObjectiveKind::MinMaxCut;
-    request.stop = StopCondition::after_millis(budget);
-    request.seed = bench_seed();
-    const auto res = solver->run(core.graph, request);
+    api::SolveSpec spec;
+    spec.method = format("annealing:tmax=%g", tmax);
+    spec.k = 32;
+    spec.objective = ObjectiveKind::MinMaxCut;
+    spec.budget_ms = budget;
+    spec.seed = bench_seed();
+    const auto res = api::Engine::shared().solve(problem, spec);
     if (tmax == 0.0) {
       std::printf("tmax auto-calibrated : Mcut %8.2f\n", res.best_value);
     } else {

@@ -6,7 +6,7 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "solver/registry.hpp"
+#include "ffp/api.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -19,18 +19,19 @@ int main() {
               trials, budget / 1000.0);
   const auto core = make_core_area_graph();
 
+  const api::Problem problem = api::Problem::viewing(core.graph);
   for (const bool use_laws : {true, false}) {
-    const auto solver = make_solver(use_laws ? "fusion_fission"
-                                             : "fusion_fission:use_laws=false");
     RunningStats stats;
     std::int64_t ejections = 0;
     for (int t = 0; t < trials; ++t) {
-      SolverRequest request;
-      request.k = 32;
-      request.objective = ObjectiveKind::MinMaxCut;
-      request.stop = StopCondition::after_millis(budget);
-      request.seed = bench_seed() + static_cast<std::uint64_t>(t);
-      const auto res = solver->run(core.graph, request);
+      api::SolveSpec spec;
+      spec.method =
+          use_laws ? "fusion_fission" : "fusion_fission:use_laws=false";
+      spec.k = 32;
+      spec.objective = ObjectiveKind::MinMaxCut;
+      spec.budget_ms = budget;
+      spec.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      const auto res = api::Engine::shared().solve(problem, spec);
       stats.add(res.best_value);
       ejections += static_cast<std::int64_t>(res.stat("ejections"));
     }

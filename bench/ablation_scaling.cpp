@@ -6,7 +6,7 @@
 
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
-#include "solver/registry.hpp"
+#include "ffp/api.hpp"
 #include "util/stats.hpp"
 
 int main() {
@@ -27,17 +27,18 @@ int main() {
       {"fusion_fission:scaling=linear", "linear"},
       {"fusion_fission:scaling=identity", "identity (none)"},
   };
+  const api::Problem problem = api::Problem::viewing(core.graph);
   for (const auto& variant : variants) {
-    const auto solver = make_solver(variant.spec);
     RunningStats stats;
     RunningStats visited;  // how many distinct part counts each run explored
     for (int t = 0; t < trials; ++t) {
-      SolverRequest request;
-      request.k = 32;
-      request.objective = ObjectiveKind::MinMaxCut;
-      request.stop = StopCondition::after_millis(budget);
-      request.seed = bench_seed() + static_cast<std::uint64_t>(t);
-      const auto res = solver->run(core.graph, request);
+      api::SolveSpec spec;
+      spec.method = variant.spec;
+      spec.k = 32;
+      spec.objective = ObjectiveKind::MinMaxCut;
+      spec.budget_ms = budget;
+      spec.seed = bench_seed() + static_cast<std::uint64_t>(t);
+      const auto res = api::Engine::shared().solve(problem, spec);
       stats.add(res.best_value);
       visited.add(res.stat("part_counts_visited"));
     }

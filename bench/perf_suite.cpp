@@ -27,11 +27,11 @@
 #include "benchlib/budget.hpp"
 #include "benchlib/table.hpp"
 #include "core/fusion_fission.hpp"
+#include "ffp/api.hpp"
 #include "graph/generators.hpp"
 #include "metaheuristics/annealing.hpp"
 #include "metaheuristics/percolation.hpp"
 #include "refine/kway_fm.hpp"
-#include "service/job_scheduler.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -305,8 +305,8 @@ int main(int argc, char** argv) {
   }
 
   // ----------------------------------------- service job throughput ------
-  // serve_jobs_per_sec: how many small solve jobs the service layer
-  // completes per second — scheduler dispatch + budget leasing + per-job
+  // serve_jobs_per_sec: how many small solve jobs the facade completes per
+  // second — engine submit + scheduler dispatch + budget leasing + per-job
   // solver construction on top of the raw solve. The job set is fixed and
   // step-budgeted, so the work per job is deterministic; the metric tracks
   // the service overhead trajectory, not solver quality.
@@ -315,25 +315,76 @@ int main(int argc, char** argv) {
     const int jobs = quick ? 8 : 24;
     const std::int64_t steps = quick ? 300 : 1000;
     const auto g = std::make_shared<const Graph>(grid_of(n, seed));
+    const auto problem = api::Problem::from_shared(g);
     const double sec = best_seconds([&] {
       ThreadBudget budget(2);
-      JobSchedulerOptions options;
+      api::EngineOptions options;
       options.runners = 2;
       options.budget = &budget;
-      JobScheduler scheduler(std::move(options));
+      api::Engine engine(options);
       for (int i = 0; i < jobs; ++i) {
-        JobSpec spec;
-        spec.graph = g;
+        api::SolveSpec spec;
         spec.k = 16;
         spec.seed = seed + static_cast<std::uint64_t>(i);
         spec.steps = steps;
         spec.threads = 2;
-        scheduler.submit(spec);
+        engine.submit(problem, spec);
       }
-      scheduler.drain();
+      engine.drain();
     });
     record(point_name("serve_jobs_per_sec", "grid", g->num_vertices(), 16),
            static_cast<double>(jobs) / std::max(sec, 1e-9), "jobs/s");
+  }
+
+  // --------------------------------------------- api submit overhead ------
+  // api_submit_overhead_sec: per-solve cost of the facade itself, isolated
+  // by measuring cache HITS — canonical-spec computation, cache key + LRU
+  // lookup, handle construction — with no solver work behind them. This is
+  // the tax every repeat tenant pays per request.
+  // api_jobs_per_sec: end-to-end facade throughput on small uncached
+  // solves (the cache-off sibling of serve_jobs_per_sec at one runner).
+  {
+    const int n = quick ? 256 : 1024;
+    const Graph g = grid_of(n, seed);
+    const auto problem = api::Problem::viewing(g);
+    ThreadBudget budget(1);
+
+    const int submits = quick ? 500 : 2000;
+    api::EngineOptions options;
+    options.runners = 1;
+    options.budget = &budget;
+    options.cache_capacity = 4;
+    api::Engine engine(options);
+    api::SolveSpec spec;
+    spec.k = 4;
+    spec.seed = seed;
+    spec.steps = 200;
+    engine.solve(problem, spec);  // prime the cache
+    const double hit_sec = best_seconds([&] {
+      for (int i = 0; i < submits; ++i) engine.solve(problem, spec);
+    });
+    FFP_CHECK(engine.cache_counters().hits >= submits,
+              "api_submit_overhead must measure cache hits");
+    record(point_name("api_submit_overhead_sec", "grid", g.num_vertices(), 4),
+           hit_sec / submits, "s");
+
+    const int jobs = quick ? 16 : 64;
+    const double solve_sec = best_seconds([&] {
+      api::EngineOptions uncached;
+      uncached.runners = 1;
+      uncached.budget = &budget;
+      api::Engine fresh(uncached);
+      for (int i = 0; i < jobs; ++i) {
+        api::SolveSpec s;
+        s.k = 4;
+        s.seed = seed + static_cast<std::uint64_t>(i);
+        s.steps = 200;
+        fresh.submit(problem, s);
+      }
+      fresh.drain();
+    });
+    record(point_name("api_jobs_per_sec", "grid", g.num_vertices(), 4),
+           static_cast<double>(jobs) / std::max(solve_sec, 1e-9), "jobs/s");
   }
 
   table.print(std::cout);

@@ -8,8 +8,8 @@
 #include "atc/core_area.hpp"
 #include "benchlib/budget.hpp"
 #include "core/fusion_fission.hpp"
+#include "ffp/api.hpp"
 #include "partition/objectives.hpp"
-#include "solver/registry.hpp"
 
 int main() {
   using namespace ffp;
@@ -30,15 +30,17 @@ int main() {
   FusionFission ff(core.graph, 32, opt);
   const auto res = ff.run(StopCondition::after_millis(budget));
 
-  const auto multilevel = make_solver("multilevel");
+  const api::Problem problem = api::Problem::viewing(core.graph);
   std::printf("%4s  %16s  %18s\n", "k", "FF best (1 run)",
               "multilevel (per-k run)");
   for (int k = 27; k <= 38; ++k) {
-    SolverRequest request;
-    request.k = k;
-    request.objective = ObjectiveKind::MinMaxCut;
-    request.seed = bench_seed();
-    const double ml_mcut = multilevel->run(core.graph, request).best_value;
+    api::SolveSpec spec;
+    spec.method = "multilevel";
+    spec.k = k;
+    spec.objective = ObjectiveKind::MinMaxCut;
+    spec.seed = bench_seed();
+    const double ml_mcut =
+        api::Engine::shared().solve(problem, spec).best_value;
     const auto it = res.best_by_part_count.find(k);
     if (it != res.best_by_part_count.end()) {
       std::printf("%4d  %16.2f  %18.2f\n", k, it->second, ml_mcut);

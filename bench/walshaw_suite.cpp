@@ -13,10 +13,10 @@
 #include <vector>
 
 #include "benchlib/budget.hpp"
+#include "ffp/api.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "partition/balance.hpp"
-#include "solver/registry.hpp"
 
 namespace {
 
@@ -59,23 +59,25 @@ int main() {
       {"weighted grid 30x30", with_random_weights(make_grid2d(30, 30), 1.0,
                                                   9.0, 7)});
 
-  const auto multilevel = make_solver("multilevel");
-  const auto annealing = make_solver("annealing");
-  const auto fusion_fission = make_solver("fusion_fission");
-
   const auto& mcut = objective(ObjectiveKind::MinMaxCut);
   std::printf("%-22s %10s | %18s %18s %18s\n", "graph", "n/m",
               "multilevel", "annealing", "fusion-fission");
   for (const auto& c : cases) {
-    SolverRequest request;
-    request.k = k;
-    request.objective = ObjectiveKind::MinMaxCut;
-    request.stop = StopCondition::after_millis(budget);
-    request.seed = bench_seed();
+    // One facade spec, three methods: the same pipeline every tool runs.
+    const api::Problem problem = api::Problem::viewing(c.graph);
+    api::SolveSpec spec;
+    spec.k = k;
+    spec.objective = ObjectiveKind::MinMaxCut;
+    spec.budget_ms = budget;
+    spec.seed = bench_seed();
+    auto& engine = api::Engine::shared();
 
-    const auto ml = multilevel->run(c.graph, request);
-    const auto sa = annealing->run(c.graph, request);
-    const auto ff = fusion_fission->run(c.graph, request);
+    spec.method = "multilevel";
+    const auto ml = engine.solve(problem, spec);
+    spec.method = "annealing";
+    const auto sa = engine.solve(problem, spec);
+    spec.method = "fusion_fission";
+    const auto ff = engine.solve(problem, spec);
 
     std::printf(
         "%-22s %4d/%-6lld | %9.3f (i%4.2f) %9.3f (i%4.2f) %9.3f (i%4.2f)\n",

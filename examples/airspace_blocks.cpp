@@ -15,10 +15,10 @@
 
 #include "atc/core_area.hpp"
 #include "atc/geojson.hpp"
+#include "ffp/api.hpp"
 #include "graph/io.hpp"
 #include "partition/balance.hpp"
 #include "partition/objectives.hpp"
-#include "solver/registry.hpp"
 
 int main(int argc, char** argv) {
   const int k = argc > 1 ? std::atoi(argv[1]) : 32;
@@ -32,15 +32,16 @@ int main(int argc, char** argv) {
   std::printf("  %zu hub airports, flows routed by gravity model\n\n",
               core.hubs.size());
 
-  const auto solver = ffp::make_solver("fusion_fission");
-  ffp::SolverRequest request;
-  request.k = k;
-  request.objective = ffp::ObjectiveKind::MinMaxCut;  // §5: the right criterion
-  request.stop = ffp::StopCondition::after_millis(budget_ms);
-  request.seed = 2006;
+  ffp::api::SolveSpec spec;
+  spec.method = "fusion_fission";
+  spec.k = k;
+  spec.objective = ffp::ObjectiveKind::MinMaxCut;  // §5: the right criterion
+  spec.budget_ms = budget_ms;
+  spec.seed = 2006;
   std::printf("running fusion-fission for %.1fs toward %d blocks...\n",
               budget_ms / 1000.0, k);
-  const auto result = solver->run(core.graph, request);
+  const auto result = ffp::api::Engine::shared().solve(
+      ffp::api::Problem::viewing(core.graph), spec);
   const auto& blocks = result.best;
 
   std::printf("\nresult: Mcut = %.2f   Cut/1000 = %.1f   Ncut = %.2f   "

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "ffp/api.hpp"
 #include "graph/generators.hpp"
 #include "metaheuristics/annealing.hpp"
 #include "metaheuristics/percolation.hpp"
@@ -71,6 +72,23 @@ int main() {
   const auto g = ffp::with_random_weights(
       ffp::make_random_geometric(300, 0.1, 11), 1.0, 8.0, 12);
   std::printf("graph: %s, k = %d\n\n", g.summary().c_str(), k);
+
+  // The BUILT-IN criteria are one facade call — the same Engine the CLI
+  // and daemon run. Custom ObjectiveFn objectives are not in SolveSpec's
+  // vocabulary (it is a wire-friendly value type), so the rest of this
+  // example drives the algorithm layer directly, one level below api/.
+  {
+    ffp::api::SolveSpec spec;
+    spec.method = "fusion_fission";
+    spec.k = k;
+    spec.objective = ffp::ObjectiveKind::MinMaxCut;
+    spec.budget_ms = 400;
+    const auto res = ffp::api::Engine::shared().solve(
+        ffp::api::Problem::viewing(g), spec);
+    std::printf("facade baseline:    Mcut       = %8.3f   total cut = %8.1f"
+                "   (%.3f s)\n\n",
+                res.best_value, res.best.edge_cut(), res.seconds);
+  }
 
   const MaxPartCut bottleneck;
   ffp::Partition start(g, 1);

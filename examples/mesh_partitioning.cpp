@@ -13,10 +13,9 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "ffp/api.hpp"
 #include "graph/generators.hpp"
 #include "partition/balance.hpp"
-#include "solver/portfolio.hpp"
-#include "solver/registry.hpp"
 
 namespace {
 
@@ -57,17 +56,18 @@ int main(int argc, char** argv) {
   std::printf("mesh: %s, partitioning into %d processor domains\n\n",
               mesh.summary().c_str(), k);
 
-  // One request, many solvers: distribution is the mesh use case, so every
-  // run optimizes plain Cut under the same 2 s budget and seed.
-  ffp::SolverRequest request;
-  request.k = k;
-  request.objective = ffp::ObjectiveKind::Cut;
-  request.stop = ffp::StopCondition::after_millis(2000);
-  request.seed = 1;
+  // One facade spec, many methods: distribution is the mesh use case, so
+  // every run optimizes plain Cut under the same 2 s budget and seed.
+  const ffp::api::Problem problem = ffp::api::Problem::viewing(mesh);
+  ffp::api::SolveSpec spec;
+  spec.k = k;
+  spec.objective = ffp::ObjectiveKind::Cut;
+  spec.budget_ms = 2000;
+  spec.seed = 1;
 
   struct Row {
     const char* label;
-    const char* spec;
+    const char* method;
   };
   const Row rows[] = {
       {"multilevel", "multilevel"},
@@ -80,16 +80,19 @@ int main(int argc, char** argv) {
     if (std::string_view(row.label) == "spectral+KL" && (k & (k - 1)) != 0) {
       continue;
     }
-    const auto res = ffp::make_solver(row.spec)->run(mesh, request);
+    spec.method = row.method;
+    const auto res = ffp::api::Engine::shared().solve(problem, spec);
     report(row.label, res.best, res.seconds, k);
   }
 
-  // The engine layer's multi-start portfolio: 4 independently seeded
-  // fusion-fission restarts across the hardware threads, best kept.
+  // The facade's multi-start portfolio: 4 independently seeded
+  // fusion-fission restarts across the hardware threads, best kept. The
+  // step budget keeps the winner bit-identical at any thread count.
   {
-    ffp::PortfolioRunner portfolio(ffp::make_solver("fusion_fission"),
-                                   {/*restarts=*/4, /*threads=*/0});
-    const auto res = portfolio.run(mesh, request);
+    spec.method = "fusion_fission";
+    spec.restarts = 4;
+    spec.steps = 20000;
+    const auto res = ffp::api::Engine::shared().solve(problem, spec);
     report("ff portfolio x4", res.best, res.seconds, k);
   }
 

@@ -1,45 +1,46 @@
-// Quickstart: partition a graph through the solver engine layer.
+// Quickstart: partition a graph through the ffp::api facade — the same
+// entry point the CLI, the daemon, and every bench in the repo use.
 //
 //   $ ./quickstart [k]
 //
-// Builds a weighted random geometric graph, constructs the paper's
-// fusion-fission metaheuristic from the solver registry, runs it for half a
-// second, then reruns it as a 4-restart parallel portfolio — the same two
-// calls every tool and bench in the repo is built on.
+// Builds a weighted random geometric graph, runs the paper's
+// fusion-fission metaheuristic for half a second, then reruns it as an
+// async 4-restart portfolio solve with streamed improvements — two calls
+// on one Engine.
 #include <cstdio>
 #include <cstdlib>
 
+#include "ffp/api.hpp"
 #include "graph/generators.hpp"
 #include "partition/balance.hpp"
 #include "partition/objectives.hpp"
-#include "solver/portfolio.hpp"
-#include "solver/registry.hpp"
 
 int main(int argc, char** argv) {
   const int k = argc > 1 ? std::atoi(argv[1]) : 8;
 
-  // 1. A graph. Any ffp::Graph works: build one from edges, read a Chaco /
-  //    METIS file (graph/io.hpp), or use a generator.
-  const ffp::Graph graph = ffp::with_random_weights(
-      ffp::make_random_geometric(400, 0.09, /*seed=*/42), 1.0, 10.0,
-      /*seed=*/43);
-  std::printf("graph: %s\n", graph.summary().c_str());
+  // 1. A Problem. Graphs enter the facade from a file
+  //    (Problem::from_file("mesh.graph")), a generator spec
+  //    (Problem::generated("grid2d:64,64")), or any ffp::Graph you built.
+  const ffp::api::Problem problem = ffp::api::Problem::from_graph(
+      ffp::with_random_weights(
+          ffp::make_random_geometric(400, 0.09, /*seed=*/42), 1.0, 10.0,
+          /*seed=*/43));
+  std::printf("graph: %s\n", problem.graph().summary().c_str());
 
-  // 2. A solver, by registry spec. "fusion_fission" is the paper's
-  //    metaheuristic; try "multilevel:arity=oct" or
-  //    "spectral:engine=rqi,kl=true" for the Chaco-family tools, or tune
-  //    options inline: "fusion_fission:nbt=800,tmax=1.2".
-  const ffp::SolverPtr solver = ffp::make_solver("fusion_fission");
+  // 2. A SolveSpec: method (any registry spec — try "multilevel:arity=oct"
+  //    or "fusion_fission:nbt=800,tmax=1.2"), target k, criterion (the
+  //    paper's Mcut by default), budget, seed.
+  ffp::api::SolveSpec spec;
+  spec.method = "fusion_fission";
+  spec.k = k;
+  spec.objective = ffp::ObjectiveKind::MinMaxCut;
+  spec.budget_ms = 500;
+  spec.seed = 7;
 
-  // 3. One request drives any solver: target k, criterion (the paper's Mcut
-  //    by default), budget, seed.
-  ffp::SolverRequest request;
-  request.k = k;
-  request.objective = ffp::ObjectiveKind::MinMaxCut;
-  request.stop = ffp::StopCondition::after_millis(500);
-  request.seed = 7;
-
-  const ffp::SolverResult result = solver->run(graph, request);
+  // 3. Solve. Engine::shared() queues the solve on the process-wide
+  //    scheduler and thread budget; solve() blocks and returns the result.
+  const ffp::SolverResult result =
+      ffp::api::Engine::shared().solve(problem, spec);
   const auto& best = result.best;
   std::printf("\nbest %d-partition (%.0f steps, %.0f fusions, %.0f fissions, "
               "%.0f reheats) in %.2fs:\n",
@@ -61,16 +62,21 @@ int main(int argc, char** argv) {
                 best.part_cut(q));
   }
 
-  // 4. The same request through a parallel portfolio: 4 independently
-  //    seeded restarts across the hardware threads, best result kept. A
-  //    step budget (instead of wall clock) makes the outcome bit-identical
-  //    whatever the thread count.
-  request.stop = ffp::StopCondition::after_steps(20000);
-  ffp::PortfolioRunner portfolio(solver, {/*restarts=*/4, /*threads=*/0});
-  const ffp::SolverResult team = portfolio.run(graph, request);
-  std::printf("\nportfolio of %.0f restarts on %.0f threads: Mcut = %.3f "
-              "(restart %.0f won) in %.2fs\n",
-              team.stat("restarts"), team.stat("threads"), team.best_value,
-              team.stat("winner_restart"), team.seconds);
+  // 4. The same spec as an ASYNC portfolio solve: 4 independently seeded
+  //    restarts, improvements streamed as they happen, a handle to
+  //    wait/poll/cancel. A step budget (set here implicitly by the
+  //    determinism rule, or explicitly via spec.steps) makes the outcome
+  //    bit-identical whatever the thread count.
+  spec.restarts = 4;
+  spec.steps = 20000;
+  const ffp::api::SolveHandle handle = ffp::api::Engine::shared().submit(
+      problem, spec, [](double seconds, double value) {
+        std::printf("  improvement at %5.2fs: Mcut = %.3f\n", seconds, value);
+      });
+  std::printf("\nportfolio of 4 restarts, streaming:\n");
+  const ffp::JobStatus status = handle.wait();
+  std::printf("portfolio best Mcut = %.3f (restart %.0f won) in %.2fs\n",
+              status.result->best_value,
+              status.result->stat("winner_restart"), status.result->seconds);
   return 0;
 }

@@ -1,0 +1,185 @@
+#include "api/engine.hpp"
+
+#include <map>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace ffp::api {
+
+/// The state handles share with their engine: the scheduler, the cache,
+/// and the per-job bookkeeping the scheduler hooks dispatch on.
+struct SolveHandle::EngineState {
+  explicit EngineState(const EngineOptions& options)
+      : cache(options.cache_capacity) {
+    JobSchedulerOptions sched;
+    sched.runners = options.runners;
+    sched.budget = options.budget;
+    sched.on_improvement = [this](std::uint64_t job, double seconds,
+                                  double value) {
+      handle_improvement(job, seconds, value);
+    };
+    sched.on_terminal = [this](std::uint64_t job, const JobStatus& status) {
+      finalize(job, status);
+    };
+    scheduler = std::make_unique<JobScheduler>(std::move(sched));
+  }
+
+  struct Pending {
+    std::string cache_key;  ///< empty: not cacheable
+    ImprovementFn on_improvement;
+  };
+
+  void handle_improvement(std::uint64_t job, double seconds, double value) {
+    ImprovementFn fn;
+    {
+      std::lock_guard lock(mu);
+      const auto it = pending.find(job);
+      if (it == pending.end() || !it->second.on_improvement) return;
+      fn = it->second.on_improvement;
+    }
+    // Invoked outside mu so a slow consumer stalls only its own runner
+    // thread. Safe against unregistration: improvements fire synchronously
+    // from inside the solve, strictly before the job's terminal transition
+    // — anyone who waited for terminal can never observe an in-flight call.
+    fn(seconds, value);
+  }
+
+  /// Exactly-once job finalization: feeds the cache and drops the
+  /// callbacks. Raced by the scheduler's on_terminal hook AND by any
+  /// handle observing a terminal status (so a wait() returning Done is
+  /// guaranteed to see the result cached before it returns); the pending
+  /// entry is the tie-breaker.
+  void finalize(std::uint64_t job, const JobStatus& status) {
+    std::string key;
+    {
+      std::lock_guard lock(mu);
+      const auto it = pending.find(job);
+      if (it == pending.end()) return;
+      key = std::move(it->second.cache_key);
+      pending.erase(it);
+    }
+    if (status.state == JobState::Done) cache.put(key, status.result);
+  }
+
+  ResultCache cache;
+  std::mutex mu;
+  std::map<std::uint64_t, Pending> pending;
+  /// Last member: destroyed (and its runner threads joined) first, so the
+  /// hooks above can never fire into a dead EngineState.
+  std::unique_ptr<JobScheduler> scheduler;
+};
+
+namespace {
+
+bool is_terminal(JobState state) {
+  return state == JobState::Done || state == JobState::Cancelled ||
+         state == JobState::Failed;
+}
+
+}  // namespace
+
+JobStatus SolveHandle::poll() const {
+  FFP_CHECK(valid(), "poll on an empty SolveHandle");
+  if (cached()) return *immediate_;
+  const JobStatus status = impl_->scheduler->status(job_);
+  if (is_terminal(status.state)) impl_->finalize(job_, status);
+  return status;
+}
+
+JobStatus SolveHandle::wait() const {
+  FFP_CHECK(valid(), "wait on an empty SolveHandle");
+  if (cached()) return *immediate_;
+  const JobStatus status = impl_->scheduler->wait(job_);
+  impl_->finalize(job_, status);
+  return status;
+}
+
+bool SolveHandle::cancel() const {
+  FFP_CHECK(valid(), "cancel on an empty SolveHandle");
+  if (cached()) return false;
+  return impl_->scheduler->cancel(job_);
+}
+
+Engine::Engine(EngineOptions options)
+    : impl_(std::make_shared<SolveHandle::EngineState>(options)) {}
+
+Engine::~Engine() { impl_->scheduler->shutdown(); }
+
+SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
+                           ImprovementFn on_improvement) {
+  FFP_CHECK(problem.valid(), "submit needs a valid Problem");
+
+  // One resolution pass answers everything method-dependent (and rejects
+  // bad specs here, at the API boundary).
+  const ResolvedSpec resolved = spec.resolve();
+
+  std::string key;
+  if (impl_->cache.enabled() && resolved.deterministic) {
+    key = format("g%016llx|",
+                 static_cast<unsigned long long>(problem.digest())) +
+          spec.cache_key(resolved);
+    if (auto hit = impl_->cache.get(key)) {
+      auto status = std::make_shared<JobStatus>();
+      status->state = JobState::Done;
+      status->seconds = 0.0;  // nothing ran; result->seconds has the solve
+      status->result = std::move(hit);
+      return SolveHandle(impl_, 0, std::move(status));
+    }
+  }
+
+  JobSpec job;
+  job.graph = problem.share();
+  job.method = spec.method;
+  job.solver = resolved.solver;  // spec resolved once, reused by the runner
+  job.k = spec.k;
+  job.objective = spec.objective;
+  job.seed = spec.seed;
+  job.steps = resolved.steps;
+  job.budget_ms = spec.budget_ms;
+  job.priority = spec.priority;
+  job.threads = spec.threads;
+  job.restarts = spec.restarts;
+
+  std::uint64_t id = 0;
+  {
+    // Submit and register under one lock: the scheduler's hooks (which
+    // lock the same mutex) cannot observe the gap between the scheduler
+    // knowing the job and the engine knowing its callbacks.
+    std::lock_guard lock(impl_->mu);
+    id = impl_->scheduler->submit(std::move(job));
+    impl_->pending.emplace(
+        id, SolveHandle::EngineState::Pending{std::move(key),
+                                              std::move(on_improvement)});
+  }
+  return SolveHandle(impl_, id, nullptr);
+}
+
+SolverResult Engine::solve(const Problem& problem, const SolveSpec& spec,
+                           ImprovementFn on_improvement) {
+  const SolveHandle handle =
+      submit(problem, spec, std::move(on_improvement));
+  const JobStatus status = handle.wait();
+  if (status.state == JobState::Failed) {
+    throw Error("solve failed: " + status.error);
+  }
+  if (status.result == nullptr) {
+    throw Error("solve was cancelled before it ran");
+  }
+  return *status.result;
+}
+
+void Engine::drain() { impl_->scheduler->drain(); }
+
+CacheCounters Engine::cache_counters() const { return impl_->cache.counters(); }
+
+JobScheduler& Engine::scheduler() { return *impl_->scheduler; }
+
+ThreadBudget& Engine::budget() { return impl_->scheduler->budget(); }
+
+Engine& Engine::shared() {
+  static Engine engine{EngineOptions{}};
+  return engine;
+}
+
+}  // namespace ffp::api

@@ -1,0 +1,118 @@
+// api::Engine — the one async solve facade everything in the repo runs
+// through. submit(Problem, SolveSpec) maps the spec onto the service
+// JobScheduler (always: the CLI's one-shot solve and a daemon tenant's job
+// take the identical code path, lease workers from the same ThreadBudget,
+// and honor the same determinism contract) and returns a SolveHandle —
+// wait / poll / cancel, with anytime best-so-far on cancel and an optional
+// per-solve improvement stream.
+//
+// A result cache rides on the facade: deterministic solves (step budget,
+// or a direct solver) are keyed on (graph content digest, canonical
+// SolveSpec) in a small LRU, so repeat submissions cost a lookup instead
+// of a solve. Cache hits come back as already-terminal handles.
+//
+// Lifetime: handles share ownership of the engine internals, so a handle
+// outliving its Engine can still be waited on (the engine's destructor
+// cancels what is queued and lets running jobs finish, exactly like the
+// scheduler it wraps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "api/problem.hpp"
+#include "api/result_cache.hpp"
+#include "api/solve_spec.hpp"
+#include "service/job_scheduler.hpp"
+
+namespace ffp::api {
+
+struct EngineOptions {
+  unsigned runners = 1;  ///< concurrent solves (JobScheduler runners)
+  /// Worker governor every solve leases from; null uses the process-wide
+  /// ThreadBudget::process().
+  ThreadBudget* budget = nullptr;
+  std::size_t cache_capacity = 0;  ///< result-cache entries; 0 disables
+};
+
+/// Per-solve improvement stream: (seconds since the solve started, new
+/// best objective value). Called from engine runner threads — must be
+/// thread-safe against the caller's own state.
+using ImprovementFn = std::function<void(double seconds, double value)>;
+
+class Engine;
+
+/// Async handle on one submitted solve. Cheap to copy; the default-
+/// constructed handle is invalid. All methods are thread-safe.
+class SolveHandle {
+ public:
+  SolveHandle() = default;
+
+  bool valid() const { return impl_ != nullptr; }
+  /// True when the solve was served from the result cache (already
+  /// terminal at submit; job_id() is 0).
+  bool cached() const { return immediate_ != nullptr; }
+  std::uint64_t job_id() const { return job_; }
+
+  /// Point-in-time status (state, seconds, progress trajectory, result
+  /// once terminal).
+  JobStatus poll() const;
+  /// Blocks until the solve is terminal. Never throws on solver failure —
+  /// inspect status.state / status.error (Engine::solve wraps this with
+  /// throwing semantics).
+  JobStatus wait() const;
+  /// Queued → removed; running → stopped early with its best-so-far
+  /// attached (anytime semantics). False when already terminal or cached.
+  bool cancel() const;
+
+ private:
+  friend class Engine;
+  struct EngineState;
+  SolveHandle(std::shared_ptr<EngineState> impl, std::uint64_t job,
+              std::shared_ptr<const JobStatus> immediate)
+      : impl_(std::move(impl)), job_(job), immediate_(std::move(immediate)) {}
+
+  std::shared_ptr<EngineState> impl_;
+  std::uint64_t job_ = 0;
+  std::shared_ptr<const JobStatus> immediate_;  ///< cache hits only
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Cancels everything queued, waits for running solves.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Validates and enqueues one solve. Throws ffp::Error on specs that do
+  /// not resolve (unknown method, bad options, k < 1, ...) — failures
+  /// happen at the API boundary, not inside a runner. `on_improvement`
+  /// streams best-so-far improvements for this solve only.
+  SolveHandle submit(const Problem& problem, const SolveSpec& spec,
+                     ImprovementFn on_improvement = {});
+
+  /// submit + wait with throwing semantics: returns the finished result,
+  /// throws ffp::Error when the solve failed or was cancelled before
+  /// producing a partition.
+  SolverResult solve(const Problem& problem, const SolveSpec& spec,
+                     ImprovementFn on_improvement = {});
+
+  /// Blocks until every submitted solve is terminal.
+  void drain();
+
+  CacheCounters cache_counters() const;
+  JobScheduler& scheduler();
+  ThreadBudget& budget();
+
+  /// The process-wide engine CLI-style entry points share: one runner over
+  /// ThreadBudget::process(), cache disabled. Created on first use.
+  static Engine& shared();
+
+ private:
+  std::shared_ptr<SolveHandle::EngineState> impl_;
+};
+
+}  // namespace ffp::api

@@ -1,0 +1,219 @@
+#include "api/problem.hpp"
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "atc/core_area.hpp"
+#include "graph/generators.hpp"
+#include "util/strings.hpp"
+
+namespace ffp::api {
+
+namespace {
+
+/// FNV-1a 64-bit, fed machine words; doubles go in by bit pattern so the
+/// digest is exact, not rounded.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void mix(std::uint64_t x) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (x >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix(double x) { mix(std::bit_cast<std::uint64_t>(x)); }
+};
+
+struct GeneratorArgs {
+  std::vector<double> args;
+
+  double at(std::size_t i, const char* what) const {
+    FFP_CHECK(i < args.size(), "generator spec is missing argument ", i + 1,
+              " (", what, ")");
+    return args[i];
+  }
+  int as_int(std::size_t i, const char* what) const {
+    const double v = at(i, what);
+    const auto n = static_cast<std::int64_t>(v);
+    FFP_CHECK(static_cast<double>(n) == v, "generator argument ", i + 1, " (",
+              what, ") must be an integer");
+    return static_cast<int>(n);
+  }
+  std::uint64_t seed(std::size_t i) const {
+    if (i >= args.size()) return 1;  // stochastic families default seed
+    const auto s = static_cast<std::int64_t>(at(i, "seed"));
+    FFP_CHECK(s >= 0, "generator seed must be >= 0");
+    return static_cast<std::uint64_t>(s);
+  }
+};
+
+GeneratorArgs parse_generator_args(std::string_view text) {
+  GeneratorArgs out;
+  std::size_t i = 0;
+  while (i <= text.size()) {
+    std::size_t j = text.find(',', i);
+    if (j == std::string_view::npos) j = text.size();
+    const std::string_view token = trim(text.substr(i, j - i));
+    if (!token.empty()) {
+      const auto v = parse_double(token);
+      FFP_CHECK(v.has_value(), "bad generator argument '", std::string(token),
+                "'");
+      out.args.push_back(*v);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+Graph make_generated(std::string_view family, const GeneratorArgs& a) {
+  if (family == "grid2d") {
+    return make_grid2d(a.as_int(0, "rows"), a.as_int(1, "cols"));
+  }
+  if (family == "grid3d") {
+    return make_grid3d(a.as_int(0, "nx"), a.as_int(1, "ny"), a.as_int(2, "nz"));
+  }
+  if (family == "torus") {
+    return make_torus(a.as_int(0, "rows"), a.as_int(1, "cols"));
+  }
+  if (family == "path") return make_path(a.as_int(0, "n"));
+  if (family == "cycle") return make_cycle(a.as_int(0, "n"));
+  if (family == "complete") return make_complete(a.as_int(0, "n"));
+  if (family == "star") return make_star(a.as_int(0, "leaves"));
+  if (family == "barbell") {
+    return make_barbell(a.as_int(0, "clique"),
+                        a.args.size() > 1 ? a.as_int(1, "bridge") : 1);
+  }
+  if (family == "caterpillar") {
+    return make_caterpillar(a.as_int(0, "spine"), a.as_int(1, "legs"));
+  }
+  if (family == "geometric") {
+    return make_random_geometric(a.as_int(0, "n"), a.at(1, "radius"),
+                                 a.seed(2));
+  }
+  if (family == "powerlaw") {
+    return make_power_law(a.as_int(0, "n"), a.at(1, "avg_deg"),
+                          a.at(2, "gamma"), a.seed(3));
+  }
+  if (family == "random") {
+    return make_random_graph(a.as_int(0, "n"),
+                             static_cast<std::int64_t>(a.at(1, "m")),
+                             a.seed(2));
+  }
+  if (family == "atc") {
+    CoreAreaOptions opt;
+    opt.seed = a.seed(0);
+    if (a.args.size() > 1) opt.n_sectors = a.as_int(1, "sectors");
+    if (a.args.size() > 2) opt.n_edges = a.as_int(2, "edges");
+    return make_core_area_graph(opt).graph;
+  }
+  throw Error("unknown generator family '" + std::string(family) +
+              "' (grid2d|grid3d|torus|path|cycle|complete|star|barbell|"
+              "caterpillar|geometric|powerlaw|random|atc)");
+}
+
+bool is_generator_family(std::string_view family) {
+  for (const char* known :
+       {"grid2d", "grid3d", "torus", "path", "cycle", "complete", "star",
+        "barbell", "caterpillar", "geometric", "powerlaw", "random", "atc"}) {
+    if (family == known) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint64_t graph_digest(const Graph& g) {
+  Fnv fnv;
+  fnv.mix(static_cast<std::uint64_t>(g.num_vertices()));
+  fnv.mix(static_cast<std::uint64_t>(g.num_edges()));
+  for (const ArcId x : g.xadj()) fnv.mix(static_cast<std::uint64_t>(x));
+  for (const VertexId v : g.adj()) fnv.mix(static_cast<std::uint64_t>(v));
+  for (const Weight w : g.arc_weights()) fnv.mix(w);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) fnv.mix(g.vertex_weight(v));
+  return fnv.h;
+}
+
+Problem Problem::from_graph(Graph g) {
+  return from_shared(std::make_shared<const Graph>(std::move(g)));
+}
+
+Problem Problem::from_shared(std::shared_ptr<const Graph> g,
+                             std::string source) {
+  FFP_CHECK(g != nullptr, "Problem needs a graph");
+  FFP_CHECK(g->num_vertices() >= 1, "Problem graph is empty");
+  auto state = std::make_shared<State>();
+  state->graph = std::move(g);
+  state->source = std::move(source);
+  return Problem(std::move(state));
+}
+
+Problem Problem::from_shared_with_digest(std::shared_ptr<const Graph> g,
+                                         std::uint64_t digest,
+                                         std::string source) {
+  Problem out = from_shared(std::move(g), std::move(source));
+  // Pre-fire the memo so digest() never rescans.
+  std::call_once(out.state_->digest_once,
+                 [&] { out.state_->digest = digest; });
+  return out;
+}
+
+Problem Problem::viewing(const Graph& g) {
+  // Aliasing shared_ptr with no ownership: share() hands out pointers that
+  // never free, which is exactly the documented caller contract.
+  return from_shared(std::shared_ptr<const Graph>(
+                         std::shared_ptr<const void>(), &g),
+                     "view");
+}
+
+Problem Problem::from_file(const std::string& path, const IoLimits& limits) {
+  return from_shared(
+      std::make_shared<const Graph>(read_chaco_file(path, limits)),
+      "file:" + path);
+}
+
+Problem Problem::generated(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view family = trim(spec.substr(0, colon));
+  const std::string_view args_text =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  const Graph g = make_generated(family, parse_generator_args(args_text));
+  Problem out = from_shared(std::make_shared<const Graph>(std::move(g)),
+                            "gen:" + std::string(trim(spec)));
+  return out;
+}
+
+Problem Problem::from_any(const std::string& source, const IoLimits& limits) {
+  const std::size_t colon = source.find(':');
+  if (colon != std::string::npos &&
+      is_generator_family(trim(std::string_view(source).substr(0, colon)))) {
+    return generated(source);
+  }
+  return from_file(source, limits);
+}
+
+const Graph& Problem::graph() const {
+  FFP_CHECK(valid(), "empty Problem");
+  return *state_->graph;
+}
+
+std::shared_ptr<const Graph> Problem::share() const {
+  FFP_CHECK(valid(), "empty Problem");
+  return state_->graph;
+}
+
+const std::string& Problem::source() const {
+  FFP_CHECK(valid(), "empty Problem");
+  return state_->source;
+}
+
+std::uint64_t Problem::digest() const {
+  FFP_CHECK(valid(), "empty Problem");
+  std::call_once(state_->digest_once,
+                 [&] { state_->digest = graph_digest(*state_->graph); });
+  return state_->digest;
+}
+
+}  // namespace ffp::api

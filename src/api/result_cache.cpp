@@ -1,0 +1,46 @@
+#include "api/result_cache.hpp"
+
+namespace ffp::api {
+
+std::shared_ptr<const SolverResult> ResultCache::get(const std::string& key) {
+  if (!enabled() || key.empty()) return nullptr;
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::put(const std::string& key,
+                      std::shared_ptr<const SolverResult> result) {
+  if (!enabled() || key.empty() || result == nullptr) return;
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+CacheCounters ResultCache::counters() const {
+  std::lock_guard lock(mu_);
+  CacheCounters out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.entries = static_cast<std::int64_t>(lru_.size());
+  out.capacity = static_cast<std::int64_t>(capacity_);
+  return out;
+}
+
+}  // namespace ffp::api

@@ -1,0 +1,62 @@
+// api::ResultCache — a small thread-safe LRU of finished SolverResults,
+// keyed on (graph content digest, canonical SolveSpec). Only deterministic
+// solves are cached (SolveSpec::cache_key() is empty otherwise), so a hit
+// is byte-for-byte the partition a fresh run would have produced — the
+// KaFFPaE-style "repeat tenant" lever: a burst of identical submissions
+// costs one solve.
+//
+// Entries are shared_ptr<const SolverResult>, so a hit costs a refcount
+// bump, eviction never invalidates a result a caller still holds, and the
+// cache's footprint is bounded by `capacity` results.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "solver/solver.hpp"
+
+namespace ffp::api {
+
+struct CacheCounters {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t entries = 0;
+  std::int64_t capacity = 0;
+};
+
+class ResultCache {
+ public:
+  /// capacity 0 disables the cache: get() always misses without counting,
+  /// put() drops.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Returns the cached result and refreshes its recency, or null. Every
+  /// call on an enabled cache counts as a hit or a miss.
+  std::shared_ptr<const SolverResult> get(const std::string& key);
+
+  /// Inserts (or refreshes) `result` under `key`, evicting the least
+  /// recently used entry when full. Null results and empty keys drop.
+  void put(const std::string& key,
+           std::shared_ptr<const SolverResult> result);
+
+  CacheCounters counters() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const SolverResult>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ffp::api

@@ -1,0 +1,79 @@
+// api::SolveSpec — everything that identifies ONE solve besides the graph:
+// registry method spec, k, objective, seed, budget (deterministic steps or
+// wall clock), portfolio restarts, intra-run thread want, and queue
+// priority. This struct replaces the raw SolverRequest + PortfolioRunner
+// wiring every tool, bench and example used to carry: the facade maps it
+// onto a service JobSpec, so the CLI, the daemon, and embedded callers all
+// run the identical pipeline.
+//
+// Determinism is part of the spec, not the call site: resolved_steps()
+// holds the ONE copy of the old ffp_part rule — whenever parallelism is in
+// play (restarts, a thread want, or a threads=/batch= key inside the
+// method spec) a metaheuristic's wall clock is replaced by a step budget
+// derived from budget_ms, so the partition can never depend on scheduling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/objectives.hpp"
+#include "solver/solver.hpp"
+
+namespace ffp::api {
+
+/// One-pass resolution of a SolveSpec's method-dependent facts — computed
+/// by SolveSpec::resolve() with a single solver construction, so the
+/// submit hot path never re-parses the spec per question it asks.
+struct ResolvedSpec {
+  SolverPtr solver;              ///< the constructed (validated) solver
+  std::string canonical_method;  ///< SolverRegistry::canonical_spec form
+  std::int64_t steps = 0;        ///< the budget the solve actually runs under
+  bool metaheuristic = false;
+  bool deterministic = false;    ///< result is a pure function of the spec
+};
+
+struct SolveSpec {
+  std::string method = "fusion_fission";  ///< registry spec (solver/registry)
+  int k = 2;
+  ObjectiveKind objective = ObjectiveKind::MinMaxCut;
+  std::uint64_t seed = 1;
+  /// Deterministic step budget. 0 = derive one from budget_ms when the
+  /// request is parallel (see resolved_steps()), else run on the wall
+  /// clock (which forfeits byte-identical results, exactly like the CLI).
+  std::int64_t steps = 0;
+  double budget_ms = 5000;
+  int restarts = 1;      ///< portfolio multi-start; 1 = single run
+  unsigned threads = 0;  ///< intra-run worker want, leased from the budget
+  int priority = 0;      ///< scheduler priority; higher runs first
+
+  /// Nominal metaheuristic step rate used to turn budget_ms into a step
+  /// budget when determinism requires one (steps overrides).
+  static constexpr double kStepsPerMs = 50.0;
+
+  /// Resolves every method-dependent fact in one pass (one solver
+  /// construction, reused all the way into the scheduler): the solver
+  /// itself, the canonical method, the effective step budget per THE
+  /// determinism rule — `steps` when set, else budget_ms * kStepsPerMs
+  /// when the spec asks for any parallelism (restarts, a thread want, or
+  /// threads=/batch= keys inside `method`) and the method is a
+  /// metaheuristic, else 0 (wall clock) — and the determinism verdict.
+  /// Throws ffp::Error on specs that do not resolve.
+  ResolvedSpec resolve() const;
+
+  /// Convenience forms of resolve() for cold paths and tests.
+  std::int64_t resolved_steps() const { return resolve().steps; }
+  bool deterministic() const { return resolve().deterministic; }
+  std::string canonical_method() const { return resolve().canonical_method; }
+
+  /// The spec half of the result-cache key: canonical method plus every
+  /// field that can change the partition. Threads and priority are
+  /// deliberately absent — the engine's determinism contract makes results
+  /// independent of where and when the work ran — but the serial-vs-batched
+  /// engine choice (threads == 0 vs > 0) is included, because a thread
+  /// want selects a different (equally deterministic) engine schedule.
+  /// Returns "" when the spec is not deterministic (never cacheable).
+  std::string cache_key(const ResolvedSpec& resolved) const;
+  std::string cache_key() const { return cache_key(resolve()); }
+};
+
+}  // namespace ffp::api

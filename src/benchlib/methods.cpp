@@ -1,5 +1,6 @@
 #include "benchlib/methods.hpp"
 
+#include "ffp/api.hpp"
 #include "solver/registry.hpp"
 #include "util/check.hpp"
 
@@ -35,13 +36,24 @@ const std::vector<std::pair<std::string, std::string>>& table1_specs() {
 }  // namespace
 
 Partition MethodSpec::run(const Graph& g, const MethodContext& ctx) const {
-  SolverRequest request;
-  request.k = ctx.k;
-  request.objective = ctx.objective;
-  request.stop = StopCondition::after_millis(ctx.budget_ms);
-  request.seed = ctx.seed;
-  request.recorder = ctx.recorder;
-  return solver->run(g, request).best;
+  // Every Table-1 row is one facade solve: the benches exercise the exact
+  // pipeline the CLI and the daemon serve.
+  api::SolveSpec spec;
+  spec.method = solver_spec;
+  spec.k = ctx.k;
+  spec.objective = ctx.objective;
+  spec.budget_ms = ctx.budget_ms;
+  spec.seed = ctx.seed;
+  api::ImprovementFn stream;
+  if (ctx.recorder != nullptr) {
+    ctx.recorder->start();
+    stream = [recorder = ctx.recorder](double, double value) {
+      recorder->record(value);
+    };
+  }
+  return api::Engine::shared()
+      .solve(api::Problem::viewing(g), spec, std::move(stream))
+      .best;
 }
 
 std::vector<MethodSpec> table1_methods() {

@@ -1,7 +1,9 @@
 #include "service/job_scheduler.hpp"
 
 #include <utility>
+#include <vector>
 
+#include "solver/portfolio.hpp"
 #include "solver/registry.hpp"
 #include "util/timer.hpp"
 
@@ -62,8 +64,11 @@ std::uint64_t JobScheduler::submit(JobSpec spec) {
   FFP_CHECK(spec.k >= 1, "job needs k >= 1");
   FFP_CHECK(spec.steps >= 0, "job step budget must be >= 0");
   FFP_CHECK(spec.budget_ms >= 0, "job wall-clock budget must be >= 0");
-  // Resolve the method now so a typo fails the submit, not the runner.
-  SolverPtr solver = make_solver(spec.method);
+  FFP_CHECK(spec.restarts >= 1, "job needs restarts >= 1");
+  // Resolve the method now so a typo fails the submit, not the runner
+  // (unless the caller already resolved it — the api engine does).
+  SolverPtr solver =
+      spec.solver != nullptr ? spec.solver : make_solver(spec.method);
 
   std::uint64_t id = 0;
   {
@@ -94,6 +99,7 @@ bool JobScheduler::cancel(std::uint64_t id) {
     ++completed_;
     lock.unlock();
     changed_cv_.notify_all();
+    notify_terminal(id);
     return true;
   }
   // Running (or claimed and waiting for budget): the flag stops the solver
@@ -137,6 +143,7 @@ void JobScheduler::drain() {
 }
 
 void JobScheduler::shutdown() {
+  std::vector<std::uint64_t> swept;
   {
     std::lock_guard lock(mu_);
     stopping_ = true;
@@ -146,11 +153,13 @@ void JobScheduler::shutdown() {
       Job& job = *jobs_.at(id);
       job.state = JobState::Cancelled;
       ++completed_;
+      swept.push_back(id);
     }
     queue_.clear();
   }
   queue_cv_.notify_all();
   changed_cv_.notify_all();
+  for (const std::uint64_t id : swept) notify_terminal(id);
   for (auto& runner : runners_) {
     if (runner.joinable()) runner.join();
   }
@@ -192,7 +201,18 @@ void JobScheduler::runner_loop() {
     }
     self.release();
     changed_cv_.notify_all();
+    notify_terminal(job->id);
   }
+}
+
+void JobScheduler::notify_terminal(std::uint64_t id) {
+  if (!options_.on_terminal) return;
+  JobStatus status;
+  {
+    std::lock_guard lock(mu_);
+    status = status_locked(*jobs_.at(id));
+  }
+  options_.on_terminal(id, status);
 }
 
 void JobScheduler::run_job(Job& job) {
@@ -211,8 +231,20 @@ void JobScheduler::run_job(Job& job) {
   std::shared_ptr<const SolverResult> result;
   std::string error;
   try {
-    result = std::make_shared<const SolverResult>(
-        job.solver->run(*spec.graph, request));
+    if (spec.restarts > 1) {
+      // Portfolio multi-start inside the job: restart workers and each
+      // restart's intra-run engine all lease from the scheduler's budget,
+      // so a portfolio job obeys the same machine-wide cap as any other.
+      PortfolioOptions popt;
+      popt.restarts = spec.restarts;
+      popt.threads = spec.threads;
+      popt.budget = budget_;
+      result = std::make_shared<const SolverResult>(
+          PortfolioRunner(job.solver, popt).run(*spec.graph, request));
+    } else {
+      result = std::make_shared<const SolverResult>(
+          job.solver->run(*spec.graph, request));
+    }
   } catch (const std::exception& e) {
     error = e.what();
   }

@@ -50,6 +50,10 @@ std::string_view to_string(JobState state);
 struct JobSpec {
   std::shared_ptr<const Graph> graph;  ///< required, shared across jobs
   std::string method = "fusion_fission";  ///< registry spec (solver/registry)
+  /// Optional pre-resolved solver for `method` (the api engine resolves
+  /// specs once and passes the instance through); null → submit() builds
+  /// it from `method`.
+  SolverPtr solver;
   int k = 2;
   ObjectiveKind objective = ObjectiveKind::MinMaxCut;
   std::uint64_t seed = 1;
@@ -59,6 +63,11 @@ struct JobSpec {
   double budget_ms = 5000;
   int priority = 0;    ///< higher runs first; FIFO within a priority
   unsigned threads = 0;  ///< intra-run worker *want*, leased from the budget
+  /// Portfolio multi-start: > 1 fans that many independently seeded
+  /// restarts of the method across the budget (solver/portfolio.hpp) and
+  /// keeps the best — the per-restart seed stream depends only on `seed`,
+  /// so the job stays deterministic under a step budget.
+  int restarts = 1;
 };
 
 /// Point-in-time view of a job. `result` is set once the job is terminal
@@ -81,6 +90,12 @@ struct JobSchedulerOptions {
   /// job's recorder sees. Must be thread-safe.
   std::function<void(std::uint64_t job, double seconds, double value)>
       on_improvement;
+  /// Terminal hook: called exactly once per job, right after it reaches
+  /// Done/Cancelled/Failed, with its final status — how the api engine
+  /// feeds its result cache without polling. Called outside the scheduler
+  /// lock (from runner threads, or from the thread driving cancel/
+  /// shutdown); must be thread-safe.
+  std::function<void(std::uint64_t job, const JobStatus& status)> on_terminal;
 };
 
 class JobScheduler {
@@ -152,6 +167,9 @@ class JobScheduler {
 
   void runner_loop();
   void run_job(Job& job);
+  /// Fires options_.on_terminal for a job that just went terminal; takes
+  /// mu_ itself to snapshot, so call it with the lock released.
+  void notify_terminal(std::uint64_t id);
   JobStatus status_locked(const Job& job) const;
   static bool terminal(JobState s) {
     return s == JobState::Done || s == JobState::Cancelled ||

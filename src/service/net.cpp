@@ -101,6 +101,12 @@ void shutdown_write(const FdHandle& fd) {
   if (::shutdown(fd.get(), SHUT_WR) != 0) fail_errno("shutdown(SHUT_WR)");
 }
 
+void shutdown_both(const FdHandle& fd) {
+  // Best-effort: used to kick a peer loose during server shutdown, where
+  // the fd may already be dead — that is success, not an error.
+  if (fd.valid()) ::shutdown(fd.get(), SHUT_RDWR);
+}
+
 bool LineReader::next(std::string& line, std::size_t max_line_bytes) {
   for (;;) {
     const std::size_t eol = buffer_.find('\n', pos_);

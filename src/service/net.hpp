@@ -49,6 +49,11 @@ void write_line(const FdHandle& fd, const std::string& line);
 /// collects every response.
 void shutdown_write(const FdHandle& fd);
 
+/// Full-closes both directions without releasing the fd — how the server's
+/// shutdown path unblocks connection threads parked in a read. Best-effort
+/// (never throws): racing an already-closed peer is the expected case.
+void shutdown_both(const FdHandle& fd);
+
 /// Buffered newline-delimited reader over a connected socket.
 class LineReader {
  public:

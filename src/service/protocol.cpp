@@ -17,9 +17,9 @@ namespace {
 /// loudly, same policy as the solver registry's option parsing.
 const std::set<std::string_view>& submit_keys() {
   static const std::set<std::string_view> keys = {
-      "op",        "id",    "graph_file", "graph",    "method", "k",
+      "op",        "id",    "graph_file", "graph",     "method",   "k",
       "objective", "seed",  "steps",      "budget_ms", "priority",
-      "threads"};
+      "threads",   "restarts"};
   return keys;
 }
 
@@ -176,6 +176,8 @@ Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
       int_field(root, "priority", 0, -1'000'000, 1'000'000));
   req.spec.threads = static_cast<unsigned>(
       int_field(root, "threads", 0, 0, limits.max_threads));
+  req.spec.restarts =
+      static_cast<int>(int_field(root, "restarts", 1, 1, limits.max_restarts));
   if (const JsonValue* b = root.find("budget_ms"); b != nullptr) {
     if (!b->is_number()) reject("'budget_ms' must be a number");
     const double ms = b->as_number();
@@ -263,7 +265,8 @@ std::string format_progress(std::string_view id, double seconds,
   return out;
 }
 
-std::string format_status(std::string_view id, const JobStatus& status) {
+std::string format_status(std::string_view id, const JobStatus& status,
+                          const api::CacheCounters* cache) {
   std::string out = "{\"event\":\"status\",\"id\":";
   json_append_quoted(out, id);
   out += ",\"state\":\"";
@@ -275,6 +278,10 @@ std::string format_status(std::string_view id, const JobStatus& status) {
     append_number(out, status.progress.back().best_value);
   }
   out += ",\"improvements\":" + std::to_string(status.progress.size());
+  if (cache != nullptr) {
+    out += ",\"cache_hits\":" + std::to_string(cache->hits);
+    out += ",\"cache_misses\":" + std::to_string(cache->misses);
+  }
   out += "}";
   return out;
 }

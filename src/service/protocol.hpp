@@ -38,6 +38,8 @@
 #include <string>
 #include <string_view>
 
+#include "api/result_cache.hpp"
+#include "api/solve_spec.hpp"
 #include "graph/io.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/json.hpp"
@@ -57,17 +59,19 @@ struct ProtocolLimits {
   std::int64_t max_steps = 1'000'000'000'000;  ///< 1e12 committed steps
   double max_budget_ms = 86'400'000;           ///< one day of wall clock
   unsigned max_threads = 4096;
+  int max_restarts = 4096;
 };
 
 enum class RequestOp { Submit, Status, Cancel, Result, Shutdown };
 
-/// A validated request. For Submit, `spec` carries everything but the
-/// graph; the graph arrives either inline (`inline_graph`) or by path
-/// (`graph_file`, loaded by the session subject to its file policy).
+/// A validated request. For Submit, `spec` is the facade SolveSpec — the
+/// protocol submits through api::Engine like every other entry point; the
+/// graph arrives either inline (`inline_graph`) or by path (`graph_file`,
+/// loaded by the host subject to its file policy).
 struct Request {
   RequestOp op = RequestOp::Shutdown;
-  std::string id;  ///< client job id (empty only for shutdown)
-  JobSpec spec;    ///< Submit only (spec.graph left null here)
+  std::string id;       ///< client job id (empty only for shutdown/status)
+  api::SolveSpec spec;  ///< Submit only
   std::string graph_file;                  ///< Submit, file variant
   std::shared_ptr<const Graph> inline_graph;  ///< Submit, inline variant
 };
@@ -82,8 +86,11 @@ std::string format_ack(std::string_view id);
 std::string format_error(std::string_view id, std::string_view message);
 std::string format_progress(std::string_view id, double seconds, double value);
 /// `status` event: state, seconds, best value seen (absent before the
-/// first improvement) and the improvement count.
-std::string format_status(std::string_view id, const JobStatus& status);
+/// first improvement) and the improvement count. When `cache` is non-null
+/// the event also carries the host's result-cache hit/miss counters —
+/// every status reply doubles as a cache health probe.
+std::string format_status(std::string_view id, const JobStatus& status,
+                          const api::CacheCounters* cache = nullptr);
 /// `result` event for a terminal job with a partition attached (Done, or
 /// Cancelled mid-run). Failed/cancelled-before-running jobs get `error`.
 std::string format_result(std::string_view id, const JobStatus& status);

@@ -2,52 +2,31 @@
 
 #include <iterator>
 #include <utility>
+#include <vector>
 
 #include "util/strings.hpp"
 
 namespace ffp {
 
-ServiceSession::ServiceSession(ServiceOptions options, Emit emit)
-    : options_(std::move(options)), sink_(std::move(emit)) {
-  JobSchedulerOptions sched;
-  sched.runners = options_.runners;
-  sched.budget = options_.budget;
-  if (options_.stream_progress) {
-    sched.on_improvement = [this](std::uint64_t job, double seconds,
-                                  double value) {
-      on_improvement(job, seconds, value);
-    };
+namespace {
+
+api::EngineOptions engine_options(const ServiceOptions& options) {
+  api::EngineOptions out;
+  out.runners = options.runners;
+  out.budget = options.budget;
+  out.cache_capacity = options.cache_capacity;
+  return out;
+}
+
+}  // namespace
+
+ServiceHost::ServiceHost(ServiceOptions options)
+    : options_(std::move(options)), engine_(engine_options(options_)) {}
+
+api::Problem ServiceHost::load_problem(const Request& request) {
+  if (request.inline_graph != nullptr) {
+    return api::Problem::from_shared(request.inline_graph);
   }
-  scheduler_ = std::make_unique<JobScheduler>(std::move(sched));
-}
-
-void ServiceSession::emit(const std::string& line) {
-  std::lock_guard lock(emit_mu_);
-  sink_(line);
-}
-
-void ServiceSession::on_improvement(std::uint64_t job, double seconds,
-                                    double value) {
-  std::string name;
-  {
-    std::lock_guard lock(mu_);
-    const auto it = names_.find(job);
-    if (it == names_.end()) return;  // unreachable: named before submitted
-    name = it->second;
-  }
-  emit(format_progress(name, seconds, value));
-}
-
-std::uint64_t ServiceSession::lookup(const std::string& id) {
-  std::lock_guard lock(mu_);
-  const auto it = ids_.find(id);
-  if (it == ids_.end()) throw Error("unknown job id '" + id + "'");
-  return it->second;
-}
-
-std::shared_ptr<const Graph> ServiceSession::load_graph(
-    const Request& request) {
-  if (request.inline_graph != nullptr) return request.inline_graph;
   if (!options_.allow_files) {
     throw Error("graph_file submissions are disabled on this server "
                 "(inline 'graph' only)");
@@ -56,64 +35,112 @@ std::shared_ptr<const Graph> ServiceSession::load_graph(
     std::lock_guard lock(mu_);
     const auto it = graph_cache_.find(request.graph_file);
     if (it != graph_cache_.end()) {
-      if (auto cached = it->second.lock()) return cached;
+      if (auto cached = it->second.graph.lock()) {
+        return api::Problem::from_shared_with_digest(
+            std::move(cached), it->second.digest,
+            "file:" + request.graph_file);
+      }
     }
   }
-  // Parse outside mu_ — runner threads take it for every progress event,
-  // and a big (or slow) file must not stall them. A concurrent submit of
-  // the same path may parse twice; last one in wins the cache slot, both
+  // Parse (and digest) outside mu_ — a big (or slow) file must not stall
+  // concurrent sessions resolving other paths. A concurrent submit of the
+  // same path may parse twice; last one in wins the cache slot, both
   // graphs are equal, and the losers die with their jobs.
   auto graph = std::make_shared<const Graph>(
       read_chaco_file(request.graph_file, options_.limits.graph));
+  const std::uint64_t digest = api::graph_digest(*graph);
   std::lock_guard lock(mu_);
   // Insert only after a successful read (a failing path must not leave a
   // node behind), and sweep expired entries so a long-running daemon fed
   // many distinct paths cannot grow the cache without bound.
   for (auto it = graph_cache_.begin(); it != graph_cache_.end();) {
-    it = it->second.expired() ? graph_cache_.erase(it) : std::next(it);
+    it = it->second.graph.expired() ? graph_cache_.erase(it) : std::next(it);
   }
-  graph_cache_[request.graph_file] = graph;
-  return graph;
+  graph_cache_[request.graph_file] = {graph, digest};
+  return api::Problem::from_shared_with_digest(std::move(graph), digest,
+                                               "file:" + request.graph_file);
+}
+
+ServiceSession::ServiceSession(ServiceHost& host, Emit emit)
+    : host_(host), sink_(std::move(emit)) {}
+
+ServiceSession::~ServiceSession() {
+  // Abnormal teardown (connection dropped): stop burning runners on jobs
+  // nobody will read, then wait so no progress callback can outlive us.
+  std::vector<api::SolveHandle> handles;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, handle] : handles_) handles.push_back(handle);
+  }
+  for (const auto& handle : handles) handle.cancel();
+  for (const auto& handle : handles) handle.wait();
+}
+
+void ServiceSession::emit(const std::string& line) {
+  std::lock_guard lock(emit_mu_);
+  sink_(line);
+}
+
+api::SolveHandle ServiceSession::lookup(const std::string& id) {
+  std::lock_guard lock(mu_);
+  const auto it = handles_.find(id);
+  if (it == handles_.end()) throw Error("unknown job id '" + id + "'");
+  return it->second;
 }
 
 bool ServiceSession::handle_line(std::string_view line) {
   if (trim(line).empty()) return true;  // blank lines are keep-alives
   std::string id;
   try {
-    Request request = parse_request(line, options_.limits);
+    Request request = parse_request(line, host_.options().limits);
     id = request.id;
     switch (request.op) {
       case RequestOp::Submit: {
-        request.spec.graph = load_graph(request);
         {
           std::lock_guard lock(mu_);
-          if (ids_.count(request.id) > 0) {
+          if (handles_.count(request.id) > 0) {
             throw Error("duplicate job id '" + request.id + "'");
           }
-          // Holding mu_ across submit + map insert means the progress hook
-          // (which locks mu_ to resolve the name) cannot observe the gap
-          // between the scheduler knowing the job and us knowing its name.
-          const std::uint64_t job =
-              scheduler_->submit(std::move(request.spec));
-          ids_.emplace(request.id, job);
-          names_.emplace(job, request.id);
         }
-        // Emit outside mu_: a slow client draining the socket must not
-        // stall runner threads blocked on the name lookup.
+        const api::Problem problem = host_.load_problem(request);
+        api::ImprovementFn stream;
+        if (host_.options().stream_progress) {
+          // The closure owns its client id, so streaming never needs the
+          // session's maps; a dead transport drops events rather than
+          // failing the job it reports on.
+          stream = [this, client = request.id](double seconds, double value) {
+            try {
+              emit(format_progress(client, seconds, value));
+            } catch (const std::exception&) {
+              // Peer gone mid-stream; the result op will surface it.
+            }
+          };
+        }
+        api::SolveHandle handle =
+            host_.engine().submit(problem, request.spec, std::move(stream));
+        {
+          std::lock_guard lock(mu_);
+          handles_.emplace(request.id, std::move(handle));
+        }
         emit(format_ack(request.id));
         return true;
       }
-      case RequestOp::Status:
-        emit(format_status(id, scheduler_->status(lookup(id))));
+      case RequestOp::Status: {
+        const JobStatus status = lookup(id).poll();
+        const bool cache_on = host_.options().cache_capacity > 0;
+        const api::CacheCounters counters =
+            cache_on ? host_.engine().cache_counters() : api::CacheCounters{};
+        emit(format_status(id, status, cache_on ? &counters : nullptr));
         return true;
+      }
       case RequestOp::Cancel:
-        if (!scheduler_->cancel(lookup(id))) {
+        if (!lookup(id).cancel()) {
           throw Error("job '" + id + "' is already terminal");
         }
         emit(format_ack(id));
         return true;
       case RequestOp::Result: {
-        const JobStatus status = scheduler_->wait(lookup(id));
+        const JobStatus status = lookup(id).wait();
         if (status.result != nullptr) {
           emit(format_result(id, status));
         } else if (status.state == JobState::Failed) {
@@ -124,7 +151,7 @@ bool ServiceSession::handle_line(std::string_view line) {
         return true;
       }
       case RequestOp::Shutdown:
-        scheduler_->shutdown();
+        host_.engine().scheduler().shutdown();
         emit(format_bye());
         return false;
     }
@@ -134,6 +161,13 @@ bool ServiceSession::handle_line(std::string_view line) {
   return true;
 }
 
-void ServiceSession::drain() { scheduler_->drain(); }
+void ServiceSession::drain() {
+  std::vector<api::SolveHandle> handles;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, handle] : handles_) handles.push_back(handle);
+  }
+  for (const auto& handle : handles) handle.wait();
+}
 
 }  // namespace ffp

@@ -1,22 +1,31 @@
-// ServiceSession: one client's view of the partitioning service — the
-// piece ffp_serve wraps around a socket, ffp_serve's stdin mode wraps
-// around a pipe, and the tests drive directly with no transport at all.
+// The protocol layer over the api facade: ServiceHost is the shared server
+// state — ONE api::Engine (scheduler + thread budget + result cache) plus a
+// weak per-path graph cache — and ServiceSession is one client's protocol
+// view of it. ffp_serve wraps a session around each TCP connection (or
+// around stdin/stdout in pipe mode); the tests drive sessions directly with
+// no transport at all. Every session submits through the same engine, so N
+// concurrent connections share runners, budget, and cache — the
+// KaFFPaE-style single-submission-point the distributed levers need.
 //
-// The session owns a JobScheduler and speaks the line protocol
-// (service/protocol.hpp): feed it request lines, it emits response lines
-// through a callback. Responses to commands are emitted synchronously from
-// handle_line(); `progress` events are emitted from scheduler runner
-// threads as improvements happen (when streaming is on), serialized with
-// everything else through one internal emit lock — the callback itself
-// never needs to be thread-safe.
+// The session owns only its client-id → SolveHandle map and its emit lock:
+// responses to commands are emitted synchronously from handle_line();
+// `progress` events are emitted from engine runner threads as improvements
+// happen (when streaming is on), serialized with everything else through
+// the session's emit lock — the callback itself never needs to be
+// thread-safe.
 //
 // Untrusted-input policy: every parse or validation failure becomes an
 // `error` event (the session never throws, never dies); graph files are
-// read through the hardened readers under the session's IoLimits, and
-// `allow_files = false` turns graph_file submissions off entirely for
-// deployments that must not touch the server's filesystem. Graphs named
-// by the same path are parsed once and shared across jobs (weak cache),
-// which is what makes a burst of jobs on one mesh cheap.
+// read through the hardened readers under the host's IoLimits, and
+// `allow_files = false` turns graph_file submissions off entirely. Graphs
+// named by the same path are parsed once and shared across jobs and
+// sessions (weak cache), which is what makes a burst of jobs on one mesh
+// cheap.
+//
+// Lifetime: a session destroyed with jobs still pending cancels them and
+// waits (anytime results are dropped with the connection); a clean EOF
+// calls drain() first, which lets them finish — so piped batch runs still
+// get their results while a vanished TCP client stops burning runners.
 #pragma once
 
 #include <functional>
@@ -26,28 +35,67 @@
 #include <string>
 #include <string_view>
 
-#include "service/job_scheduler.hpp"
+#include "api/api.hpp"
 #include "service/protocol.hpp"
 
 namespace ffp {
 
 struct ServiceOptions {
-  unsigned runners = 1;  ///< concurrent jobs (JobSchedulerOptions::runners)
+  unsigned runners = 1;  ///< concurrent jobs across ALL sessions
   /// Worker governor shared with everything else in the process; null uses
   /// ThreadBudget::process().
   ThreadBudget* budget = nullptr;
+  /// Result-cache entries (api::ResultCache); 0 disables. Deterministic
+  /// repeat submissions — same graph digest, same canonical spec — are
+  /// answered from the cache without a solve.
+  std::size_t cache_capacity = 64;
   bool stream_progress = false;  ///< emit `progress` events as they happen
   bool allow_files = true;       ///< permit graph_file submissions
   ProtocolLimits limits;
+};
+
+/// Shared server state: the engine every session submits through plus the
+/// per-path graph cache. Construct one per daemon, then one ServiceSession
+/// per connection.
+class ServiceHost {
+ public:
+  explicit ServiceHost(ServiceOptions options);
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  api::Engine& engine() { return engine_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Resolves a submit's graph: inline graphs pass through; file graphs go
+  /// through the hardened reader under the host's limits and the weak
+  /// path cache (subject to allow_files). Throws ffp::Error on policy or
+  /// read failures.
+  api::Problem load_problem(const Request& request);
+
+ private:
+  /// Weak graph plus its memoized content digest, so repeat submissions of
+  /// a cached path never rescan the CSR arrays (the digest is the cache
+  /// key half and would otherwise be recomputed per request).
+  struct CachedGraph {
+    std::weak_ptr<const Graph> graph;
+    std::uint64_t digest = 0;
+  };
+
+  ServiceOptions options_;
+  std::mutex mu_;  ///< graph cache
+  std::map<std::string, CachedGraph> graph_cache_;
+  api::Engine engine_;
 };
 
 class ServiceSession {
  public:
   using Emit = std::function<void(const std::string& line)>;
 
-  ServiceSession(ServiceOptions options, Emit emit);
-  /// Waits for running jobs (scheduler shutdown) before tearing down.
-  ~ServiceSession() = default;
+  ServiceSession(ServiceHost& host, Emit emit);
+  /// Cancels this session's unfinished jobs and waits for them — call
+  /// drain() first for let-them-finish semantics.
+  ~ServiceSession();
 
   ServiceSession(const ServiceSession&) = delete;
   ServiceSession& operator=(const ServiceSession&) = delete;
@@ -58,29 +106,21 @@ class ServiceSession {
   /// the diagnosis instead.
   bool handle_line(std::string_view line);
 
-  /// Blocks until every submitted job is terminal.
+  /// Blocks until every job this session submitted is terminal.
   void drain();
 
-  JobScheduler& scheduler() { return *scheduler_; }
+  ServiceHost& host() { return host_; }
 
  private:
   void emit(const std::string& line);
-  void on_improvement(std::uint64_t job, double seconds, double value);
-  std::uint64_t lookup(const std::string& id);
-  std::shared_ptr<const Graph> load_graph(const Request& request);
+  api::SolveHandle lookup(const std::string& id);
 
-  ServiceOptions options_;
+  ServiceHost& host_;
   Emit sink_;
   std::mutex emit_mu_;  ///< serializes command responses with progress events
 
-  std::mutex mu_;  ///< id maps + graph cache (runner threads read names_)
-  std::map<std::string, std::uint64_t> ids_;    ///< client id → job id
-  std::map<std::uint64_t, std::string> names_;  ///< job id → client id
-  std::map<std::string, std::weak_ptr<const Graph>> graph_cache_;
-
-  /// Last member: destroyed first, so runner threads are joined before the
-  /// maps and sink they reach through the progress hook go away.
-  std::unique_ptr<JobScheduler> scheduler_;
+  std::mutex mu_;  ///< handle map
+  std::map<std::string, api::SolveHandle> handles_;  ///< client id → handle
 };
 
 }  // namespace ffp

@@ -4,24 +4,65 @@
 
 namespace ffp {
 
+namespace {
+
+bool is_spec_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// One comma-delimited piece may hold several whitespace-separated pairs
+/// ("threads=2 batch=1") or a single pair with cosmetic spaces around '='
+/// ("beta = x") — disambiguated by counting '=' signs.
+std::vector<std::string_view> split_pairs(std::string_view piece) {
+  std::size_t equals = 0;
+  for (char c : piece) equals += c == '=' ? 1u : 0u;
+  if (equals <= 1) return {piece};
+  std::vector<std::string_view> pairs;
+  std::size_t i = 0;
+  while (i < piece.size()) {
+    while (i < piece.size() && is_spec_space(piece[i])) ++i;
+    std::size_t j = i;
+    while (j < piece.size() && !is_spec_space(piece[j])) ++j;
+    if (j > i) pairs.push_back(piece.substr(i, j - i));
+    i = j;
+  }
+  return pairs;
+}
+
+}  // namespace
+
 SolverOptions SolverOptions::parse(std::string_view text) {
   SolverOptions out;
   std::size_t i = 0;
   while (i < text.size()) {
     std::size_t j = text.find(',', i);
     if (j == std::string_view::npos) j = text.size();
-    const std::string_view pair = trim(text.substr(i, j - i));
-    if (!pair.empty()) {
-      const std::size_t eq = pair.find('=');
-      FFP_CHECK(eq != std::string_view::npos && eq > 0,
-                "bad solver option '", std::string(pair),
-                "' (expected key=value)");
-      const std::string key(trim(pair.substr(0, eq)));
-      const std::string value(trim(pair.substr(eq + 1)));
-      FFP_CHECK(!out.values_.count(key), "duplicate solver option '", key, "'");
-      out.values_[key] = value;
+    const std::string_view piece = trim(text.substr(i, j - i));
+    if (!piece.empty()) {
+      for (const std::string_view pair : split_pairs(piece)) {
+        const std::size_t eq = pair.find('=');
+        FFP_CHECK(eq != std::string_view::npos && eq > 0,
+                  "bad solver option '", std::string(pair),
+                  "' (expected key=value)");
+        const std::string key(trim(pair.substr(0, eq)));
+        const std::string value(trim(pair.substr(eq + 1)));
+        FFP_CHECK(!out.values_.count(key), "duplicate solver option '", key,
+                  "'");
+        out.values_[key] = value;
+      }
     }
     i = j + 1;
+  }
+  return out;
+}
+
+std::string SolverOptions::canonical_text() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {  // std::map: sorted by key
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
   }
   return out;
 }
@@ -129,13 +170,51 @@ SolverPtr SolverRegistry::create(std::string_view name,
   return solver;
 }
 
-SolverPtr SolverRegistry::create_from_spec(std::string_view spec) const {
+std::pair<std::string_view, std::string_view> SolverRegistry::split_spec(
+    std::string_view spec) {
   const std::size_t colon = spec.find(':');
-  const std::string_view name = trim(spec.substr(0, colon));
-  const std::string_view opts =
-      colon == std::string_view::npos ? std::string_view{}
-                                      : spec.substr(colon + 1);
+  if (colon != std::string_view::npos) {
+    return {trim(spec.substr(0, colon)), spec.substr(colon + 1)};
+  }
+  // Whitespace form ("fusion_fission threads=2"): only split when the tail
+  // actually looks like options — otherwise multi-word names keep reporting
+  // "unknown solver '<whole string>'" instead of a misleading option error.
+  const std::string_view trimmed = trim(spec);
+  for (std::size_t i = 0; i < trimmed.size(); ++i) {
+    if (is_spec_space(trimmed[i])) {
+      const std::string_view tail = trimmed.substr(i);
+      if (tail.find('=') != std::string_view::npos) {
+        return {trim(trimmed.substr(0, i)), tail};
+      }
+      break;
+    }
+  }
+  return {trimmed, {}};
+}
+
+SolverPtr SolverRegistry::create_from_spec(std::string_view spec) const {
+  const auto [name, opts] = split_spec(spec);
   return create(name, SolverOptions::parse(opts));
+}
+
+std::string SolverRegistry::canonical_join(std::string_view name,
+                                           const SolverOptions& options) {
+  std::string out(name);
+  const std::string text = options.canonical_text();
+  if (!text.empty()) {
+    out += ':';
+    out += text;
+  }
+  return out;
+}
+
+std::string SolverRegistry::canonical_spec(std::string_view spec) const {
+  const auto [name, opts_text] = split_spec(spec);
+  const SolverOptions options = SolverOptions::parse(opts_text);
+  // Constructing the solver validates the name, every option key, and every
+  // option value — a spec only canonicalizes if it actually resolves.
+  (void)create(name, options);
+  return canonical_join(name, options);
 }
 
 namespace {

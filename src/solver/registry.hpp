@@ -16,6 +16,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "solver/solver.hpp"
@@ -65,6 +66,10 @@ class SolverOptions {
   /// Keys never touched by any getter — typos, from the registry's view.
   std::vector<std::string> unread_keys() const;
 
+  /// The options re-emitted as `key=value,key=value` with keys sorted and
+  /// whitespace gone — the canonical text canonical_spec() builds on.
+  std::string canonical_text() const;
+
   /// Forgets which keys were read (the registry calls this before handing
   /// the options to a factory, so reuse across create() calls is safe).
   void reset_consumption() const { read_.clear(); }
@@ -92,8 +97,29 @@ class SolverRegistry {
   SolverPtr create(std::string_view name,
                    const SolverOptions& options = {}) const;
 
-  /// Builds from a full spec: `name` or `name:key=value,key=value`.
+  /// Builds from a full spec: `name` or `name:key=value,key=value` (a
+  /// whitespace separator is accepted in place of the colon when the tail
+  /// contains key=value pairs).
   SolverPtr create_from_spec(std::string_view spec) const;
+
+  /// Splits a spec into {name, options text}. Shared by create_from_spec
+  /// and canonical_spec so the two can never disagree on the grammar.
+  static std::pair<std::string_view, std::string_view> split_spec(
+      std::string_view spec);
+
+  /// Re-emits already-parsed spec pieces in canonical form (`name` or
+  /// `name:key=value,...`, keys sorted). The single normalization emitter
+  /// behind canonical_spec() AND api::SolveSpec::resolve() — callers must
+  /// have validated the pieces (create()) first.
+  static std::string canonical_join(std::string_view name,
+                                    const SolverOptions& options);
+
+  /// THE one place spec strings are normalized: validates the spec end to
+  /// end (unknown names, unknown/duplicate keys, and bad values all throw)
+  /// and returns `name` or `name:key=value,...` with keys sorted and
+  /// whitespace stripped — so `fusion_fission threads=2` and
+  /// `fusion_fission: threads=2 ,` resolve and cache identically.
+  std::string canonical_spec(std::string_view spec) const;
 
   /// The process-wide registry with every built-in solver registered.
   static const SolverRegistry& builtin();

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -12,6 +13,8 @@
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "solver/portfolio.hpp"
+#include "solver/registry.hpp"
 #include "test_support.hpp"
 
 namespace ffp {
@@ -237,6 +240,83 @@ TEST(JobScheduler, SerialVsConcurrentByteIdenticalAtBudgets148) {
     }
     EXPECT_LE(budget.peak_in_use(), budget.total());
   }
+}
+
+TEST(JobScheduler, RestartsRunAPortfolioInsideTheJob) {
+  JobSpec spec = quick_job(17, 1500);
+  spec.restarts = 3;
+  spec.threads = 2;
+
+  // Reference: the portfolio run directly, same seed stream and options.
+  std::string expected;
+  {
+    ThreadBudget budget(2);
+    PortfolioOptions popt;
+    popt.restarts = 3;
+    popt.threads = 2;
+    popt.budget = &budget;
+    SolverRequest request;
+    request.k = spec.k;
+    request.objective = spec.objective;
+    request.seed = spec.seed;
+    request.threads = spec.threads;
+    request.budget = &budget;
+    request.stop = StopCondition::after_steps(spec.steps);
+    const auto team = PortfolioRunner(make_solver(spec.method), popt)
+                          .run(*spec.graph, request);
+    std::ostringstream out;
+    write_partition(team.best.assignment(), out);
+    expected = out.str();
+  }
+
+  ThreadBudget budget(2);
+  JobSchedulerOptions options;
+  options.budget = &budget;
+  JobScheduler scheduler(std::move(options));
+  const JobStatus status = scheduler.wait(scheduler.submit(spec));
+  EXPECT_EQ(status.state, JobState::Done);
+  EXPECT_EQ(partition_bytes(status), expected);
+  ASSERT_NE(status.result, nullptr);
+  EXPECT_EQ(status.result->stat("restarts"), 3.0);
+
+  JobSpec bad = quick_job(1);
+  bad.restarts = 0;
+  EXPECT_THROW(scheduler.submit(bad), Error);
+}
+
+TEST(JobScheduler, OnTerminalFiresOncePerJob) {
+  std::mutex mu;
+  std::map<std::uint64_t, int> fired;
+  std::map<std::uint64_t, JobState> states;
+  JobSchedulerOptions options;
+  options.on_terminal = [&](std::uint64_t id, const JobStatus& status) {
+    std::lock_guard lock(mu);
+    ++fired[id];
+    states[id] = status.state;
+  };
+  std::uint64_t done = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  {
+    JobScheduler scheduler(std::move(options));
+    done = scheduler.submit(quick_job(5, 500));
+    JobSpec failing = quick_job(6);
+    failing.k = 100000;  // more parts than vertices: solver throws
+    failed = scheduler.submit(failing);
+    scheduler.drain();
+    // A queued job cancelled before any runner claims it still notifies.
+    JobSpec slow = quick_job(7, 50'000'000);
+    cancelled = scheduler.submit(slow);
+    scheduler.cancel(cancelled);
+    scheduler.shutdown();
+  }
+  std::lock_guard lock(mu);
+  EXPECT_EQ(fired[done], 1);
+  EXPECT_EQ(states[done], JobState::Done);
+  EXPECT_EQ(fired[failed], 1);
+  EXPECT_EQ(states[failed], JobState::Failed);
+  EXPECT_EQ(fired[cancelled], 1);
+  EXPECT_EQ(states[cancelled], JobState::Cancelled);
 }
 
 }  // namespace

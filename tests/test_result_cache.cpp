@@ -1,0 +1,87 @@
+#include "api/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "graph/generators.hpp"
+
+namespace ffp::api {
+namespace {
+
+std::shared_ptr<const SolverResult> result_tagged(double value) {
+  static const Graph g = make_path(2);
+  SolverResult r{Partition(g, 1), value, 0.0, {}};
+  return std::make_shared<const SolverResult>(std::move(r));
+}
+
+TEST(ResultCache, HitMissAndCounters) {
+  ResultCache cache(2);
+  EXPECT_TRUE(cache.enabled());
+  EXPECT_EQ(cache.get("a"), nullptr);
+  cache.put("a", result_tagged(1));
+  const auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->best_value, 1);
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.entries, 1);
+  EXPECT_EQ(counters.capacity, 2);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put("a", result_tagged(1));
+  cache.put("b", result_tagged(2));
+  EXPECT_NE(cache.get("a"), nullptr);  // refresh a: b is now LRU
+  cache.put("c", result_tagged(3));    // evicts b
+  EXPECT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("c"), nullptr);
+  EXPECT_EQ(cache.counters().entries, 2);
+}
+
+TEST(ResultCache, PutRefreshesExistingKeys) {
+  ResultCache cache(2);
+  cache.put("a", result_tagged(1));
+  cache.put("a", result_tagged(9));  // replace, not duplicate
+  EXPECT_EQ(cache.counters().entries, 1);
+  EXPECT_EQ(cache.get("a")->best_value, 9);
+  // Refreshing "a" by put makes it MRU: inserting two more evicts the
+  // other entry first.
+  cache.put("b", result_tagged(2));
+  cache.put("a", result_tagged(10));
+  cache.put("c", result_tagged(3));
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_EQ(cache.get("a")->best_value, 10);
+}
+
+TEST(ResultCache, EvictionNeverInvalidatesHeldResults) {
+  ResultCache cache(1);
+  cache.put("a", result_tagged(7));
+  const auto held = cache.get("a");
+  cache.put("b", result_tagged(8));  // evicts a
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_EQ(held->best_value, 7);  // still alive through the shared_ptr
+}
+
+TEST(ResultCache, DisabledAndDegenerateInputs) {
+  ResultCache off(0);
+  EXPECT_FALSE(off.enabled());
+  off.put("a", result_tagged(1));
+  EXPECT_EQ(off.get("a"), nullptr);
+  EXPECT_EQ(off.counters().hits, 0);
+  EXPECT_EQ(off.counters().misses, 0);  // disabled lookups do not count
+
+  ResultCache cache(2);
+  cache.put("", result_tagged(1));   // empty key: uncacheable marker
+  cache.put("k", nullptr);           // null result: dropped
+  EXPECT_EQ(cache.counters().entries, 0);
+  EXPECT_EQ(cache.get(""), nullptr);
+  EXPECT_EQ(cache.counters().misses, 0);  // empty key never counts
+}
+
+}  // namespace
+}  // namespace ffp::api

@@ -4,20 +4,26 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "service/json.hpp"
+#include "util/strings.hpp"
 
 namespace ffp {
 namespace {
 
-/// Session harness: captures every emitted line and offers JSON access.
+/// Host + one-session harness: captures every emitted line and offers JSON
+/// access. `lines` precedes `session` so streamed events always land in a
+/// live vector; `host` precedes `session` because sessions borrow it.
 struct Harness {
   explicit Harness(ServiceOptions options = {})
-      : session(std::move(options),
+      : host(std::move(options)),
+        session(host,
                 [this](const std::string& line) { lines.push_back(line); }) {}
 
   bool feed(const std::string& line) { return session.handle_line(line); }
@@ -32,6 +38,7 @@ struct Harness {
   }
 
   std::vector<std::string> lines;
+  ServiceHost host;
   ServiceSession session;
 };
 
@@ -69,7 +76,7 @@ TEST(ServiceProtocol, RejectsMalformedRequests) {
     EXPECT_EQ(h.last_event(), "error") << line << " -> " << h.lines.back();
   }
   // None of it reached the scheduler.
-  EXPECT_EQ(h.session.scheduler().jobs_completed(), 0);
+  EXPECT_EQ(h.host.engine().scheduler().jobs_completed(), 0);
 }
 
 TEST(ServiceProtocol, RejectsOversizedIdsAndDocuments) {
@@ -284,6 +291,158 @@ TEST(ServiceSession, SerialVsConcurrentSubmissionByteIdentical) {
     EXPECT_LE(budget.peak_in_use(), budget.total());
   }
   std::remove(path.c_str());
+}
+
+/// Serializes a graph into the protocol's inline form (each edge once).
+std::string inline_graph_json(const Graph& g) {
+  std::string out = "{\"n\":" + std::to_string(g.num_vertices()) +
+                    ",\"edges\":[";
+  bool first = true;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto neighbors = g.neighbors(v);
+    const auto weights = g.neighbor_weights(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] < v) continue;  // other direction already emitted
+      if (!first) out += ',';
+      first = false;
+      out += "[" + std::to_string(v) + "," + std::to_string(neighbors[i]) +
+             "," + format("%.17g", weights[i]) + "]";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+// The concurrent-connections contract: N sessions hammering ONE host from
+// their own threads produce byte-identical partitions to a serial replay
+// of the same jobs on a fresh host — sessions share the engine, never
+// each other's state.
+TEST(ServiceHost, ConcurrentSessionsMatchSerialReplay) {
+  const int kClients = 4;
+  const int kJobsPerClient = 2;
+  const std::string graph =
+      inline_graph_json(make_random_geometric(80, 0.25, 9));
+  const auto submit_line = [&](int client, int job) {
+    return std::string(R"({"op":"submit","id":"c)") + std::to_string(client) +
+           "j" + std::to_string(job) + R"(","graph":)" + graph +
+           R"(,"k":4,"steps":1200,"seed":)" +
+           std::to_string(100 + client * 10 + job) + "}";
+  };
+  const auto result_line = [](int client, int job) {
+    return std::string(R"({"op":"result","id":"c)") + std::to_string(client) +
+           "j" + std::to_string(job) + R"("})";
+  };
+  const auto partition_of = [](const std::string& line) {
+    const JsonValue v = JsonValue::parse(line);
+    EXPECT_EQ(v.find("event")->as_string(), "result") << line;
+    std::string out;
+    for (const auto& p : v.find("partition")->as_array()) {
+      out += std::to_string(p.as_int());
+      out += '\n';
+    }
+    return out;
+  };
+
+  // Serial replay: every job through one session, one at a time.
+  std::map<std::string, std::string> reference;
+  {
+    ServiceOptions options;
+    options.runners = 1;
+    options.cache_capacity = 0;
+    ThreadBudget budget(1);
+    options.budget = &budget;
+    Harness h(std::move(options));
+    for (int c = 0; c < kClients; ++c) {
+      for (int j = 0; j < kJobsPerClient; ++j) {
+        h.feed(submit_line(c, j));
+        ASSERT_EQ(h.last_event(), "ack") << h.lines.back();
+        h.feed(result_line(c, j));
+        reference["c" + std::to_string(c) + "j" + std::to_string(j)] =
+            partition_of(h.lines.back());
+      }
+    }
+  }
+
+  ServiceOptions options;
+  options.runners = 3;
+  ThreadBudget budget(4);
+  options.budget = &budget;
+  ServiceHost host(std::move(options));
+  std::vector<std::map<std::string, std::string>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<std::string> lines;
+        ServiceSession session(
+            host, [&lines](const std::string& line) { lines.push_back(line); });
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          session.handle_line(submit_line(c, j));
+          ASSERT_EQ(JsonValue::parse(lines.back()).find("event")->as_string(),
+                    "ack")
+              << lines.back();
+        }
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          lines.clear();
+          session.handle_line(result_line(c, j));
+          got[static_cast<std::size_t>(c)]
+             ["c" + std::to_string(c) + "j" + std::to_string(j)] =
+                 partition_of(lines.back());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (const auto& [id, partition] : got[static_cast<std::size_t>(c)]) {
+      EXPECT_EQ(partition, reference.at(id)) << id;
+    }
+  }
+  EXPECT_LE(budget.peak_in_use(), budget.total());
+}
+
+// The result cache through the protocol: a repeat submission (same inline
+// graph, same deterministic spec, fresh id) is answered from the cache,
+// and status replies expose the hit/miss counters.
+TEST(ServiceHost, RepeatSubmissionsHitTheResultCache) {
+  Harness h;  // default options: cache on
+  h.feed(kInlineSubmit);
+  ASSERT_EQ(h.last_event(), "ack");
+  h.feed(R"({"op":"result","id":"job"})");
+  const std::string first = h.lines.back();
+
+  // Same graph + spec under a new id: served from the cache.
+  std::string again(kInlineSubmit);
+  const auto pos = again.find("\"job\"");
+  again.replace(pos, 5, "\"job2\"");
+  h.feed(again);
+  ASSERT_EQ(h.last_event(), "ack");
+  h.feed(R"({"op":"result","id":"job2"})");
+  const JsonValue repeat = JsonValue::parse(h.lines.back());
+  EXPECT_EQ(repeat.find("event")->as_string(), "result");
+
+  const JsonValue first_v = JsonValue::parse(first);
+  EXPECT_EQ(repeat.find("value")->as_number(),
+            first_v.find("value")->as_number());
+
+  h.feed(R"({"op":"status","id":"job2"})");
+  const JsonValue status = h.last();
+  ASSERT_NE(status.find("cache_hits"), nullptr);
+  EXPECT_GE(status.find("cache_hits")->as_int(), 1);
+  EXPECT_GE(status.find("cache_misses")->as_int(), 1);
+  EXPECT_EQ(h.host.engine().cache_counters().hits, 1);
+}
+
+TEST(ServiceProtocol, RestartsFieldValidatedAndAccepted) {
+  Harness h;
+  h.feed(
+      R"({"op":"submit","id":"r0","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"k":2,"steps":300,"restarts":0})");
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(
+      R"({"op":"submit","id":"r","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"k":2,"steps":300,"restarts":3})");
+  EXPECT_EQ(h.last_event(), "ack");
+  h.feed(R"({"op":"result","id":"r"})");
+  EXPECT_EQ(h.last_event(), "result");
 }
 
 }  // namespace

@@ -46,6 +46,19 @@ TEST(SolverOptions, RejectsMalformedPairs) {
   EXPECT_THROW(SolverOptions::parse("a=1,a=2"), Error);
 }
 
+TEST(SolverOptions, WhitespaceSeparatedPairsAndCanonicalText) {
+  const auto o = SolverOptions::parse("threads=2 batch=1");
+  EXPECT_EQ(o.get_int("threads", 0), 2);
+  EXPECT_EQ(o.get_int("batch", 0), 1);
+  // Duplicates are rejected across separator styles too.
+  EXPECT_THROW(SolverOptions::parse("a=1 a=2"), Error);
+  EXPECT_THROW(SolverOptions::parse("a=1, a=2"), Error);
+  // canonical_text: sorted keys, no whitespace, one separator style.
+  EXPECT_EQ(SolverOptions::parse(" b = 2 , a = 1 ").canonical_text(),
+            "a=1,b=2");
+  EXPECT_EQ(SolverOptions::parse("").canonical_text(), "");
+}
+
 TEST(SolverOptions, TypedGettersValidate) {
   const auto o = SolverOptions::parse("n=abc,b=maybe");
   EXPECT_THROW(o.get_int("n", 0), Error);
@@ -189,6 +202,38 @@ TEST(Registry, MethodRowAndRawSpecAgree) {
   EXPECT_TRUE(std::equal(via_row.assignment().begin(),
                          via_row.assignment().end(),
                          via_registry.best.assignment().begin()));
+}
+
+TEST(Registry, CanonicalSpecNormalizesEquivalentForms) {
+  const auto& reg = SolverRegistry::builtin();
+  EXPECT_EQ(reg.canonical_spec("fusion_fission"), "fusion_fission");
+  EXPECT_EQ(reg.canonical_spec("  fusion_fission  "), "fusion_fission");
+  EXPECT_EQ(reg.canonical_spec("fusion_fission:"), "fusion_fission");
+  // Key order, cosmetic whitespace, trailing commas, and the whitespace
+  // name/options separator all collapse to one canonical string.
+  const std::string canonical = "fusion_fission:batch=4,threads=2";
+  EXPECT_EQ(reg.canonical_spec("fusion_fission:threads=2,batch=4"), canonical);
+  EXPECT_EQ(reg.canonical_spec("fusion_fission: batch=4 , threads=2 ,"),
+            canonical);
+  EXPECT_EQ(reg.canonical_spec("fusion_fission threads=2 batch=4"), canonical);
+  EXPECT_EQ(reg.canonical_spec("spectral:kl=true,engine=rqi"),
+            "spectral:engine=rqi,kl=true");
+}
+
+TEST(Registry, CanonicalSpecValidatesEndToEnd) {
+  const auto& reg = SolverRegistry::builtin();
+  EXPECT_THROW(reg.canonical_spec("no_such_solver"), Error);
+  EXPECT_THROW(reg.canonical_spec("fusion_fission:bogus_key=1"), Error);
+  EXPECT_THROW(reg.canonical_spec("fusion_fission:threads=1,threads=2"),
+               Error);
+  EXPECT_THROW(reg.canonical_spec("spectral:engine=warp"), Error);  // bad value
+  // A multi-word non-spec stays one (unknown) name, not a key=value error.
+  EXPECT_THROW(reg.canonical_spec("Fusion Fission"), Error);
+}
+
+TEST(Registry, WhitespaceSpecFormResolves) {
+  const auto solver = make_solver("fusion_fission threads=2");
+  EXPECT_EQ(solver->name(), "fusion_fission");
 }
 
 }  // namespace

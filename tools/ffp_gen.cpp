@@ -15,10 +15,11 @@
 #include <string>
 #include <vector>
 
-#include "atc/core_area.hpp"
+#include "ffp/api.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "util/args.hpp"
+#include "util/strings.hpp"
 
 namespace {
 
@@ -61,54 +62,50 @@ int main(int argc, char** argv) {
     const std::string family = args.get("family");
     const auto dims = parse_int_list(args.get("args"));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    auto dim = [&](std::size_t i, std::int64_t fallback) {
+    auto dim = [&](std::size_t i, std::int64_t fallback) -> long long {
       return dims.size() > i ? dims[i] : fallback;
     };
 
-    ffp::Graph g;
+    // The CLI's --family/--args/--seed flags assemble an api::Problem
+    // generator spec, so ffp_gen and every other graph source in the repo
+    // construct instances through the one facade path.
+    std::string spec = family + ":";
     if (family == "grid2d") {
-      g = ffp::make_grid2d(static_cast<int>(dim(0, 32)),
-                           static_cast<int>(dim(1, 32)));
+      spec += ffp::format("%lld,%lld", dim(0, 32), dim(1, 32));
     } else if (family == "grid3d") {
-      g = ffp::make_grid3d(static_cast<int>(dim(0, 10)),
-                           static_cast<int>(dim(1, 10)),
-                           static_cast<int>(dim(2, 10)));
+      spec += ffp::format("%lld,%lld,%lld", dim(0, 10), dim(1, 10),
+                          dim(2, 10));
     } else if (family == "torus") {
-      g = ffp::make_torus(static_cast<int>(dim(0, 16)),
-                          static_cast<int>(dim(1, 16)));
-    } else if (family == "path") {
-      g = ffp::make_path(static_cast<int>(dim(0, 100)));
-    } else if (family == "cycle") {
-      g = ffp::make_cycle(static_cast<int>(dim(0, 100)));
+      spec += ffp::format("%lld,%lld", dim(0, 16), dim(1, 16));
+    } else if (family == "path" || family == "cycle") {
+      spec += ffp::format("%lld", dim(0, 100));
     } else if (family == "complete") {
-      g = ffp::make_complete(static_cast<int>(dim(0, 16)));
+      spec += ffp::format("%lld", dim(0, 16));
     } else if (family == "star") {
-      g = ffp::make_star(static_cast<int>(dim(0, 32)));
+      spec += ffp::format("%lld", dim(0, 32));
     } else if (family == "barbell") {
-      g = ffp::make_barbell(static_cast<int>(dim(0, 10)),
-                            static_cast<int>(dim(1, 2)));
+      spec += ffp::format("%lld,%lld", dim(0, 10), dim(1, 2));
     } else if (family == "geometric") {
-      g = ffp::make_random_geometric(static_cast<int>(dim(0, 500)),
-                                     dim(1, 0) > 0 ? dim(1, 0) / 1000.0 : 0.06,
-                                     seed);
+      spec += ffp::format("%lld,%g,%llu", dim(0, 500),
+                          dim(1, 0) > 0 ? dim(1, 0) / 1000.0 : 0.06,
+                          static_cast<unsigned long long>(seed));
     } else if (family == "powerlaw") {
-      g = ffp::make_power_law(static_cast<int>(dim(0, 500)),
-                              static_cast<double>(dim(1, 6)), 2.5, seed);
+      spec += ffp::format("%lld,%lld,2.5,%llu", dim(0, 500), dim(1, 6),
+                          static_cast<unsigned long long>(seed));
     } else if (family == "random") {
-      g = ffp::make_random_graph(static_cast<int>(dim(0, 200)), dim(1, 800),
-                                 seed);
+      spec += ffp::format("%lld,%lld,%llu", dim(0, 200), dim(1, 800),
+                          static_cast<unsigned long long>(seed));
     } else if (family == "caterpillar") {
-      g = ffp::make_caterpillar(static_cast<int>(dim(0, 30)),
-                                static_cast<int>(dim(1, 3)));
+      spec += ffp::format("%lld,%lld", dim(0, 30), dim(1, 3));
     } else if (family == "atc") {
-      ffp::CoreAreaOptions opt;
-      opt.seed = seed;
-      if (!dims.empty()) opt.n_sectors = static_cast<int>(dims[0]);
-      if (dims.size() > 1) opt.n_edges = static_cast<int>(dims[1]);
-      g = ffp::make_core_area_graph(opt).graph;
+      spec += ffp::format("%llu", static_cast<unsigned long long>(seed));
+      if (!dims.empty()) spec += ffp::format(",%lld", dim(0, 0));
+      if (dims.size() > 1) spec += ffp::format(",%lld", dim(1, 0));
     } else {
       throw ffp::Error("unknown family '" + family + "'");
     }
+    const ffp::api::Problem problem = ffp::api::Problem::generated(spec);
+    ffp::Graph g = problem.graph();
 
     const std::string wspec = args.get("weights");
     if (!wspec.empty()) {

@@ -1,4 +1,4 @@
-// ffp_part — command-line graph partitioner over the solver engine layer.
+// ffp_part — command-line graph partitioner over the ffp::api facade.
 //
 //   ffp_part --graph mesh.graph --k 32 --method "Fusion Fission"
 //            --objective mcut --budget-ms 5000 --out mesh.part
@@ -6,28 +6,29 @@
 // Reads Chaco/METIS graphs (the Walshaw benchmark format) and runs any
 // solver, named either by its Table-1 row label ("Spectral (RQI, Oct, KL)")
 // or by a raw registry spec ("spectral:engine=rqi,arity=oct,kl=true").
-// With --graph atc:<seed> it uses the synthetic core-area instance instead
-// of a file; with --list it prints the available methods and solvers.
+// --graph also accepts any generator spec (api::Problem::generated):
+// atc:<seed>, grid2d:64,64, geometric:1000,0.055,3, ... With --list it
+// prints the available methods and solvers.
 //
 // --threads T parallelizes. With --restarts N it fans N independently
-// seeded runs across T portfolio workers (solver/portfolio.hpp) and keeps
-// the best; with a single restart it goes to the solver itself —
-// fusion-fission runs its batched intra-run engine on T speculation
-// workers (the two levels never share a pool). Either way the result is
-// bit-identical for a fixed seed regardless of thread count: whenever
-// parallelism is requested, metaheuristics run under a deterministic
-// *step* budget derived from --budget-ms (override with --steps) instead
-// of the wall clock.
+// seeded runs across T portfolio workers and keeps the best; with a single
+// restart it goes to the solver itself — fusion-fission runs its batched
+// intra-run engine on T speculation workers (the two levels never share a
+// pool). Either way the result is bit-identical for a fixed seed
+// regardless of thread count: whenever parallelism is requested,
+// metaheuristics run under a deterministic *step* budget derived from
+// --budget-ms (override with --steps) — the rule lives in
+// api::SolveSpec::resolved_steps(), shared with the daemon, the benches
+// and every embedder.
 #include <cstdio>
 #include <string>
 
-#include "atc/core_area.hpp"
 #include "benchlib/methods.hpp"
+#include "ffp/api.hpp"
 #include "graph/io.hpp"
 #include "partition/balance.hpp"
 #include "partition/report.hpp"
 #include "service/thread_budget.hpp"
-#include "solver/portfolio.hpp"
 #include "solver/registry.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
@@ -43,39 +44,20 @@ ffp::ObjectiveKind parse_objective(const std::string& name) {
   return *kind;
 }
 
-/// Nominal metaheuristic step rate used to turn --budget-ms into a
-/// deterministic step budget for portfolio runs (--steps overrides).
-constexpr double kStepsPerMs = 50.0;
-
-/// --method accepts a Table-1 row label or a registry spec.
-ffp::SolverPtr resolve_method(const std::string& method) {
+/// --method accepts a Table-1 row label or a registry spec; either way the
+/// SolveSpec carries a registry spec string.
+std::string resolve_method_spec(const std::string& method) {
   const std::string trimmed(ffp::trim(method));
   if (trimmed.find(':') != std::string::npos) {
-    // Has options → it can only be a registry spec; let the registry's
-    // errors (unknown solver + available list, bad keys) surface directly.
-    return ffp::make_solver(trimmed);
+    // Has options → it can only be a registry spec; submission surfaces
+    // the registry's errors (unknown solver + available list, bad keys).
+    return trimmed;
   }
   try {
-    return ffp::make_solver(ffp::table1_spec(trimmed));
+    return ffp::table1_spec(trimmed);
   } catch (const ffp::Error&) {
     // Not a Table-1 label; registry name, or the registry's richer error.
-    return ffp::make_solver(trimmed);
-  }
-}
-
-/// True when a registry spec itself asks for intra-run parallelism
-/// (threads=/batch= keys, e.g. "fusion_fission:threads=8") — such runs
-/// need the deterministic step budget just like --threads/--restarts
-/// requests, or the wall clock would break the byte-identical guarantee.
-bool spec_requests_parallelism(const std::string& method) {
-  const std::size_t colon = method.find(':');
-  if (colon == std::string::npos) return false;
-  try {
-    const auto opts =
-        ffp::SolverOptions::parse(std::string_view(method).substr(colon + 1));
-    return opts.get_int("threads", 0) > 0 || opts.get_int("batch", 0) > 0;
-  } catch (const ffp::Error&) {
-    return false;  // not a parsable spec; resolve_method surfaces the error
+    return trimmed;
   }
 }
 
@@ -96,7 +78,8 @@ void list_methods() {
 
 int main(int argc, char** argv) {
   ffp::ArgParser args;
-  args.flag("graph", "atc:2006", "Chaco/METIS file, or atc:<seed>")
+  args.flag("graph", "atc:2006", "Chaco/METIS file, or a generator spec "
+                                 "(atc:<seed>, grid2d:64,64, ...)")
       .flag("k", "32", "number of parts")
       .flag("method", "Fusion Fission", "Table-1 label or registry spec")
       .flag("objective", "mcut", "metaheuristic criterion: cut|ncut|mcut|rcut")
@@ -131,27 +114,12 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const std::string spec = args.get("graph");
-    ffp::Graph graph;
-    if (ffp::starts_with(spec, "atc:")) {
-      ffp::CoreAreaOptions opt;
-      const auto seed = ffp::parse_int(std::string_view(spec).substr(4));
-      FFP_CHECK(seed.has_value(), "bad atc spec: ", spec);
-      opt.seed = static_cast<std::uint64_t>(*seed);
-      graph = ffp::make_core_area_graph(opt).graph;
-    } else {
-      graph = ffp::read_chaco_file(spec);
-    }
-    std::printf("graph: %s\n", graph.summary().c_str());
+    const ffp::api::Problem problem =
+        ffp::api::Problem::from_any(args.get("graph"));
+    std::printf("graph: %s\n", problem.graph().summary().c_str());
 
-    const auto solver = resolve_method(args.get("method"));
-    const int restarts = static_cast<int>(args.get_int("restarts"));
     const std::int64_t threads_arg = args.get_int("threads");
     FFP_CHECK(threads_arg >= 0, "--threads must be >= 0");
-    const auto threads = static_cast<unsigned>(threads_arg);
-    const double budget_ms = args.get_double("budget-ms");
-    std::int64_t steps = args.get_int("steps");
-    FFP_CHECK(restarts >= 1, "--restarts must be >= 1");
 
     // Both parallelism levels lease from one process-wide budget sized by
     // --threads: the portfolio takes its restart workers first, and each
@@ -159,43 +127,35 @@ int main(int argc, char** argv) {
     // oversubscription (restarts × speculation workers) cannot happen.
     // The partition is budget-independent: engine schedules are fixed by
     // the request, and leases only decide where the work runs.
-    ffp::ThreadBudget::set_process_total(threads);
-    ffp::SolverRequest request;
-    request.k = static_cast<int>(args.get_int("k"));
-    request.objective = parse_objective(args.get("objective"));
-    request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    request.threads = threads;
-    request.budget = &ffp::ThreadBudget::process();
-    if ((restarts > 1 || threads > 0 ||
-         spec_requests_parallelism(args.get("method"))) &&
-        solver->is_metaheuristic() && steps == 0) {
-      // Deterministic parallelism: replace the wall clock with a step
-      // budget so the best partition never depends on scheduling or
-      // thread count.
-      steps = static_cast<std::int64_t>(budget_ms * kStepsPerMs);
-    }
-    request.stop = steps > 0 ? ffp::StopCondition::after_steps(steps)
-                             : ffp::StopCondition::after_millis(budget_ms);
+    ffp::ThreadBudget::set_process_total(
+        static_cast<unsigned>(threads_arg));
 
-    std::printf("method: %s  k=%d", args.get("method").c_str(), request.k);
-    if (solver->is_metaheuristic()) {
+    ffp::api::SolveSpec spec;
+    spec.method = resolve_method_spec(args.get("method"));
+    spec.k = static_cast<int>(args.get_int("k"));
+    spec.objective = parse_objective(args.get("objective"));
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    spec.steps = args.get_int("steps");
+    spec.budget_ms = args.get_double("budget-ms");
+    spec.restarts = static_cast<int>(args.get_int("restarts"));
+    spec.threads = static_cast<unsigned>(threads_arg);
+    FFP_CHECK(spec.restarts >= 1, "--restarts must be >= 1");
+
+    const ffp::api::ResolvedSpec resolved = spec.resolve();
+    const std::int64_t steps = resolved.steps;
+    std::printf("method: %s  k=%d", args.get("method").c_str(), spec.k);
+    if (resolved.metaheuristic) {
       if (steps > 0) {
         std::printf("  steps=%lld", static_cast<long long>(steps));
       } else {
-        std::printf("  budget=%.0fms", budget_ms);
+        std::printf("  budget=%.0fms", spec.budget_ms);
       }
     }
-    if (restarts > 1) std::printf("  restarts=%d", restarts);
+    if (spec.restarts > 1) std::printf("  restarts=%d", spec.restarts);
     std::printf("\n");
 
-    ffp::PortfolioOptions popt;
-    popt.restarts = restarts;
-    popt.threads = threads;
-    popt.budget = &ffp::ThreadBudget::process();
-    ffp::SolverResult result = restarts > 1
-                                   ? ffp::PortfolioRunner(solver, popt)
-                                         .run(graph, request)
-                                   : solver->run(graph, request);
+    ffp::api::Engine engine;  // one runner over the process budget
+    const ffp::SolverResult result = engine.solve(problem, spec);
     const auto& p = result.best;
 
     std::printf("\n  Cut       = %14.1f\n",
@@ -207,7 +167,7 @@ int main(int argc, char** argv) {
     std::printf("  RatioCut  = %14.3f\n",
                 ffp::objective(ffp::ObjectiveKind::RatioCut).evaluate(p));
     std::printf("  edge cut  = %14.1f (each edge once)\n", p.edge_cut());
-    std::printf("  imbalance = %14.3f\n", ffp::imbalance(p, request.k));
+    std::printf("  imbalance = %14.3f\n", ffp::imbalance(p, spec.k));
     std::printf("  parts     = %14d\n", p.num_nonempty_parts());
     std::printf("  time      = %14.2fs\n", result.seconds);
     for (const auto& [stat, value] : result.stats) {

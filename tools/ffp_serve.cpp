@@ -1,6 +1,6 @@
 // ffp_serve — the partitioning service daemon.
 //
-//   ffp_serve --listen 17917 --runners 2 --budget 8 --stream
+//   ffp_serve --listen 17917 --runners 2 --budget 8 --max-clients 8 --stream
 //   ffp_serve < requests.jsonl > responses.jsonl        # pipe mode
 //
 // Speaks the line-delimited JSON protocol (src/service/protocol.hpp):
@@ -8,19 +8,30 @@
 // progress / error events out. Without --listen it serves exactly one
 // session over stdin/stdout — the zero-config mode scripts and tests pipe
 // into. With --listen it binds 127.0.0.1:<port> (0 picks an ephemeral
-// port, printed on stderr) and serves connections one at a time, each with
-// a fresh session, until a client sends {"op":"shutdown"}.
+// port, printed on stderr) and serves up to --max-clients connections
+// CONCURRENTLY, thread-per-connection, every session submitting into one
+// shared ServiceHost — one JobScheduler, one ThreadBudget, one result
+// cache — until a client sends {"op":"shutdown"}.
 //
-// Concurrency model: --runners jobs execute at once, and every solve
-// leases its workers from the process-wide ThreadBudget capped by
-// --budget — so runners × per-job threads can never exceed the budget no
-// matter what clients ask for. Input is untrusted: requests are strictly
+// Concurrency model: --runners jobs execute at once across ALL clients,
+// and every solve leases its workers from the process-wide ThreadBudget
+// capped by --budget — so clients × runners × per-job threads can never
+// exceed the budget no matter what anyone asks for. Deterministic repeat
+// submissions are answered from the --cache-entries LRU (status replies
+// carry hit/miss counters). Input is untrusted: requests are strictly
 // validated, graph files go through the hardened readers under
 // --max-vertices/--max-edges, and --no-files restricts submissions to
 // inline graphs.
+#include <condition_variable>
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "service/net.hpp"
 #include "service/service.hpp"
@@ -29,9 +40,11 @@
 
 namespace {
 
-ffp::ServiceOptions session_options(const ffp::ArgParser& args) {
+ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
   ffp::ServiceOptions options;
   options.runners = static_cast<unsigned>(args.get_int("runners"));
+  options.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache-entries"));
   options.stream_progress = args.get_bool("stream");
   options.allow_files = !args.get_bool("no-files");
   options.limits.graph.max_vertices = args.get_int("max-vertices");
@@ -45,7 +58,8 @@ ffp::ServiceOptions session_options(const ffp::ArgParser& args) {
 /// One session over stdin/stdout. Returns when the client shuts down or
 /// the pipe closes.
 void serve_stdio(const ffp::ArgParser& args) {
-  ffp::ServiceSession session(session_options(args), [](const std::string& line) {
+  ffp::ServiceHost host(host_options(args));
+  ffp::ServiceSession session(host, [](const std::string& line) {
     std::fputs(line.c_str(), stdout);
     std::fputc('\n', stdout);
     std::fflush(stdout);  // clients poll line by line; never buffer
@@ -59,38 +73,146 @@ void serve_stdio(const ffp::ArgParser& args) {
   session.drain();
 }
 
-/// TCP accept loop: one connection at a time, fresh session each, until a
-/// session ends with shutdown.
+/// The accept loop's shared view of every live connection: a slot gate
+/// (--max-clients) plus the fd registry the shutdown path uses to kick
+/// readers loose.
+class ConnectionSet {
+ public:
+  explicit ConnectionSet(unsigned max_clients) : max_clients_(max_clients) {}
+
+  /// Blocks until a slot is free, then claims it for `conn` and returns a
+  /// connection index. Returns -1 when the server is shutting down.
+  int claim(std::shared_ptr<ffp::FdHandle> conn) {
+    std::unique_lock lock(mu_);
+    freed_.wait(lock, [this] {
+      return stopping_ || live_.size() < max_clients_;
+    });
+    if (stopping_) return -1;
+    const int index = next_index_++;
+    live_.emplace(index, std::move(conn));
+    return index;
+  }
+
+  /// Called by a session thread as its last act: frees the slot and queues
+  /// the index for the accept loop to join — so finished threads are
+  /// reaped continuously instead of accumulating until shutdown.
+  void release(int index) {
+    {
+      std::lock_guard lock(mu_);
+      live_.erase(index);
+      finished_.push_back(index);
+    }
+    freed_.notify_one();
+  }
+
+  /// Drains the reap queue (accept loop only).
+  std::vector<int> take_finished() {
+    std::lock_guard lock(mu_);
+    return std::exchange(finished_, {});
+  }
+
+  /// Flips the stop flag and full-closes every live connection so their
+  /// session threads fall out of blocking reads.
+  void stop_all() {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    for (const auto& [index, conn] : live_) ffp::shutdown_both(*conn);
+    freed_.notify_all();
+  }
+
+  bool stopping() const {
+    std::lock_guard lock(mu_);
+    return stopping_;
+  }
+
+ private:
+  const std::size_t max_clients_;
+  mutable std::mutex mu_;
+  std::condition_variable freed_;
+  std::map<int, std::shared_ptr<ffp::FdHandle>> live_;
+  std::vector<int> finished_;  ///< released, awaiting join by the acceptor
+  int next_index_ = 0;
+  bool stopping_ = false;
+};
+
+/// TCP accept loop: thread-per-connection sessions over one shared host,
+/// capped at --max-clients, until a session ends with shutdown.
 int serve_tcp(const ffp::ArgParser& args, int port) {
+  const std::int64_t max_clients = args.get_int("max-clients");
+  FFP_CHECK(max_clients >= 1 && max_clients <= 4096,
+            "--max-clients must be in [1, 4096]");
+
+  ffp::ServiceHost host(host_options(args));
+  ConnectionSet connections(static_cast<unsigned>(max_clients));
   int bound = 0;
   ffp::FdHandle listener = ffp::tcp_listen(port, &bound);
-  std::fprintf(stderr, "ffp_serve: listening on 127.0.0.1:%d\n", bound);
-  for (;;) {
-    ffp::FdHandle conn = ffp::tcp_accept(listener);
-    bool shutdown_requested = false;
-    {
-      ffp::ServiceSession session(
-          session_options(args), [&conn](const std::string& line) {
-            ffp::write_line(conn, line);
-          });
-      ffp::LineReader reader(conn);
-      std::string line;
-      try {
-        while (reader.next(line)) {
-          if (!session.handle_line(line)) {
-            shutdown_requested = true;
-            break;
-          }
-        }
-      } catch (const ffp::Error& e) {
-        // Connection-level failure (peer vanished mid-line): log, keep
-        // serving the next client.
-        std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
-      }
-      if (!shutdown_requested) session.drain();
+  std::fprintf(stderr, "ffp_serve: listening on 127.0.0.1:%d (up to %lld "
+                       "concurrent clients)\n",
+               bound, static_cast<long long>(max_clients));
+
+  std::map<int, std::thread> workers;
+  const auto reap = [&] {
+    for (const int done : connections.take_finished()) {
+      const auto it = workers.find(done);
+      if (it == workers.end()) continue;
+      it->second.join();  // already past release(): joins immediately
+      workers.erase(it);
     }
-    if (shutdown_requested) return 0;
+  };
+  for (;;) {
+    std::shared_ptr<ffp::FdHandle> conn;
+    try {
+      conn = std::make_shared<ffp::FdHandle>(ffp::tcp_accept(listener));
+    } catch (const ffp::Error& e) {
+      // accept() fails when the shutdown path shuts the listener under
+      // us — the clean exit; anything else is a real error worth logging.
+      if (connections.stopping()) break;
+      std::fprintf(stderr, "ffp_serve: accept error: %s\n", e.what());
+      continue;
+    }
+    const int index = connections.claim(conn);
+    if (index < 0) break;  // shutdown raced the accept
+    reap();  // bounded thread table: join everything that finished
+
+    workers.emplace(index, std::thread([&host, &connections, &listener, conn,
+                                        index] {
+      {
+        ffp::ServiceSession session(host, [conn](const std::string& line) {
+          ffp::write_line(*conn, line);
+        });
+        ffp::LineReader reader(*conn);
+        std::string line;
+        bool shutdown_requested = false;
+        try {
+          while (reader.next(line)) {
+            if (!session.handle_line(line)) {
+              shutdown_requested = true;
+              break;
+            }
+          }
+          if (!shutdown_requested) session.drain();
+        } catch (const ffp::Error& e) {
+          // Connection-level failure (peer vanished mid-line): log, let the
+          // session destructor cancel the client's leftovers, keep serving.
+          std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
+        }
+        if (shutdown_requested) {
+          // Stop the world: every other client's read returns EOF, and
+          // shutdown(2) on the listener makes the blocked accept() fail.
+          // NOTE: waking accept this way is a Linux behavior (the deploy
+          // target; CI is ubuntu) — BSD/macOS would need a self-pipe.
+          connections.stop_all();
+          ffp::shutdown_both(listener);
+        }
+      }
+      connections.release(index);
+    }));
   }
+  for (auto& [index, worker] : workers) {
+    (void)index;
+    if (worker.joinable()) worker.join();
+  }
+  return 0;
 }
 
 }  // namespace
@@ -99,9 +221,11 @@ int main(int argc, char** argv) {
   ffp::ArgParser args;
   args.flag("listen", "", "TCP port on 127.0.0.1 (0 = ephemeral; "
                           "unset = serve stdin/stdout)")
-      .flag("runners", "1", "concurrent jobs")
+      .flag("runners", "1", "concurrent jobs (shared by all clients)")
       .flag("budget", "0", "process-wide worker-thread budget "
                            "(0 = hardware concurrency)")
+      .flag("max-clients", "8", "concurrent TCP connections (--listen mode)")
+      .flag("cache-entries", "64", "result-cache entries (0 = no cache)")
       .flag("max-vertices", "0", "per-graph vertex ceiling (0 = VertexId range)")
       .flag("max-edges", "0", "per-graph edge ceiling (0 = unlimited)")
       .toggle("stream", "stream progress events as improvements happen")
@@ -115,6 +239,9 @@ int main(int argc, char** argv) {
     }
     const std::int64_t runners = args.get_int("runners");
     FFP_CHECK(runners >= 1, "--runners must be >= 1");
+    const std::int64_t cache_entries = args.get_int("cache-entries");
+    FFP_CHECK(cache_entries >= 0 && cache_entries <= 1 << 20,
+              "--cache-entries must be in [0, 2^20]");
     const std::int64_t budget = args.get_int("budget");
     FFP_CHECK(budget >= 0 && budget <= 1 << 20,
               "--budget must be in [0, 2^20] (0 = hardware concurrency)");
