@@ -31,6 +31,7 @@
 #include "graph/generators.hpp"
 #include "metaheuristics/annealing.hpp"
 #include "metaheuristics/percolation.hpp"
+#include "multilevel/mlff.hpp"
 #include "refine/kway_fm.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
@@ -299,6 +300,101 @@ int main(int argc, char** argv) {
                sec, "s");
         record(point_name("ff_e2e_mcut", pt.family, g.num_vertices(), pt.k,
                           threads),
+               best_value, "obj");
+      }
+    }
+  }
+
+  // ------------------------------- multilevel×fusion-fission hybrid ------
+  // mlff_e2e_*: the coarsen→FF→project+refine pipeline at the sizes pure
+  // fusion-fission cannot touch, plus a coarsen_sec axis for the coarsening
+  // stage alone. At the n=262144 comparison point the suite also records a
+  // pure fusion-fission row under the same step budget — the headline
+  // speedup claim (mlff equal-or-better Mcut in a fraction of the wall
+  // time) is read directly off these four rows. Points with a threads axis
+  // additionally FFP_CHECK the determinism contract: threads=1 and
+  // threads=4 must produce the byte-identical partition.
+  {
+    struct Point {
+      const char* family;
+      int n, k;
+      std::int64_t steps;
+      bool check_threads;  // run t=1 and t=4, verify identical partitions
+      bool ff_baseline;    // also time pure serial fusion-fission
+    };
+    const std::vector<Point> points =
+        quick ? std::vector<Point>{{"grid", 262144, 64, 4000, true, false}}
+              : std::vector<Point>{{"grid", 16384, 64, 20000, true, false},
+                                   {"grid", 262144, 64, 20000, true, true},
+                                   {"grid", 1000000, 64, 20000, false, false}};
+    for (const auto& pt : points) {
+      const Family* family = nullptr;
+      for (const auto& f : kFamilies) {
+        if (std::string_view(f.name) == pt.family) family = &f;
+      }
+      FFP_CHECK(family != nullptr, "unknown family '", pt.family,
+                "' in the mlff point table");
+      const Graph g = family->make(pt.n, seed);
+      // Large points are timed once — best-of-reps would triple a
+      // multi-second measurement for noise rejection the trend lines don't
+      // need at this scale.
+      const auto measure = [&](auto&& body) {
+        return pt.n >= 100000 ? timed_seconds(body) : best_seconds(body);
+      };
+
+      {
+        CoarsenOptions copt;
+        copt.min_vertices = static_cast<int>(std::max<std::int64_t>(
+            static_cast<std::int64_t>(pt.k) * 64, g.num_vertices() / 64));
+        copt.seed = seed;
+        const double sec = measure([&] { coarsen_chain(g, copt); });
+        record(point_name("coarsen_sec", pt.family, g.num_vertices()), sec,
+               "s");
+      }
+
+      std::vector<int> reference;
+      for (const int threads : pt.check_threads ? std::vector<int>{1, 4}
+                                                : std::vector<int>{1}) {
+        MlffOptions opt;
+        opt.seed = seed;
+        opt.threads = threads;
+        double best_value = 0.0;
+        const double sec = measure([&] {
+          auto res = mlff_partition(g, pt.k, opt,
+                                    StopCondition::after_steps(pt.steps));
+          best_value = res.best_value;
+          if (reference.empty()) {
+            reference.assign(res.best.assignment().begin(),
+                             res.best.assignment().end());
+          } else {
+            for (VertexId v = 0; v < g.num_vertices(); ++v) {
+              FFP_CHECK(reference[static_cast<std::size_t>(v)] ==
+                            res.best.assignment()[static_cast<std::size_t>(v)],
+                        "mlff not deterministic across thread counts at t=",
+                        threads, " vertex ", v);
+            }
+          }
+        });
+        record(point_name("mlff_e2e_sec", pt.family, g.num_vertices(), pt.k,
+                          threads),
+               sec, "s");
+        record(point_name("mlff_e2e_mcut", pt.family, g.num_vertices(), pt.k,
+                          threads),
+               best_value, "obj");
+      }
+
+      if (pt.ff_baseline) {
+        FusionFissionOptions opt;
+        opt.seed = seed;
+        FusionFission ff(g, pt.k, opt);
+        double best_value = 0.0;
+        const double sec = measure([&] {
+          best_value =
+              ff.run(StopCondition::after_steps(pt.steps)).best_value;
+        });
+        record(point_name("ff_e2e_sec", pt.family, g.num_vertices(), pt.k),
+               sec, "s");
+        record(point_name("ff_e2e_mcut", pt.family, g.num_vertices(), pt.k),
                best_value, "obj");
       }
     }

@@ -14,8 +14,12 @@ Direction is inferred from the metric name:
   - *_sec, *_ms          lower is better (durations)
   - anything else        lower is better (objective/quality values)
 
-Only metrics present in BOTH files are compared; one-sided metrics are
-listed as added/removed. A change worse than --threshold (fractional,
+Only metrics present in BOTH files are compared; metrics only in the new
+run are reported as NEW (informational, with their value — the normal
+shape of an axis-adding PR), metrics only in the baseline as removed.
+--fail-below and --fail-on-regression apply ONLY to the common keys: a NEW
+metric can never fail the gate until a baseline records it. A change worse
+than --threshold (fractional,
 default 0.10 = 10%) is flagged as a regression; with --fail-on-regression
 the script exits 1 when any metric regressed, which is how a gating CI job
 would use it (the default perf-smoke job is informational and ignores the
@@ -66,11 +70,17 @@ def main() -> int:
     old = load_metrics(args.old)
     new = load_metrics(args.new)
     shared = [k for k in old if k in new]
+    added = sorted(set(new) - set(old))
+    removed = sorted(set(old) - set(new))
     if not shared:
         print("no overlapping metrics between the two files")
+        for name in added:
+            print(f"{name}  {new[name]:.6g}  NEW")
+        for name in removed:
+            print(f"{name}  (removed)")
         return 0
 
-    width = max(len(k) for k in shared)
+    width = max(len(k) for k in shared + added + removed)
     regressions = []
     hard_regressions = []
     print(f"{'metric':<{width}}  {'old':>12}  {'new':>12}  {'change':>8}  note")
@@ -92,10 +102,15 @@ def main() -> int:
             hard_regressions.append(name)
         print(f"{name:<{width}}  {o:>12.6g}  {n:>12.6g}  {change:>+7.1%}  {note}")
 
-    for name in sorted(set(old) - set(new)):
+    for name in removed:
         print(f"{name:<{width}}  {'(removed)':>12}")
-    for name in sorted(set(new) - set(old)):
-        print(f"{name:<{width}}  {'(added)':>26}")
+    # New-run-only metrics are informational: shown with their value so an
+    # axis-adding PR's numbers land in the log, never gated on (--fail-below
+    # and --fail-on-regression act on the shared keys above only).
+    for name in added:
+        print(f"{name:<{width}}  {'':>12}  {new[name]:>12.6g}  {'':>8}  NEW")
+    if added:
+        print(f"{len(added)} NEW metric(s) not in baseline (informational)")
 
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed past "

@@ -55,11 +55,20 @@ CoarseLevel contract_matching(const Graph& g, std::span<const VertexId> match) {
 std::vector<CoarseLevel> coarsen_chain(const Graph& g,
                                        const CoarsenOptions& options) {
   FFP_CHECK(options.min_vertices >= 2, "min_vertices must be >= 2");
-  Rng rng(options.seed);
+  FFP_CHECK(options.min_shrink > 0.0 && options.min_shrink < 1.0,
+            "min_shrink must be in (0, 1) — a level that does not shrink "
+            "must terminate the chain");
+  FFP_CHECK(options.max_levels >= 1, "max_levels must be >= 1");
+  // Per-level seeds come from one splitmix64 stream (the idiom every other
+  // subsystem uses to derive child streams), not from one Rng threaded
+  // through the levels: level i's matching then depends only on (seed, i),
+  // never on how many draws earlier levels consumed.
+  std::uint64_t stream = options.seed ^ 0x9e3779b97f4a7c15ULL;
   std::vector<CoarseLevel> chain;
   const Graph* current = &g;
   for (int lvl = 0; lvl < options.max_levels; ++lvl) {
     if (current->num_vertices() <= options.min_vertices) break;
+    Rng rng(splitmix64(stream));
     const auto match = options.matching == MatchingKind::HeavyEdge
                            ? heavy_edge_matching(*current, rng)
                            : random_matching(*current, rng);
@@ -67,10 +76,31 @@ std::vector<CoarseLevel> coarsen_chain(const Graph& g,
     const double shrink = static_cast<double>(level.coarse.num_vertices()) /
                           current->num_vertices();
     if (shrink > options.min_shrink) break;  // matching stalled (e.g. star)
+    FFP_CHECK(level.coarse.num_vertices() < current->num_vertices(),
+              "coarsening level made no progress");
     chain.push_back(std::move(level));
     current = &chain.back().coarse;
   }
   return chain;
+}
+
+std::vector<int> project_partition(const std::vector<CoarseLevel>& chain,
+                                   std::size_t levels,
+                                   std::span<const int> coarse_parts) {
+  FFP_CHECK(levels <= chain.size(), "levels out of range");
+  std::vector<int> parts(coarse_parts.begin(), coarse_parts.end());
+  for (std::size_t l = levels; l-- > 0;) {
+    const auto& map = chain[l].fine_to_coarse;
+    FFP_CHECK(parts.size() ==
+                  static_cast<std::size_t>(chain[l].coarse.num_vertices()),
+              "coarse_parts size does not match level ", l);
+    std::vector<int> fine(map.size());
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      fine[v] = parts[static_cast<std::size_t>(map[v])];
+    }
+    parts = std::move(fine);
+  }
+  return parts;
 }
 
 std::vector<double> prolong_to_finest(const std::vector<CoarseLevel>& chain,

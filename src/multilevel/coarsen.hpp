@@ -36,6 +36,15 @@ struct CoarsenOptions {
 std::vector<CoarseLevel> coarsen_chain(const Graph& g,
                                        const CoarsenOptions& options);
 
+/// Projects a per-coarse-vertex part assignment back to the finest level
+/// through a chain prefix [0, levels): every fine vertex inherits the part
+/// of its coarse image. Identity when levels == 0. Because contraction sums
+/// pair weights and combines parallel edges, the projected partition has
+/// the same part vertex-weights and the same cut weight as the coarse one.
+std::vector<int> project_partition(const std::vector<CoarseLevel>& chain,
+                                   std::size_t levels,
+                                   std::span<const int> coarse_parts);
+
 /// Projects a per-coarse-vertex value vector back to the finest level
 /// through a chain prefix [0, levels): piecewise-constant interpolation.
 std::vector<double> prolong_to_finest(const std::vector<CoarseLevel>& chain,

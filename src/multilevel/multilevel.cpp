@@ -123,9 +123,12 @@ std::vector<int> multilevel_bisect(const Graph& g, double target_fraction,
       initial_bisection(coarsest, target_fraction, options, mix_seed(seed, 1));
 
   FmOptions fm;
-  // Allow the imbalance the target fraction implies plus the user's slack.
-  fm.max_imbalance =
-      options.max_imbalance * std::max(target_fraction, 1.0 - target_fraction) * 2.0;
+  // Side 0 is grown to target_fraction by the initial partitioners; FM's
+  // per-side caps then hold both sides to their shares (± the user slack)
+  // through every level's refinement, instead of letting the cut chase
+  // wander anywhere a symmetric band twice the majority share would allow.
+  fm.max_imbalance = options.max_imbalance;
+  fm.target_fraction_a = target_fraction;
 
   {  // refine the coarsest level too
     auto p = Partition::from_assignment(coarsest, side, 2);

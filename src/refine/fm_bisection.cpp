@@ -48,13 +48,21 @@ FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
   for (VertexId v : scope) {
     max_vertex_weight = std::max(max_vertex_weight, g.vertex_weight(v));
   }
-  // Strict cap defines which states count as balanced (best-prefix
+  // Strict caps define which states count as balanced (best-prefix
   // eligibility); the move cap adds one vertex of slack so a perfectly
   // balanced start is not deadlocked — the classic FM formulation lets the
   // sequence pass through mildly unbalanced states and the rollback keeps
-  // only balanced prefixes.
-  const double cap = scope_weight / 2.0 * options.max_imbalance;
-  const double move_cap = cap + max_vertex_weight;
+  // only balanced prefixes. Caps are per side: each side may hold its
+  // target share of the scope weight times the imbalance slack, so an
+  // uneven target_fraction_a is enforced, not merely permitted.
+  FFP_CHECK(options.target_fraction_a > 0.0 && options.target_fraction_a < 1.0,
+            "target_fraction_a must be in (0,1)");
+  const double cap_a =
+      scope_weight * options.target_fraction_a * options.max_imbalance;
+  const double cap_b =
+      scope_weight * (1.0 - options.target_fraction_a) * options.max_imbalance;
+  auto cap_of = [&](int side) { return side == side_a ? cap_a : cap_b; };
+  auto move_cap_of = [&](int side) { return cap_of(side) + max_vertex_weight; };
 
   std::vector<double> gain(static_cast<std::size_t>(g.num_vertices()), 0.0);
   std::vector<std::int64_t> stamp(static_cast<std::size_t>(g.num_vertices()), 0);
@@ -86,8 +94,8 @@ FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
     // gain; otherwise only strict improvements are kept.
     std::vector<VertexId> sequence;
     sequence.reserve(scope.size());
-    const bool start_balanced = p.part_vertex_weight(side_a) <= cap &&
-                                p.part_vertex_weight(side_b) <= cap;
+    const bool start_balanced = p.part_vertex_weight(side_a) <= cap_a &&
+                                p.part_vertex_weight(side_b) <= cap_b;
     double cumulative = 0.0;
     double best_cumulative =
         start_balanced ? 0.0 : -std::numeric_limits<double>::infinity();
@@ -102,7 +110,7 @@ FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
       }
       const int from = p.part_of(top.v);
       const int to = other(from);
-      if (p.part_vertex_weight(to) + g.vertex_weight(top.v) > move_cap ||
+      if (p.part_vertex_weight(to) + g.vertex_weight(top.v) > move_cap_of(to) ||
           p.part_size(from) == 1) {  // never overload or empty a side
         locked[sv] = 1;
         continue;
@@ -112,8 +120,8 @@ FmResult fm_refine_bisection(Partition& p, int side_a, int side_b,
       locked[sv] = 1;
       cumulative += top.gain;
       sequence.push_back(top.v);
-      const bool balanced = p.part_vertex_weight(side_a) <= cap &&
-                            p.part_vertex_weight(side_b) <= cap;
+      const bool balanced = p.part_vertex_weight(side_a) <= cap_a &&
+                            p.part_vertex_weight(side_b) <= cap_b;
       if (balanced && cumulative > best_cumulative + 1e-15) {
         best_cumulative = cumulative;
         best_prefix = sequence.size();

@@ -15,7 +15,14 @@
 namespace ffp {
 
 struct FmOptions {
-  double max_imbalance = 1.05;  ///< heavier side / average side cap
+  double max_imbalance = 1.05;  ///< per-side cap: weight / (target share)
+  /// Weight share side_a is meant to hold (side_b gets the complement).
+  /// Each side's cap is scope_weight · share · max_imbalance, so an uneven
+  /// target is actively enforced — a sequence only counts as balanced when
+  /// BOTH sides are inside their caps, and an out-of-cap start makes any
+  /// balanced prefix preferable (balance repair). 0.5 is the classic
+  /// symmetric bisection.
+  double target_fraction_a = 0.5;
   int max_passes = 16;
   double min_gain_per_pass = 1e-12;  ///< stop when a pass improves less
 };

@@ -261,6 +261,31 @@ SolverRegistry make_builtin() {
           return std::make_shared<FusionFissionSolver>(opt);
         });
 
+  r.add("mlff",
+        "multilevel fusion-fission hybrid for large graphs: coarsen to "
+        "coarse_n vertices (0 = max(k*64, n/64)), run full fusion-fission "
+        "on the coarse graph, project back with boundary refinement bursts "
+        "(refine_steps at the coarsest projection, halving toward the fine "
+        "levels). Options: coarse_n, refine_steps, matching=heavy|random, "
+        "threads, batch — threads>=1 or batch>=1 selects the batched "
+        "coarse engine, byte-identical across thread counts",
+        [](const SolverOptions& o) -> SolverPtr {
+          MlffOptions opt;
+          opt.coarse_n = static_cast<int>(o.get_int("coarse_n", opt.coarse_n));
+          FFP_CHECK(opt.coarse_n >= 0, "mlff coarse_n must be >= 0");
+          opt.refine_steps = o.get_int("refine_steps", opt.refine_steps);
+          FFP_CHECK(opt.refine_steps >= 0, "mlff refine_steps must be >= 0");
+          opt.matching = o.get_enum<MatchingKind>(
+              "matching", opt.matching,
+              {{"heavy", MatchingKind::HeavyEdge},
+               {"random", MatchingKind::Random}});
+          opt.threads = static_cast<int>(o.get_int("threads", opt.threads));
+          FFP_CHECK(opt.threads >= 0, "mlff threads must be >= 0");
+          opt.batch = static_cast<int>(o.get_int("batch", opt.batch));
+          FFP_CHECK(opt.batch >= 0, "mlff batch must be >= 0");
+          return std::make_shared<MlffSolver>(opt);
+        });
+
   r.add("annealing",
         "simulated annealing from a percolation start (tmax, tmin_fraction, "
         "cooling, equilibrium, high_temp_fraction)",

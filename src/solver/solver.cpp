@@ -68,6 +68,37 @@ SolverResult FusionFissionSolver::run(const Graph& g,
   return out;
 }
 
+SolverResult MlffSolver::run(const Graph& g,
+                             const SolverRequest& request) const {
+  MlffOptions opt = base_;
+  opt.objective = request.objective;
+  opt.seed = request.seed;
+  if (request.threads > 0) opt.threads = static_cast<int>(request.threads);
+  if (opt.budget == nullptr) opt.budget = request.budget;
+  if (opt.threads > 1 && opt.pool == nullptr && opt.budget == nullptr) {
+    // Same pool policy as FusionFissionSolver: ungoverned runs speculate on
+    // the process-wide shared pool, governed runs lease inside the engine.
+    opt.pool = shared_worker_pool(static_cast<unsigned>(opt.threads));
+  }
+  WallTimer timer;
+  const StopCondition stop = armed(request);
+  auto res = mlff_partition(g, request.k, opt, stop, request.recorder);
+  SolverResult out{std::move(res.best), res.best_value,
+                   timer.elapsed_seconds(), {}};
+  out.stats = {{"levels", static_cast<double>(res.levels)},
+               {"coarse_vertices", static_cast<double>(res.coarse_vertices)},
+               {"steps", static_cast<double>(res.coarse_steps)},
+               {"fusions", static_cast<double>(res.fusions)},
+               {"fissions", static_cast<double>(res.fissions)},
+               {"reheats", static_cast<double>(res.reheats)},
+               {"refine_attempts", static_cast<double>(res.refine_attempts)},
+               {"refine_moves", static_cast<double>(res.refine_moves)}};
+  if (res.batches > 0) {
+    out.stats.emplace_back("batches", static_cast<double>(res.batches));
+  }
+  return out;
+}
+
 SolverResult AnnealingSolver::run(const Graph& g,
                                   const SolverRequest& request) const {
   AnnealingOptions opt = base_;

@@ -27,6 +27,7 @@
 #include "metaheuristics/ant_colony.hpp"
 #include "metaheuristics/anytime.hpp"
 #include "metaheuristics/percolation.hpp"
+#include "multilevel/mlff.hpp"
 #include "multilevel/multilevel.hpp"
 #include "partition/objectives.hpp"
 #include "partition/partition.hpp"
@@ -101,6 +102,21 @@ class FusionFissionSolver final : public Solver {
 
  private:
   FusionFissionOptions base_;
+};
+
+/// Multilevel × fusion-fission hybrid (multilevel/mlff.hpp) — fusion-
+/// fission run on a coarsened graph, projected back with boundary
+/// refinement bursts. Metaheuristic: the stop condition governs the
+/// coarse-level search.
+class MlffSolver final : public Solver {
+ public:
+  explicit MlffSolver(MlffOptions base = {}) : base_(std::move(base)) {}
+  std::string name() const override { return "mlff"; }
+  bool is_metaheuristic() const override { return true; }
+  SolverResult run(const Graph& g, const SolverRequest& request) const override;
+
+ private:
+  MlffOptions base_;
 };
 
 /// Simulated annealing (§3.1), seeded from percolation as in the paper.

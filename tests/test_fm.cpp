@@ -112,6 +112,29 @@ TEST(Fm, WeightedGraphGainsAreWeightAware) {
   EXPECT_EQ(p.part_of(1), p.part_of(2));  // heavy edge internal now
 }
 
+TEST(Fm, UnevenTargetFractionIsEnforced) {
+  // A 50/50 start under a 25/75 target is out of cap on side 0; FM must
+  // repair toward the target, not merely tolerate states near it.
+  const auto g = make_grid2d(8, 8);
+  std::vector<int> assign(64);
+  for (int i = 0; i < 64; ++i) assign[static_cast<std::size_t>(i)] = i < 32 ? 0 : 1;
+  FmOptions opt;
+  opt.target_fraction_a = 0.25;
+  fm_refine_bisection(g, assign, opt);
+  const auto p = Partition::from_assignment(g, assign, 2);
+  const double frac = p.part_vertex_weight(0) / g.total_vertex_weight();
+  EXPECT_LE(frac, 0.25 * opt.max_imbalance + 1e-12);
+  EXPECT_GE(frac, 1.0 - 0.75 * opt.max_imbalance - 1e-12);
+}
+
+TEST(Fm, RejectsBadTargetFraction) {
+  const auto g = make_path(4);
+  std::vector<int> assign = {0, 0, 1, 1};
+  FmOptions opt;
+  opt.target_fraction_a = 0.0;
+  EXPECT_THROW(fm_refine_bisection(g, assign, opt), Error);
+}
+
 TEST(Fm, RejectsBadSides) {
   const auto g = make_path(4);
   auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});
