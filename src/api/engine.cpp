@@ -15,6 +15,8 @@ struct SolveHandle::EngineState {
     JobSchedulerOptions sched;
     sched.runners = options.runners;
     sched.budget = options.budget;
+    sched.max_queued = options.max_queued;
+    sched.overload_retry_after_ms = options.overload_retry_after_ms;
     sched.on_improvement = [this](std::uint64_t job, double seconds,
                                   double value) {
       handle_improvement(job, seconds, value);
@@ -95,6 +97,15 @@ JobStatus SolveHandle::wait() const {
   return status;
 }
 
+std::optional<JobStatus> SolveHandle::wait_for(double timeout_ms) const {
+  FFP_CHECK(valid(), "wait_for on an empty SolveHandle");
+  if (cached()) return *immediate_;
+  const std::optional<JobStatus> status =
+      impl_->scheduler->wait_for(job_, timeout_ms);
+  if (status.has_value()) impl_->finalize(job_, *status);
+  return status;
+}
+
 bool SolveHandle::cancel() const {
   FFP_CHECK(valid(), "cancel on an empty SolveHandle");
   if (cached()) return false;
@@ -140,6 +151,7 @@ SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
   job.priority = spec.priority;
   job.threads = spec.threads;
   job.restarts = spec.restarts;
+  job.queue_ttl_ms = spec.queue_ttl_ms;
 
   std::uint64_t id = 0;
   {

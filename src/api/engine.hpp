@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "api/problem.hpp"
 #include "api/result_cache.hpp"
@@ -34,6 +35,12 @@ struct EngineOptions {
   /// ThreadBudget::process().
   ThreadBudget* budget = nullptr;
   std::size_t cache_capacity = 0;  ///< result-cache entries; 0 disables
+  /// Bounded submit queue: beyond this many queued solves, submit() throws
+  /// ServiceError(Overloaded) with a retry-after hint (load shedding).
+  /// 0 = unbounded. Cache hits never count — they are answered inline.
+  std::size_t max_queued = 0;
+  /// Retry-after hint attached to Overloaded rejections, ms.
+  double overload_retry_after_ms = 250;
 };
 
 /// Per-solve improvement stream: (seconds since the solve started, new
@@ -62,6 +69,10 @@ class SolveHandle {
   /// inspect status.state / status.error (Engine::solve wraps this with
   /// throwing semantics).
   JobStatus wait() const;
+  /// Deadline-bounded wait(): the final status when the solve went
+  /// terminal within `timeout_ms`, std::nullopt otherwise. Cache hits are
+  /// already terminal and always return immediately.
+  std::optional<JobStatus> wait_for(double timeout_ms) const;
   /// Queued → removed; running → stopped early with its best-so-far
   /// attached (anytime semantics). False when already terminal or cached.
   bool cancel() const;

@@ -45,6 +45,11 @@ struct SolveSpec {
   int restarts = 1;      ///< portfolio multi-start; 1 = single run
   unsigned threads = 0;  ///< intra-run worker want, leased from the budget
   int priority = 0;      ///< scheduler priority; higher runs first
+  /// Queue TTL: if no runner picked the solve up within this many ms it
+  /// expires with a structured QueueExpired error instead of running after
+  /// its caller gave up. 0 = no TTL. Like priority, this shapes WHEN work
+  /// runs, never its result — it is excluded from the cache key.
+  double queue_ttl_ms = 0;
 
   /// Nominal metaheuristic step rate used to turn budget_ms into a step
   /// budget when determinism requires one (steps overrides).

@@ -1,5 +1,7 @@
 #include "service/job_scheduler.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -65,6 +67,7 @@ std::uint64_t JobScheduler::submit(JobSpec spec) {
   FFP_CHECK(spec.steps >= 0, "job step budget must be >= 0");
   FFP_CHECK(spec.budget_ms >= 0, "job wall-clock budget must be >= 0");
   FFP_CHECK(spec.restarts >= 1, "job needs restarts >= 1");
+  FFP_CHECK(spec.queue_ttl_ms >= 0, "job queue TTL must be >= 0");
   // Resolve the method now so a typo fails the submit, not the runner
   // (unless the caller already resolved it — the api engine does).
   SolverPtr solver =
@@ -73,7 +76,20 @@ std::uint64_t JobScheduler::submit(JobSpec spec) {
   std::uint64_t id = 0;
   {
     std::lock_guard lock(mu_);
-    FFP_CHECK(!stopping_, "submit on a shut-down JobScheduler");
+    if (stopping_) {
+      throw ServiceError(ErrCode::ShuttingDown,
+                         "submit rejected: scheduler is shutting down");
+    }
+    if (options_.max_queued > 0 && queue_.size() >= options_.max_queued) {
+      // Load shedding: reject at the boundary rather than queue without
+      // bound. Retryable — the identical resubmission is idempotent.
+      throw ServiceError(
+          ErrCode::Overloaded,
+          "submit rejected: " + std::to_string(queue_.size()) +
+              " jobs already queued (max_queued = " +
+              std::to_string(options_.max_queued) + ")",
+          options_.overload_retry_after_ms);
+    }
     id = next_id_++;
     auto job = std::make_unique<Job>();
     job->id = id;
@@ -114,6 +130,7 @@ JobStatus JobScheduler::status_locked(const Job& job) const {
   out.seconds =
       job.state == JobState::Running ? job.timer.elapsed_seconds() : job.seconds;
   out.error = job.error;
+  out.error_code = job.error_code;
   out.progress = job.recorder->snapshot();
   out.result = job.result;
   return out;
@@ -132,6 +149,23 @@ JobStatus JobScheduler::wait(std::uint64_t id) {
   FFP_CHECK(it != jobs_.end(), "unknown job id ", id);
   Job& job = *it->second;
   changed_cv_.wait(lock, [&] { return terminal(job.state); });
+  return status_locked(job);
+}
+
+std::optional<JobStatus> JobScheduler::wait_for(std::uint64_t id,
+                                                double timeout_ms) {
+  std::unique_lock lock(mu_);
+  const auto it = jobs_.find(id);
+  FFP_CHECK(it != jobs_.end(), "unknown job id ", id);
+  Job& job = *it->second;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(std::max(0.0, timeout_ms)));
+  if (!changed_cv_.wait_until(lock, deadline,
+                              [&] { return terminal(job.state); })) {
+    return std::nullopt;
+  }
   return status_locked(job);
 }
 
@@ -183,6 +217,23 @@ void JobScheduler::runner_loop() {
       const auto it = queue_.begin();
       job = jobs_.at(it->second).get();
       queue_.erase(it);
+      // Queue TTL: a job that outwaited its deadline expires with a
+      // structured error instead of running — by now its caller has given
+      // up, and a runner burned on it would only delay live jobs further.
+      const double queued_ms = job->queued_timer.elapsed_millis();
+      if (job->spec.queue_ttl_ms > 0 && queued_ms > job->spec.queue_ttl_ms) {
+        job->state = JobState::Failed;
+        job->error_code = ErrCode::QueueExpired;
+        job->error = "expired in queue after " +
+                     std::to_string(queued_ms) + " ms (queue_ttl_ms = " +
+                     std::to_string(job->spec.queue_ttl_ms) + ")";
+        job->seconds = 0.0;
+        ++completed_;
+        lock.unlock();
+        changed_cv_.notify_all();
+        notify_terminal(job->id);
+        continue;
+      }
       job->state = JobState::Running;
       job->timer.reset();
     }
@@ -254,6 +305,7 @@ void JobScheduler::run_job(Job& job) {
   if (!error.empty()) {
     job.state = JobState::Failed;
     job.error = std::move(error);
+    job.error_code = ErrCode::JobFailed;
   } else {
     job.result = std::move(result);
     job.state = job.cancel_flag.load(std::memory_order_relaxed)

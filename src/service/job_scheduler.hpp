@@ -32,12 +32,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "metaheuristics/anytime.hpp"
+#include "service/errors.hpp"
 #include "service/thread_budget.hpp"
 #include "solver/solver.hpp"
 
@@ -63,6 +65,11 @@ struct JobSpec {
   double budget_ms = 5000;
   int priority = 0;    ///< higher runs first; FIFO within a priority
   unsigned threads = 0;  ///< intra-run worker *want*, leased from the budget
+  /// Queue TTL: a job that waited longer than this before a runner picked
+  /// it up goes terminal Failed with code QueueExpired instead of running
+  /// — its caller has typically given up, and running it anyway would
+  /// burn a runner on a result nobody reads. 0 = no TTL.
+  double queue_ttl_ms = 0;
   /// Portfolio multi-start: > 1 fans that many independently seeded
   /// restarts of the method across the budget (solver/portfolio.hpp) and
   /// keeps the best — the per-restart seed stream depends only on `seed`,
@@ -77,6 +84,10 @@ struct JobStatus {
   JobState state = JobState::Queued;
   double seconds = 0.0;  ///< run time so far (terminal: total)
   std::string error;     ///< Failed only
+  /// Failed only: the taxonomy code (QueueExpired for TTL expiry,
+  /// JobFailed for solver failures) so transports can mark the error
+  /// retryable or fatal without parsing the message.
+  ErrCode error_code = ErrCode::None;
   std::vector<AnytimeRecorder::Point> progress;
   std::shared_ptr<const SolverResult> result;
 };
@@ -86,6 +97,14 @@ struct JobSchedulerOptions {
   /// Budget all runners and their solves lease from; null uses the
   /// process-wide ThreadBudget::process().
   ThreadBudget* budget = nullptr;
+  /// Bounded submit queue (load shedding): when more than this many jobs
+  /// are waiting, submit() throws ServiceError(Overloaded) with a
+  /// retry-after hint instead of queueing — backpressure surfaces at the
+  /// API boundary, not as unbounded latency. 0 = unbounded (trusted
+  /// in-process callers).
+  std::size_t max_queued = 0;
+  /// The retry-after hint attached to Overloaded rejections, ms.
+  double overload_retry_after_ms = 250;
   /// Streaming hook: called from runner threads on every improvement a
   /// job's recorder sees. Must be thread-safe.
   std::function<void(std::uint64_t job, double seconds, double value)>
@@ -123,6 +142,12 @@ class JobScheduler {
   /// Blocks until the job is terminal, then returns its final status.
   JobStatus wait(std::uint64_t id);
 
+  /// Bounded wait: blocks up to `timeout_ms` (<= 0 polls once). Returns
+  /// the final status when the job went terminal in time, std::nullopt
+  /// otherwise — the deadline-bounded form transports use so one wedged
+  /// job cannot hold a session teardown hostage.
+  std::optional<JobStatus> wait_for(std::uint64_t id, double timeout_ms);
+
   /// Blocks until every submitted job is terminal.
   void drain();
 
@@ -158,9 +183,11 @@ class JobScheduler {
     SolverPtr solver;  ///< resolved at submit so typos fail the API call
     JobState state = JobState::Queued;
     std::atomic<bool> cancel_flag{false};
+    WallTimer queued_timer;  ///< armed at submit; feeds the queue TTL
     WallTimer timer;       ///< armed when the job starts running
     double seconds = 0.0;  ///< total run time once terminal
     std::string error;
+    ErrCode error_code = ErrCode::None;  ///< Failed only
     std::shared_ptr<const SolverResult> result;
     std::unique_ptr<ProgressRecorder> recorder;
   };

@@ -4,15 +4,67 @@
 #include <cerrno>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "util/fault.hpp"
+#include "util/timer.hpp"
 
 namespace ffp {
 
 namespace {
 
 [[noreturn]] void fail_errno(const std::string& what) {
-  throw Error(what + ": " + std::strerror(errno));
+  const int saved = errno;
+  // A vanished peer is a retryable transport fact, not a generic error:
+  // give it the taxonomy code so clients can reconnect-and-resubmit.
+  if (saved == ECONNRESET || saved == EPIPE || saved == ECONNABORTED ||
+      saved == ENOTCONN) {
+    throw ServiceError(ErrCode::ConnLost,
+                       what + ": " + std::strerror(saved));
+  }
+  throw Error(what + ": " + std::strerror(saved));
+}
+
+/// Waits for `events` on fd against a deadline started at `timer`.
+/// timeout_ms <= 0 blocks forever. Throws ServiceError(Timeout) on expiry;
+/// loops on EINTR (re-deriving the remaining budget from the timer, so
+/// signals cannot extend the deadline).
+void poll_or_timeout(int fd, short events, double timeout_ms,
+                     const WallTimer& timer, const char* what) {
+  for (;;) {
+    int wait_ms = -1;
+    if (timeout_ms > 0) {
+      const double remaining = timeout_ms - timer.elapsed_millis();
+      if (remaining <= 0) {
+        throw ServiceError(ErrCode::Timeout,
+                           std::string(what) + " timed out after " +
+                               std::to_string(timeout_ms) + " ms");
+      }
+      // Round up so a sub-millisecond remainder still waits, not spins.
+      wait_ms = static_cast<int>(remaining) + 1;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return;  // ready (or error/hup — the I/O call reports it)
+    if (rc == 0) {
+      throw ServiceError(ErrCode::Timeout,
+                         std::string(what) + " timed out after " +
+                             std::to_string(timeout_ms) + " ms");
+    }
+    if (errno == EINTR) continue;
+    fail_errno(std::string(what) + " poll");
+  }
+}
+
+[[noreturn]] void inject_conn_drop(const FdHandle& fd, const char* where) {
+  shutdown_both(fd);
+  throw ServiceError(ErrCode::ConnLost,
+                     std::string("injected fault: connection dropped in ") +
+                         where);
 }
 
 }  // namespace
@@ -60,7 +112,17 @@ FdHandle tcp_listen(int port, int* bound_port) {
 FdHandle tcp_accept(const FdHandle& listener) {
   for (;;) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
-    if (fd >= 0) return FdHandle(fd);
+    if (fd >= 0) {
+      FdHandle conn(fd);
+      if (fault::fire(fault::Point::AcceptFail)) {
+        // Simulates accept-side resource exhaustion (EMFILE and friends):
+        // the connection dies on arrival; the peer sees a reset. Accept
+        // loops must log and keep serving.
+        throw ServiceError(ErrCode::ConnLost,
+                           "injected fault: accepted connection destroyed");
+      }
+      return conn;
+    }
     if (errno == EINTR) continue;
     fail_errno("accept");
   }
@@ -81,19 +143,40 @@ FdHandle tcp_connect(int port) {
   return fd;
 }
 
-void write_line(const FdHandle& fd, const std::string& line) {
+void write_line(const FdHandle& fd, const std::string& line,
+                double timeout_ms) {
+  fault::maybe_delay();
+  if (fault::fire(fault::Point::ConnDrop)) inject_conn_drop(fd, "send");
   std::string framed = line;
   framed.push_back('\n');
+  std::size_t limit = framed.size();
+  const bool torn = fault::fire(fault::Point::TornWrite);
+  if (torn) limit = framed.size() / 2;  // always cuts before the '\n'
+  const WallTimer deadline;  // one budget across ALL partial sends
   std::size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < limit) {
+    // With a deadline the send itself must not block either: a blocking
+    // send() of a large buffer sleeps INSIDE the kernel until everything
+    // is queued, ignoring any poll we did first. MSG_DONTWAIT makes it
+    // return what fit; EAGAIN loops back into the bounded poll.
+    int flags = MSG_NOSIGNAL;  // EPIPE as an error, not a process signal
+    if (timeout_ms > 0) {
+      poll_or_timeout(fd.get(), POLLOUT, timeout_ms, deadline, "send");
+      flags |= MSG_DONTWAIT;
+    }
     const ssize_t n =
-        ::send(fd.get(), framed.data() + sent, framed.size() - sent,
-               MSG_NOSIGNAL);  // EPIPE as an error, not a process signal
+        ::send(fd.get(), framed.data() + sent, limit - sent, flags);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       fail_errno("send");
     }
     sent += static_cast<std::size_t>(n);
+  }
+  if (torn) {
+    // The remainder is gone and the peer must find out: drop the
+    // connection so its reader sees a truncated line + EOF, never a
+    // silently missing suffix.
+    inject_conn_drop(fd, "send (torn write)");
   }
 }
 
@@ -108,6 +191,7 @@ void shutdown_both(const FdHandle& fd) {
 }
 
 bool LineReader::next(std::string& line, std::size_t max_line_bytes) {
+  const WallTimer deadline;  // per-call: one line within timeout_ms_
   for (;;) {
     const std::size_t eol = buffer_.find('\n', pos_);
     if (eol != std::string::npos) {
@@ -125,8 +209,16 @@ bool LineReader::next(std::string& line, std::size_t max_line_bytes) {
       throw Error("line exceeds " + std::to_string(max_line_bytes) +
                   " bytes without a newline");
     }
+    if (fault::fire(fault::Point::ConnDrop)) inject_conn_drop(*fd_, "recv");
+    if (timeout_ms_ > 0) {
+      poll_or_timeout(fd_->get(), POLLIN, timeout_ms_, deadline, "recv");
+    }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_->get(), chunk, sizeof(chunk), 0);
+    // Injected short reads deliver one byte at a time — the framing above
+    // must reassemble lines from arbitrary fragmentation.
+    const std::size_t want =
+        fault::fire(fault::Point::ShortRead) ? 1 : sizeof(chunk);
+    const ssize_t n = ::recv(fd_->get(), chunk, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       fail_errno("recv");

@@ -4,10 +4,23 @@
 // partitioner on a public interface is a deployment's job, behind whatever
 // auth it has); every failure is an ffp::Error with errno text, never a
 // silent -1.
+//
+// Failure hardening (the deadline layer): reads and writes can carry
+// poll()-based timeouts so one slow or dead peer can never wedge a thread
+// — LineReader::set_timeout_ms bounds each next() call (ffp_serve uses it
+// as the idle-connection reaper), write_line takes a per-call deadline
+// spanning all its partial writes. Deadline expiry throws
+// ServiceError(Timeout); a reset/torn connection throws
+// ServiceError(ConnLost) — both retryable codes, so callers can
+// distinguish "try again" from real protocol errors. Every blocking call
+// here is also a fault-injection point (util/fault.hpp): short reads, torn
+// writes, dropped connections and accept failures can be injected with
+// FFP_FAULT for chaos testing.
 #pragma once
 
 #include <string>
 
+#include "service/errors.hpp"
 #include "util/check.hpp"
 
 namespace ffp {
@@ -35,14 +48,20 @@ class FdHandle {
 /// receives the actual port.
 FdHandle tcp_listen(int port, int* bound_port);
 
-/// Accepts one connection; blocks.
+/// Accepts one connection; blocks. Under FFP_FAULT accept_fail, an
+/// accepted connection may be destroyed on arrival (throws ConnLost) —
+/// accept loops must treat accept errors as transient and keep serving.
 FdHandle tcp_accept(const FdHandle& listener);
 
 /// Connects to 127.0.0.1:port.
 FdHandle tcp_connect(int port);
 
-/// Writes `line` plus '\n', handling partial writes. Throws on error.
-void write_line(const FdHandle& fd, const std::string& line);
+/// Writes `line` plus '\n', handling partial writes. `timeout_ms` bounds
+/// the WHOLE write (all partial sends against one deadline); <= 0 means
+/// block forever. Throws ServiceError(Timeout) on deadline expiry,
+/// ServiceError(ConnLost) on a reset/closed peer, ffp::Error otherwise.
+void write_line(const FdHandle& fd, const std::string& line,
+                double timeout_ms = 0);
 
 /// Half-closes the write side: the peer's reader sees EOF while this end
 /// can keep reading — how a client says "no more requests" and still
@@ -59,6 +78,12 @@ class LineReader {
  public:
   explicit LineReader(const FdHandle& fd) : fd_(&fd) {}
 
+  /// Per-next() read deadline in milliseconds; <= 0 (the default) blocks
+  /// forever. When no complete line arrives within the deadline, next()
+  /// throws ServiceError(Timeout) — ffp_serve's idle-connection reaper and
+  /// the client's response timeout are both exactly this knob.
+  void set_timeout_ms(double ms) { timeout_ms_ = ms; }
+
   /// Reads the next line (without the '\n'); false on orderly EOF.
   /// `max_line_bytes` guards against a peer streaming an unbounded line.
   bool next(std::string& line, std::size_t max_line_bytes = 1u << 26);
@@ -67,6 +92,7 @@ class LineReader {
   const FdHandle* fd_;
   std::string buffer_;
   std::size_t pos_ = 0;
+  double timeout_ms_ = 0;
 };
 
 }  // namespace ffp

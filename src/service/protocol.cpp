@@ -19,7 +19,7 @@ const std::set<std::string_view>& submit_keys() {
   static const std::set<std::string_view> keys = {
       "op",        "id",    "graph_file", "graph",     "method",   "k",
       "objective", "seed",  "steps",      "budget_ms", "priority",
-      "threads",   "restarts"};
+      "threads",   "restarts", "queue_ttl_ms"};
   return keys;
 }
 
@@ -187,6 +187,15 @@ Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
     }
     req.spec.budget_ms = ms;
   }
+  if (const JsonValue* t = root.find("queue_ttl_ms"); t != nullptr) {
+    if (!t->is_number()) reject("'queue_ttl_ms' must be a number");
+    const double ms = t->as_number();
+    if (!(ms >= 0) || ms > limits.max_budget_ms) {
+      reject("'queue_ttl_ms' out of range [0, " +
+             std::to_string(limits.max_budget_ms) + "]");
+    }
+    req.spec.queue_ttl_ms = ms;
+  }
   return req;
 }
 
@@ -244,11 +253,20 @@ std::string format_ack(std::string_view id) {
   return out;
 }
 
-std::string format_error(std::string_view id, std::string_view message) {
+std::string format_error(std::string_view id, std::string_view message,
+                         ErrCode code, double retry_after_ms) {
   std::string out = "{\"event\":\"error\",\"id\":";
   json_append_quoted(out, id);
   out += ",\"message\":";
   json_append_quoted(out, message);
+  out += ",\"code\":\"";
+  out += err_name(code);
+  out += "\",\"retryable\":";
+  out += err_retryable(code) ? "true" : "false";
+  if (retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":";
+    append_number(out, retry_after_ms);
+  }
   out += "}";
   return out;
 }

@@ -6,7 +6,7 @@
 //
 //   {"op":"submit","id":"j1","graph_file":"mesh.graph","k":8,
 //    "method":"fusion_fission","objective":"mcut","seed":7,"steps":20000,
-//    "priority":0,"threads":2}
+//    "priority":0,"threads":2,"queue_ttl_ms":5000}
 //   {"op":"submit","id":"j2","graph":{"n":4,"edges":[[0,1],[1,2],[2,3,2.5]]},
 //    "k":2,"steps":1000}
 //   {"op":"status","id":"j1"}
@@ -17,7 +17,10 @@
 // Responses:
 //
 //   {"event":"ack","id":"j1"}
-//   {"event":"error","id":"j1","message":"..."}        // id "" if unknown
+//   {"event":"error","id":"j1","message":"...","code":"bad_request",
+//    "retryable":false}                                 // id "" if unknown
+//   {"event":"error","id":"","message":"...","code":"overloaded",
+//    "retryable":true,"retry_after_ms":250}             // shed / transient
 //   {"event":"progress","id":"j1","seconds":0.41,"value":6.02}
 //   {"event":"status","id":"j1","state":"running","seconds":0.5,
 //    "best_value":6.1,"improvements":3}
@@ -83,7 +86,14 @@ Request parse_request(std::string_view line, const ProtocolLimits& limits = {});
 // ---- response formatting (one line each, no trailing newline) ----------
 
 std::string format_ack(std::string_view id);
-std::string format_error(std::string_view id, std::string_view message);
+/// `error` event carrying the taxonomy (service/errors.hpp): `code` names
+/// the error class, `retryable` tells the client whether the identical
+/// resubmission can succeed (it is idempotent either way — results are
+/// cache-keyed on the spec), and `retry_after_ms` appears only when the
+/// server attached a backoff hint (Overloaded sheds).
+std::string format_error(std::string_view id, std::string_view message,
+                         ErrCode code = ErrCode::BadRequest,
+                         double retry_after_ms = -1);
 std::string format_progress(std::string_view id, double seconds, double value);
 /// `status` event: state, seconds, best value seen (absent before the
 /// first improvement) and the improvement count. When `cache` is non-null

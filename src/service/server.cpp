@@ -1,0 +1,227 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ffp {
+
+/// The accept loop's shared view of every live connection: the slot gate
+/// (`max_clients`) plus the fd registry the stop path uses to kick
+/// blocked readers loose.
+class TcpServer::ConnectionSet {
+ public:
+  explicit ConnectionSet(unsigned max_clients) : max_clients_(max_clients) {}
+
+  /// Claims a slot for `conn` without blocking — shedding happens at the
+  /// caller, not by queueing. Returns the connection index, or -1 when
+  /// the server is full or stopping (the caller distinguishes via
+  /// stopping()).
+  int try_claim(std::shared_ptr<FdHandle> conn) {
+    std::lock_guard lock(mu_);
+    if (stopping_ || live_.size() >= max_clients_) return -1;
+    const int index = next_index_++;
+    live_.emplace(index, std::move(conn));
+    return index;
+  }
+
+  /// Called by a session thread as its last act: frees the slot and
+  /// queues the index for the accept loop to join — finished threads are
+  /// reaped continuously instead of accumulating until shutdown.
+  void release(int index) {
+    std::lock_guard lock(mu_);
+    live_.erase(index);
+    finished_.push_back(index);
+  }
+
+  /// Drains the reap queue (accept loop only).
+  std::vector<int> take_finished() {
+    std::lock_guard lock(mu_);
+    return std::exchange(finished_, {});
+  }
+
+  /// Flips the stop flag and full-closes every live connection so their
+  /// session threads fall out of blocking reads.
+  void stop_all() {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    for (const auto& [index, conn] : live_) {
+      (void)index;
+      shutdown_both(*conn);
+    }
+  }
+
+  bool stopping() const {
+    std::lock_guard lock(mu_);
+    return stopping_;
+  }
+
+ private:
+  const std::size_t max_clients_;
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<FdHandle>> live_;
+  std::vector<int> finished_;  ///< released, awaiting join by the acceptor
+  int next_index_ = 0;
+  bool stopping_ = false;
+};
+
+TcpServer::TcpServer(ServiceHost& host, TcpServerOptions options)
+    : host_(host), options_(std::move(options)) {
+  FFP_CHECK(options_.max_clients >= 1, "TcpServer needs max_clients >= 1");
+  listener_ = tcp_listen(options_.port, &port_);
+  int fds[2] = {-1, -1};
+  FFP_CHECK(::pipe(fds) == 0, "self-pipe creation failed: errno ", errno);
+  stop_read_ = FdHandle(fds[0]);
+  stop_write_ = FdHandle(fds[1]);
+  // The write end must never block (request_stop runs in signal
+  // handlers); a full pipe just means a stop is already pending.
+  ::fcntl(stop_write_.get(), F_SETFL, O_NONBLOCK);
+  ::fcntl(stop_read_.get(), F_SETFD, FD_CLOEXEC);
+  ::fcntl(stop_write_.get(), F_SETFD, FD_CLOEXEC);
+  connections_ = std::make_unique<ConnectionSet>(options_.max_clients);
+}
+
+TcpServer::~TcpServer() = default;
+
+void TcpServer::request_stop() noexcept {
+  // write(2) is async-signal-safe; one byte wakes the poll. EAGAIN means
+  // a stop is already queued — exactly as good.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(stop_write_.get(), &byte, 1);
+}
+
+void TcpServer::run() {
+  std::map<int, std::thread> workers;
+  const auto reap = [&] {
+    for (const int done : connections_->take_finished()) {
+      const auto it = workers.find(done);
+      if (it == workers.end()) continue;
+      it->second.join();  // already past release(): joins immediately
+      workers.erase(it);
+    }
+  };
+
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {listener_.get(), POLLIN, 0};
+    fds[1] = {stop_read_.get(), POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "ffp_serve: poll error: errno %d\n", errno);
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || connections_->stopping()) break;
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+
+    std::shared_ptr<FdHandle> conn;
+    try {
+      conn = std::make_shared<FdHandle>(tcp_accept(listener_));
+    } catch (const Error& e) {
+      // Transient accept failures (including injected ones) must never
+      // take the server down — log and keep serving.
+      if (connections_->stopping()) break;
+      std::fprintf(stderr, "ffp_serve: accept error: %s\n", e.what());
+      continue;
+    }
+    reap();  // bounded thread table: join everything that finished
+
+    const int index = connections_->try_claim(conn);
+    if (index < 0) {
+      if (connections_->stopping()) break;
+      // Overload shedding: an immediate structured rejection instead of
+      // queueing behind live clients. Best-effort — a peer that vanished
+      // before reading its rejection costs nothing.
+      try {
+        write_line(*conn,
+                   format_error("",
+                                "server at capacity (" +
+                                    std::to_string(options_.max_clients) +
+                                    " clients); retry after backoff",
+                                ErrCode::Overloaded,
+                                options_.overload_retry_after_ms),
+                   options_.write_timeout_ms);
+      } catch (const std::exception&) {
+      }
+      continue;  // conn closes as the shared_ptr dies
+    }
+
+    workers.emplace(index, std::thread([this, index, conn] {
+      serve_connection(index, conn);
+    }));
+  }
+
+  // Drain: no new connections (loop exited), kick every live reader
+  // loose, then join. Session destructors cancel their jobs bounded by
+  // the teardown deadline.
+  connections_->stop_all();
+  shutdown_both(listener_);
+  for (auto& [index, worker] : workers) {
+    (void)index;
+    if (worker.joinable()) worker.join();
+  }
+  // Queued jobs are cancelled, running jobs finish (early, with
+  // best-so-far, if a session teardown flagged them).
+  host_.engine().scheduler().shutdown();
+}
+
+void TcpServer::serve_connection(int index, std::shared_ptr<FdHandle> conn) {
+  {
+    ServiceSession session(
+        host_,
+        [this, conn](const std::string& line) {
+          write_line(*conn, line, options_.write_timeout_ms);
+        },
+        options_.session);
+    LineReader reader(*conn);
+    reader.set_timeout_ms(options_.idle_timeout_ms);
+    std::string line;
+    bool shutdown_requested = false;
+    try {
+      while (reader.next(line)) {
+        if (!session.handle_line(line)) {
+          shutdown_requested = true;
+          break;
+        }
+      }
+      // Clean client EOF: let its jobs finish (piped-batch semantics).
+      // EOF forced by a server stop is different — draining would hold
+      // the stop hostage to arbitrarily long jobs; the session destructor
+      // cancels them instead (bounded, best-so-far).
+      if (!shutdown_requested && !connections_->stopping()) session.drain();
+    } catch (const ServiceError& e) {
+      if (e.code() == ErrCode::Timeout) {
+        // Idle reaper: a silent client loses its slot with a structured
+        // goodbye (best-effort — it may be gone already).
+        try {
+          write_line(*conn,
+                     format_error("", std::string("idle timeout: ") + e.what(),
+                                  ErrCode::Timeout),
+                     options_.write_timeout_ms);
+        } catch (const std::exception&) {
+        }
+        std::fprintf(stderr, "ffp_serve: reaped idle connection: %s\n",
+                     e.what());
+      } else {
+        // ConnLost and friends: the peer vanished mid-line. The session
+        // destructor cancels its leftovers; keep serving everyone else.
+        std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
+    }
+    if (shutdown_requested) request_stop();
+  }
+  connections_->release(index);
+}
+
+}  // namespace ffp

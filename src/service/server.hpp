@@ -1,0 +1,85 @@
+// TcpServer — the service's TCP front end as a library (ffp_serve is a
+// thin flag-parsing wrapper around it, and the chaos tests drive it
+// in-process). One accept loop, thread-per-connection ServiceSessions over
+// one shared ServiceHost, and the failure-hardening policy in one place:
+//
+//   * Overload shedding: a connection beyond `max_clients` is accepted,
+//     told {"event":"error","code":"overloaded","retry_after_ms":...} and
+//     closed IMMEDIATELY — it never queues behind live clients, so a
+//     full server degrades into fast structured rejections instead of
+//     silent connect-then-hang.
+//   * Idle reaping: a connection that sends no request for
+//     `idle_timeout_ms` is told code "timeout" and closed, so a silent
+//     client cannot hold a --max-clients slot forever.
+//   * Write deadlines: every response line is bounded by
+//     `write_timeout_ms`, so a client that stops reading cannot wedge a
+//     session thread in send().
+//   * Graceful drain: request_stop() is async-signal-safe (self-pipe) —
+//     ffp_serve points SIGTERM/SIGINT at it. The loop then stops
+//     accepting, kicks every live connection loose, cancels their jobs
+//     (bounded, SessionPolicy::teardown_wait_ms) and shuts the scheduler
+//     down: queued work is cancelled, running work finishes early with
+//     best-so-far semantics.
+//
+// A client-requested {"op":"shutdown"} (when the session policy allows
+// it) drains the same way — there is exactly one stop path.
+#pragma once
+
+#include <atomic>
+
+#include "service/net.hpp"
+#include "service/service.hpp"
+
+namespace ffp {
+
+struct TcpServerOptions {
+  int port = 0;               ///< 127.0.0.1 port; 0 picks ephemeral
+  unsigned max_clients = 8;   ///< live sessions; beyond this, shed
+  /// Per-request read deadline: a connection idle this long is reaped
+  /// (structured `timeout` error, then close). <= 0 disables reaping.
+  double idle_timeout_ms = 30000;
+  /// Per-response write deadline (spans all partial sends). <= 0 blocks
+  /// forever — only sensible for trusted in-process tests.
+  double write_timeout_ms = 10000;
+  /// The retry-after hint shed connections are sent.
+  double overload_retry_after_ms = 250;
+  /// Per-connection policy (shutdown gating, teardown deadline).
+  SessionPolicy session;
+};
+
+class TcpServer {
+ public:
+  /// Binds the listener (throws ffp::Error when the port is taken). The
+  /// host must outlive the server.
+  TcpServer(ServiceHost& host, TcpServerOptions options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  int port() const { return port_; }
+
+  /// Serves until a stop: request_stop(), or an allowed client shutdown
+  /// op. Drains before returning (sessions torn down bounded, scheduler
+  /// shut down). Call once.
+  void run();
+
+  /// Async-signal-safe stop request: one byte down the self-pipe wakes
+  /// the accept loop's poll(). Safe from signal handlers and any thread;
+  /// idempotent.
+  void request_stop() noexcept;
+
+ private:
+  class ConnectionSet;
+  void serve_connection(int index, std::shared_ptr<FdHandle> conn);
+
+  ServiceHost& host_;
+  TcpServerOptions options_;
+  FdHandle listener_;
+  int port_ = 0;
+  FdHandle stop_read_;   ///< self-pipe read end (polled with the listener)
+  FdHandle stop_write_;  ///< self-pipe write end (request_stop writes here)
+  std::unique_ptr<ConnectionSet> connections_;
+};
+
+}  // namespace ffp

@@ -1,10 +1,12 @@
 #include "service/service.hpp"
 
+#include <cstdio>
 #include <iterator>
 #include <utility>
 #include <vector>
 
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace ffp {
 
@@ -15,6 +17,8 @@ api::EngineOptions engine_options(const ServiceOptions& options) {
   out.runners = options.runners;
   out.budget = options.budget;
   out.cache_capacity = options.cache_capacity;
+  out.max_queued = options.max_queued;
+  out.overload_retry_after_ms = options.overload_retry_after_ms;
   return out;
 }
 
@@ -61,30 +65,66 @@ api::Problem ServiceHost::load_problem(const Request& request) {
                                                "file:" + request.graph_file);
 }
 
-ServiceSession::ServiceSession(ServiceHost& host, Emit emit)
-    : host_(host), sink_(std::move(emit)) {}
+ServiceSession::ServiceSession(ServiceHost& host, Emit emit,
+                               SessionPolicy policy)
+    : host_(host),
+      policy_(policy),
+      emit_(std::make_shared<EmitState>()) {
+  emit_->sink = std::move(emit);
+}
 
 ServiceSession::~ServiceSession() {
   // Abnormal teardown (connection dropped): stop burning runners on jobs
-  // nobody will read, then wait so no progress callback can outlive us.
+  // nobody will read, then wait — bounded by the policy deadline — so a
+  // job that ignores its cancel flag cannot hold the transport thread
+  // hostage forever.
   std::vector<api::SolveHandle> handles;
   {
     std::lock_guard lock(mu_);
     for (auto& [id, handle] : handles_) handles.push_back(handle);
   }
   for (const auto& handle : handles) handle.cancel();
-  for (const auto& handle : handles) handle.wait();
+
+  std::size_t abandoned = 0;
+  const WallTimer timer;
+  for (const auto& handle : handles) {
+    if (policy_.teardown_wait_ms <= 0) {
+      handle.wait();
+      continue;
+    }
+    const double remaining =
+        policy_.teardown_wait_ms - timer.elapsed_millis();
+    if (remaining <= 0 || !handle.wait_for(remaining).has_value()) {
+      ++abandoned;
+    }
+  }
+  if (abandoned > 0) {
+    std::fprintf(stderr,
+                 "ffp service: abandoning %zu unfinished job(s) after "
+                 "%.0f ms teardown wait (cancelled; the scheduler will "
+                 "finish them)\n",
+                 abandoned, policy_.teardown_wait_ms);
+  }
+  // Closures owned by abandoned jobs outlive us; kill their sink access
+  // before the transport underneath it goes away.
+  std::lock_guard lock(emit_->mu);
+  emit_->alive = false;
+  emit_->sink = nullptr;
 }
 
-void ServiceSession::emit(const std::string& line) {
-  std::lock_guard lock(emit_mu_);
-  sink_(line);
+void ServiceSession::emit_to(const std::shared_ptr<EmitState>& state,
+                             const std::string& line) {
+  std::lock_guard lock(state->mu);
+  if (!state->alive) return;  // session torn down; drop the event
+  state->sink(line);
 }
 
 api::SolveHandle ServiceSession::lookup(const std::string& id) {
   std::lock_guard lock(mu_);
   const auto it = handles_.find(id);
-  if (it == handles_.end()) throw Error("unknown job id '" + id + "'");
+  if (it == handles_.end()) {
+    throw ServiceError(ErrCode::UnknownJob, "unknown job id '" + id + "'");
+  }
   return it->second;
 }
 
@@ -105,12 +145,14 @@ bool ServiceSession::handle_line(std::string_view line) {
         const api::Problem problem = host_.load_problem(request);
         api::ImprovementFn stream;
         if (host_.options().stream_progress) {
-          // The closure owns its client id, so streaming never needs the
-          // session's maps; a dead transport drops events rather than
-          // failing the job it reports on.
-          stream = [this, client = request.id](double seconds, double value) {
+          // The closure shares the emit state, not the session: it owns
+          // its client id and survives a torn-down session (the alive
+          // flag drops its events), so a dead transport can never fail
+          // the job it reports on.
+          stream = [state = emit_,
+                    client = request.id](double seconds, double value) {
             try {
-              emit(format_progress(client, seconds, value));
+              emit_to(state, format_progress(client, seconds, value));
             } catch (const std::exception&) {
               // Peer gone mid-stream; the result op will surface it.
             }
@@ -144,19 +186,38 @@ bool ServiceSession::handle_line(std::string_view line) {
         if (status.result != nullptr) {
           emit(format_result(id, status));
         } else if (status.state == JobState::Failed) {
-          throw Error("job failed: " + status.error);
+          // Preserve the scheduler's code (QueueExpired is retryable;
+          // solver failures are not) instead of flattening to one class.
+          throw ServiceError(status.error_code != ErrCode::None
+                                 ? status.error_code
+                                 : ErrCode::JobFailed,
+                             "job failed: " + status.error);
         } else {
-          throw Error("job was cancelled before it ran");
+          throw ServiceError(ErrCode::Cancelled,
+                             "job was cancelled before it ran");
         }
         return true;
       }
       case RequestOp::Shutdown:
+        if (!policy_.allow_shutdown) {
+          throw ServiceError(
+              ErrCode::Forbidden,
+              "shutdown is not allowed on this connection (start the "
+              "server with --allow-remote-shutdown)");
+        }
         host_.engine().scheduler().shutdown();
         emit(format_bye());
         return false;
     }
+  } catch (const ServiceError& e) {
+    // Already classified (shed, expired, forbidden, ...): forward the code
+    // and any retry-after hint to the client verbatim.
+    emit(format_error(id, e.what(), e.code(), e.retry_after_ms()));
+  } catch (const Error& e) {
+    // ffp::Error out of parsing/validation/loading: the request was bad.
+    emit(format_error(id, e.what(), ErrCode::BadRequest));
   } catch (const std::exception& e) {
-    emit(format_error(id, e.what()));
+    emit(format_error(id, e.what(), ErrCode::Internal));
   }
   return true;
 }

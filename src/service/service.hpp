@@ -23,9 +23,14 @@
 // cheap.
 //
 // Lifetime: a session destroyed with jobs still pending cancels them and
-// waits (anytime results are dropped with the connection); a clean EOF
-// calls drain() first, which lets them finish — so piped batch runs still
-// get their results while a vanished TCP client stops burning runners.
+// waits — but only up to SessionPolicy::teardown_wait_ms. A job that
+// ignores its cancel flag past that deadline is abandoned (logged to
+// stderr) rather than holding the transport thread hostage; the emit state
+// is a shared guard the streaming closures hold, so an abandoned job's
+// progress events drop silently instead of calling into a dead session. A
+// clean EOF calls drain() first, which lets jobs finish — so piped batch
+// runs still get their results while a vanished TCP client stops burning
+// runners.
 #pragma once
 
 #include <functional>
@@ -51,6 +56,12 @@ struct ServiceOptions {
   std::size_t cache_capacity = 64;
   bool stream_progress = false;  ///< emit `progress` events as they happen
   bool allow_files = true;       ///< permit graph_file submissions
+  /// Bounded submit queue across ALL sessions: beyond this many queued
+  /// jobs, submits are shed with a structured Overloaded error (and a
+  /// retry-after hint) instead of queueing without bound. 0 = unbounded.
+  std::size_t max_queued = 0;
+  /// Retry-after hint attached to Overloaded rejections, ms.
+  double overload_retry_after_ms = 250;
   ProtocolLimits limits;
 };
 
@@ -88,13 +99,29 @@ class ServiceHost {
   api::Engine engine_;
 };
 
+/// Per-connection policy knobs — what THIS transport may do, as opposed to
+/// ServiceOptions (what the host allows anyone). ffp_serve grants
+/// shutdown to its stdio pipe (the operator's own terminal) but gates it
+/// on --allow-remote-shutdown for TCP peers.
+struct SessionPolicy {
+  /// Whether {"op":"shutdown"} is honored. When false the request gets a
+  /// structured Forbidden error and the connection stays up.
+  bool allow_shutdown = true;
+  /// Teardown deadline: how long the destructor waits (total, across all
+  /// of the session's jobs) after cancelling them before abandoning the
+  /// stragglers. <= 0 waits forever (trusted in-process sessions).
+  double teardown_wait_ms = 5000;
+};
+
 class ServiceSession {
  public:
   using Emit = std::function<void(const std::string& line)>;
 
-  ServiceSession(ServiceHost& host, Emit emit);
-  /// Cancels this session's unfinished jobs and waits for them — call
-  /// drain() first for let-them-finish semantics.
+  ServiceSession(ServiceHost& host, Emit emit, SessionPolicy policy = {});
+  /// Cancels this session's unfinished jobs and waits up to
+  /// policy.teardown_wait_ms for them — call drain() first for
+  /// let-them-finish semantics. Jobs still running at the deadline are
+  /// abandoned (their streaming events drop; the scheduler finishes them).
   ~ServiceSession();
 
   ServiceSession(const ServiceSession&) = delete;
@@ -112,12 +139,24 @@ class ServiceSession {
   ServiceHost& host() { return host_; }
 
  private:
-  void emit(const std::string& line);
+  /// The emit half of the session, shared with every streaming closure it
+  /// spawned: the mutex serializes command responses with progress events,
+  /// and `alive` is flipped off at teardown so a closure owned by an
+  /// abandoned job drops its events instead of calling a dead sink.
+  struct EmitState {
+    std::mutex mu;
+    Emit sink;
+    bool alive = true;
+  };
+  static void emit_to(const std::shared_ptr<EmitState>& state,
+                      const std::string& line);
+
+  void emit(const std::string& line) { emit_to(emit_, line); }
   api::SolveHandle lookup(const std::string& id);
 
   ServiceHost& host_;
-  Emit sink_;
-  std::mutex emit_mu_;  ///< serializes command responses with progress events
+  SessionPolicy policy_;
+  std::shared_ptr<EmitState> emit_;
 
   std::mutex mu_;  ///< handle map
   std::map<std::string, api::SolveHandle> handles_;  ///< client id → handle

@@ -1,0 +1,157 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ffp::fault {
+
+namespace {
+
+struct Injector {
+  std::atomic<bool> enabled{false};
+  std::mutex mu;  ///< guards everything below
+  double probability[kNumPoints] = {};
+  double delay_ms = 100.0;
+  std::int64_t max_fires = 0;  ///< 0 = unlimited
+  std::int64_t fired = 0;
+  Rng rng{1};
+};
+
+Injector& injector() {
+  static Injector instance;
+  return instance;
+}
+
+int point_index(std::string_view key) {
+  if (key == "short_read") return static_cast<int>(Point::ShortRead);
+  if (key == "torn_write") return static_cast<int>(Point::TornWrite);
+  if (key == "delay_response") return static_cast<int>(Point::DelayResponse);
+  if (key == "conn_drop") return static_cast<int>(Point::ConnDrop);
+  if (key == "accept_fail") return static_cast<int>(Point::AcceptFail);
+  return -1;
+}
+
+void apply_spec(Injector& inj, const std::string& spec) {
+  // Reset first so configure("") and a re-configure both start clean.
+  for (double& p : inj.probability) p = 0.0;
+  inj.delay_ms = 100.0;
+  inj.max_fires = 0;
+  inj.fired = 0;
+  std::uint64_t seed = 1;
+
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view pair =
+        trim(semi == std::string_view::npos ? rest : rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    FFP_CHECK(eq != std::string_view::npos,
+              "FFP_FAULT: expected key=value, got '", std::string(pair), "'");
+    const std::string_view key = trim(pair.substr(0, eq));
+    const std::string_view value = trim(pair.substr(eq + 1));
+    if (const int point = point_index(key); point >= 0) {
+      const auto p = parse_double(value);
+      FFP_CHECK(p.has_value() && *p >= 0.0 && *p <= 1.0, "FFP_FAULT: '",
+                std::string(key), "' must be a probability in [0, 1]");
+      inj.probability[point] = *p;
+    } else if (key == "delay_ms") {
+      const auto ms = parse_double(value);
+      FFP_CHECK(ms.has_value() && *ms >= 0.0,
+                "FFP_FAULT: 'delay_ms' must be >= 0");
+      inj.delay_ms = *ms;
+    } else if (key == "seed") {
+      const auto s = parse_int(value);
+      FFP_CHECK(s.has_value() && *s >= 0, "FFP_FAULT: 'seed' must be >= 0");
+      seed = static_cast<std::uint64_t>(*s);
+    } else if (key == "max_fires") {
+      const auto n = parse_int(value);
+      FFP_CHECK(n.has_value() && *n >= 0,
+                "FFP_FAULT: 'max_fires' must be >= 0");
+      inj.max_fires = *n;
+    } else {
+      FFP_CHECK(false, "FFP_FAULT: unknown key '", std::string(key),
+                "' (short_read|torn_write|delay_response|conn_drop|"
+                "accept_fail|delay_ms|seed|max_fires)");
+    }
+  }
+  inj.rng.reseed(seed);
+
+  bool any = false;
+  for (const double p : inj.probability) any = any || p > 0.0;
+  inj.enabled.store(any, std::memory_order_release);
+}
+
+/// One-time environment pickup: the first fire()/enabled() call loads
+/// FFP_FAULT, so tools get chaos behavior with zero wiring.
+void ensure_env_loaded() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("FFP_FAULT");
+    if (spec != nullptr && *spec != '\0') {
+      Injector& inj = injector();
+      std::lock_guard lock(inj.mu);
+      apply_spec(inj, spec);
+    }
+  });
+}
+
+}  // namespace
+
+bool enabled() {
+  ensure_env_loaded();
+  return injector().enabled.load(std::memory_order_acquire);
+}
+
+bool fire(Point point) {
+  ensure_env_loaded();
+  Injector& inj = injector();
+  if (!inj.enabled.load(std::memory_order_acquire)) return false;
+  std::lock_guard lock(inj.mu);
+  const double p = inj.probability[static_cast<int>(point)];
+  if (p <= 0.0) return false;
+  if (inj.rng.uniform() >= p) return false;
+  if (inj.max_fires > 0 && inj.fired >= inj.max_fires) {
+    // Budget spent: the injector goes quiet so chaos runs converge.
+    inj.enabled.store(false, std::memory_order_release);
+    return false;
+  }
+  ++inj.fired;
+  return true;
+}
+
+double delay_ms() {
+  Injector& inj = injector();
+  std::lock_guard lock(inj.mu);
+  return inj.delay_ms;
+}
+
+void maybe_delay() {
+  if (!fire(Point::DelayResponse)) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms()));
+}
+
+std::int64_t fires() {
+  Injector& inj = injector();
+  std::lock_guard lock(inj.mu);
+  return inj.fired;
+}
+
+void configure(const std::string& spec) {
+  ensure_env_loaded();  // settle the env race before tests take over
+  Injector& inj = injector();
+  std::lock_guard lock(inj.mu);
+  apply_spec(inj, spec);
+}
+
+}  // namespace ffp::fault

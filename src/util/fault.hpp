@@ -1,0 +1,71 @@
+// Seeded fault injection for chaos-testing the service stack.
+//
+// The transport layer (service/net.cpp) and the protocol layer
+// (service/protocol.cpp) carry named injection points; each call to
+// fire() rolls a seeded RNG against that point's configured probability
+// and tells the caller whether to inject. With no configuration every
+// point is off and fire() is a single relaxed atomic load — the serving
+// hot path pays nothing.
+//
+// Configuration comes from the FFP_FAULT environment variable (read once,
+// at first use) or from fault::configure() in tests. The spec is
+// ';'-separated key=value pairs; unknown keys fail loudly:
+//
+//   FFP_FAULT="conn_drop=0.1;short_read=0.5;seed=7;max_fires=4"
+//
+//   short_read=P      recv() returns at most 1 byte (exercises framing)
+//   torn_write=P      send() writes a prefix, then drops the connection
+//   delay_response=P  sleep delay_ms before the protocol action
+//   conn_drop=P       the connection is dropped before the I/O
+//   accept_fail=P     an accepted connection is destroyed immediately
+//   delay_ms=N        sleep per delay_response fire (default 100)
+//   seed=N            RNG seed (default 1)
+//   max_fires=N       total faults across all points; once spent the
+//                     injector goes quiet (default 0 = unlimited). This is
+//                     what makes chaos tests convergent: probability 1.0
+//                     with a fires budget injects exactly N faults, then
+//                     the run completes cleanly.
+//
+// Each point's roll consumes from one global seeded stream, so a fixed
+// seed gives a reproducible fault sequence for a fixed call order
+// (thread interleavings permitting — chaos tests assert recovery, not a
+// specific schedule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ffp::fault {
+
+enum class Point : int {
+  ShortRead = 0,
+  TornWrite,
+  DelayResponse,
+  ConnDrop,
+  AcceptFail,
+};
+inline constexpr int kNumPoints = 5;
+
+/// True when any point has positive probability (and the fires budget is
+/// not yet spent). Cheap: one relaxed atomic load.
+bool enabled();
+
+/// Rolls for `point`; true = the caller must inject the fault now. Lazily
+/// reads FFP_FAULT on the first call ever (throws ffp::Error on a
+/// malformed spec, so a typo'd variable fails loudly, not silently).
+bool fire(Point point);
+
+/// The configured sleep for DelayResponse fires, in milliseconds.
+double delay_ms();
+
+/// Sleeps delay_ms() when fire(DelayResponse) — the common inline form.
+void maybe_delay();
+
+/// Total faults injected since the last (re)configure.
+std::int64_t fires();
+
+/// (Re)configures from a spec string; "" turns every point off. Meant for
+/// tests — production configuration is the FFP_FAULT environment variable.
+void configure(const std::string& spec);
+
+}  // namespace ffp::fault

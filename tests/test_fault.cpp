@@ -1,0 +1,108 @@
+// Unit tests for the fault injector itself: spec parsing, probability
+// semantics, the fires budget that makes chaos runs convergent, and
+// determinism of the seeded roll stream.
+#include "util/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ffp {
+namespace {
+
+/// Every test leaves the global injector off, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { fault::configure(""); }
+};
+
+TEST(Fault, DisabledByDefaultAndAfterClear) {
+  FaultGuard guard;
+  fault::configure("");
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::fire(fault::Point::ConnDrop));
+  EXPECT_EQ(fault::fires(), 0);
+}
+
+TEST(Fault, ProbabilityOneFiresUntilBudgetSpent) {
+  FaultGuard guard;
+  fault::configure("conn_drop=1;seed=3;max_fires=2");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::fire(fault::Point::ConnDrop));
+  EXPECT_TRUE(fault::fire(fault::Point::ConnDrop));
+  // Budget spent: the injector goes quiet — this is what makes chaos
+  // tests converge to a clean run after exactly N injected faults.
+  EXPECT_FALSE(fault::fire(fault::Point::ConnDrop));
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_EQ(fault::fires(), 2);
+}
+
+TEST(Fault, ProbabilityZeroNeverFires) {
+  FaultGuard guard;
+  fault::configure("conn_drop=0;short_read=1");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(fault::fire(fault::Point::ConnDrop));
+  }
+}
+
+TEST(Fault, PointsAreIndependent) {
+  FaultGuard guard;
+  fault::configure("short_read=1");
+  EXPECT_TRUE(fault::fire(fault::Point::ShortRead));
+  EXPECT_FALSE(fault::fire(fault::Point::TornWrite));
+  EXPECT_FALSE(fault::fire(fault::Point::AcceptFail));
+}
+
+TEST(Fault, SeededRollStreamIsDeterministic) {
+  FaultGuard guard;
+  const auto roll_sequence = [] {
+    std::vector<bool> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(fault::fire(fault::Point::ConnDrop));
+    }
+    return out;
+  };
+  fault::configure("conn_drop=0.5;seed=42");
+  const std::vector<bool> first = roll_sequence();
+  fault::configure("conn_drop=0.5;seed=42");
+  const std::vector<bool> second = roll_sequence();
+  EXPECT_EQ(first, second);
+  // ... and a different seed gives a different schedule.
+  fault::configure("conn_drop=0.5;seed=43");
+  EXPECT_NE(roll_sequence(), first);
+}
+
+TEST(Fault, DelayConfiguration) {
+  FaultGuard guard;
+  fault::configure("delay_response=1;delay_ms=5");
+  EXPECT_EQ(fault::delay_ms(), 5.0);
+  fault::configure("");
+  EXPECT_EQ(fault::delay_ms(), 100.0);  // default restored
+}
+
+TEST(Fault, MalformedSpecsFailLoudly) {
+  FaultGuard guard;
+  EXPECT_THROW(fault::configure("bogus_point=1"), Error);
+  EXPECT_THROW(fault::configure("conn_drop"), Error);        // no '='
+  EXPECT_THROW(fault::configure("conn_drop=1.5"), Error);    // p > 1
+  EXPECT_THROW(fault::configure("conn_drop=x"), Error);
+  EXPECT_THROW(fault::configure("delay_ms=-1"), Error);
+  EXPECT_THROW(fault::configure("max_fires=-2"), Error);
+  // A failed configure must leave the injector off, not half-armed.
+  fault::configure("");
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST(Fault, ReconfigureResetsStateCompletely) {
+  FaultGuard guard;
+  fault::configure("conn_drop=1;max_fires=5");
+  EXPECT_TRUE(fault::fire(fault::Point::ConnDrop));
+  EXPECT_EQ(fault::fires(), 1);
+  fault::configure("short_read=1");
+  EXPECT_EQ(fault::fires(), 0);  // counter cleared
+  EXPECT_FALSE(fault::fire(fault::Point::ConnDrop));  // old point cleared
+}
+
+}  // namespace
+}  // namespace ffp

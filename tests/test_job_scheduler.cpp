@@ -319,5 +319,77 @@ TEST(JobScheduler, OnTerminalFiresOncePerJob) {
   EXPECT_EQ(states[cancelled], JobState::Cancelled);
 }
 
+/// Parks a wall-clock job on the (single) runner and returns once the
+/// scheduler reports it Running — so anything submitted after is
+/// guaranteed to wait in the queue.
+std::uint64_t occupy_runner(JobScheduler& scheduler, double budget_ms) {
+  JobSpec blocker = quick_job(1);
+  blocker.steps = 0;
+  blocker.budget_ms = budget_ms;
+  const auto id = scheduler.submit(std::move(blocker));
+  while (scheduler.status(id).state == JobState::Queued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return id;
+}
+
+TEST(JobScheduler, QueueTtlExpiresWaitingJobsWithStructuredError) {
+  JobScheduler scheduler;  // one runner
+  const auto blocker = occupy_runner(scheduler, 300);
+  JobSpec stale = quick_job(2);
+  stale.queue_ttl_ms = 1;  // the blocker guarantees > 1 ms in queue
+  const auto id = scheduler.submit(std::move(stale));
+  const JobStatus status = scheduler.wait(id);
+  EXPECT_EQ(status.state, JobState::Failed);
+  EXPECT_EQ(status.error_code, ErrCode::QueueExpired);
+  EXPECT_TRUE(err_retryable(status.error_code));
+  EXPECT_NE(status.error.find("expired in queue"), std::string::npos)
+      << status.error;
+  EXPECT_EQ(status.result, nullptr);
+  scheduler.cancel(blocker);
+}
+
+TEST(JobScheduler, BoundedQueueShedsWithRetryHint) {
+  JobSchedulerOptions options;
+  options.max_queued = 1;
+  options.overload_retry_after_ms = 77;
+  JobScheduler scheduler(std::move(options));
+  const auto blocker = occupy_runner(scheduler, 2000);
+  const auto queued = scheduler.submit(quick_job(2));  // fills the queue
+  try {
+    scheduler.submit(quick_job(3));
+    FAIL() << "expected an Overloaded rejection";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::Overloaded);
+    EXPECT_TRUE(e.retryable());
+    EXPECT_EQ(e.retry_after_ms(), 77.0);
+  }
+  scheduler.cancel(queued);
+  scheduler.cancel(blocker);
+}
+
+TEST(JobScheduler, WaitForBoundsTheWaitThenDelivers) {
+  JobScheduler scheduler;
+  const auto id = occupy_runner(scheduler, 400);
+  // Far too short: the deadline-bounded wait must give up, not block.
+  EXPECT_FALSE(scheduler.wait_for(id, 1).has_value());
+  // Generous: the same call returns the terminal status.
+  const auto status = scheduler.wait_for(id, 60000);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::Done);
+}
+
+TEST(JobScheduler, SubmitAfterShutdownIsShuttingDown) {
+  JobScheduler scheduler;
+  scheduler.shutdown();
+  try {
+    scheduler.submit(quick_job(1));
+    FAIL() << "expected a ShuttingDown rejection";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrCode::ShuttingDown);
+    EXPECT_TRUE(e.retryable());
+  }
+}
+
 }  // namespace
 }  // namespace ffp

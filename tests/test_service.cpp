@@ -433,6 +433,62 @@ TEST(ServiceHost, RepeatSubmissionsHitTheResultCache) {
   EXPECT_EQ(h.host.engine().cache_counters().hits, 1);
 }
 
+// Every error event names its place in the retryable-vs-fatal taxonomy —
+// clients dispatch on `code`/`retryable`, not on message prose.
+TEST(ServiceProtocol, ErrorEventsCarryTheCodeTaxonomy) {
+  Harness h;
+  h.feed(R"({"op":"status","id":"nobody"})");
+  JsonValue err = h.last();
+  ASSERT_EQ(err.find("event")->as_string(), "error");
+  ASSERT_NE(err.find("code"), nullptr) << h.lines.back();
+  EXPECT_EQ(err.find("code")->as_string(), "unknown_job");
+  ASSERT_NE(err.find("retryable"), nullptr);
+  EXPECT_FALSE(err.find("retryable")->as_bool());
+
+  h.feed("this is not json");
+  err = h.last();
+  ASSERT_EQ(err.find("event")->as_string(), "error");
+  EXPECT_EQ(err.find("code")->as_string(), "bad_request");
+  EXPECT_FALSE(err.find("retryable")->as_bool());
+}
+
+// The remote-shutdown gate: a session whose policy forbids shutdown
+// answers with a fatal `forbidden` error and KEEPS SERVING — the
+// connection is not torn down, and real work still goes through.
+TEST(ServiceSession, ShutdownGatedBySessionPolicy) {
+  ServiceHost host{ServiceOptions{}};
+  std::vector<std::string> lines;
+  SessionPolicy policy;
+  policy.allow_shutdown = false;
+  ServiceSession session(
+      host, [&lines](const std::string& line) { lines.push_back(line); },
+      policy);
+
+  EXPECT_TRUE(session.handle_line(R"({"op":"shutdown"})"));  // still serving
+  const JsonValue err = JsonValue::parse(lines.back());
+  ASSERT_EQ(err.find("event")->as_string(), "error");
+  EXPECT_EQ(err.find("code")->as_string(), "forbidden");
+  EXPECT_FALSE(err.find("retryable")->as_bool());
+
+  session.handle_line(kInlineSubmit);
+  EXPECT_EQ(JsonValue::parse(lines.back()).find("event")->as_string(), "ack");
+}
+
+TEST(ServiceProtocol, QueueTtlFieldValidatedAndAccepted) {
+  Harness h;
+  h.feed(
+      R"({"op":"submit","id":"t0","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"k":2,"steps":300,"queue_ttl_ms":-5})");
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(
+      R"({"op":"submit","id":"t1","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"k":2,"steps":300,"queue_ttl_ms":"soon"})");
+  EXPECT_EQ(h.last_event(), "error");
+  h.feed(
+      R"({"op":"submit","id":"t2","graph":{"n":4,"edges":[[0,1],[1,2],[2,3]]},"k":2,"steps":300,"queue_ttl_ms":60000})");
+  EXPECT_EQ(h.last_event(), "ack");
+  h.feed(R"({"op":"result","id":"t2"})");
+  EXPECT_EQ(h.last_event(), "result");
+}
+
 TEST(ServiceProtocol, RestartsFieldValidatedAndAccepted) {
   Harness h;
   h.feed(

@@ -9,86 +9,40 @@
 //   ffp_client --connect 17917 --script requests.jsonl
 //
 // In graph mode the client submits --jobs copies of the job (ids j0, j1,
-// …, seeds seed, seed+1, …), then requests every result and writes each
-// partition to --out-dir/<id>.part. Every response line is echoed to
-// stdout, so logs double as protocol transcripts. Exit status is 0 only
-// if every submitted job came back with a result.
+// …, seeds seed, seed+1, …) through the resilient ServiceClient
+// (service/client.hpp): retryable failures — shed connections, queue
+// expiry, torn connections, server restarts — are retried up to --retries
+// times with deterministic exponential backoff (--backoff-ms cap growth,
+// jitter seeded by --retry-seed), honoring any server retry-after hint.
+// Resubmission after a torn connection is idempotent: a job that already
+// completed comes back as a server-side cache hit with byte-identical
+// results. Every response line is echoed to stdout, so logs double as
+// protocol transcripts; backoffs are logged to stderr. Exit status is 0
+// only if every submitted job came back with a result.
+//
+// Script mode stays a raw replay (no retries): it exists to prod the
+// protocol, including with malformed lines.
 #include <cstdio>
 #include <fstream>
-#include <set>
 #include <string>
+#include <vector>
 
+#include "graph/io.hpp"
+#include "service/client.hpp"
 #include "service/json.hpp"
 #include "service/net.hpp"
-#include "graph/io.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
 
 namespace {
 
-/// Result lines carry one array element per vertex, so the client must
-/// parse far bigger documents than the server accepts as requests.
+constexpr std::size_t kClientMaxLineBytes = 1u << 30;
+
 ffp::JsonLimits client_limits() {
   ffp::JsonLimits limits;
   limits.max_bytes = 1u << 30;
   limits.max_elements = 1u << 30;
   return limits;
-}
-constexpr std::size_t kClientMaxLineBytes = 1u << 30;
-
-/// Reads lines until the terminal event (result/error) for `id` arrives,
-/// echoing everything; returns true when it was a result, writing the
-/// partition to `out_path` if non-empty.
-bool await_result(ffp::LineReader& reader, const std::string& id,
-                  const std::string& out_path) {
-  std::string line;
-  while (reader.next(line, kClientMaxLineBytes)) {
-    std::printf("%s\n", line.c_str());
-    const ffp::JsonValue event = ffp::JsonValue::parse(line, client_limits());
-    const ffp::JsonValue* ev = event.find("event");
-    const ffp::JsonValue* eid = event.find("id");
-    if (ev == nullptr || eid == nullptr || !eid->is_string() ||
-        eid->as_string() != id) {
-      continue;  // progress or an event for another job
-    }
-    if (ev->as_string() == "result") {
-      if (!out_path.empty()) {
-        const ffp::JsonValue* partition = event.find("partition");
-        if (partition == nullptr || !partition->is_array()) {
-          throw ffp::Error("result event for '" + id + "' has no partition");
-        }
-        const auto& parts_json = partition->as_array();
-        std::vector<int> parts;
-        parts.reserve(parts_json.size());
-        for (const auto& p : parts_json) {
-          parts.push_back(static_cast<int>(p.as_int()));
-        }
-        ffp::write_partition_file(parts, out_path);
-      }
-      return true;
-    }
-    if (ev->as_string() == "error") return false;
-  }
-  throw ffp::Error("server closed the connection before result of '" + id +
-                   "'");
-}
-
-/// Reads until the ack/error response for `id`; true on ack.
-bool await_ack(ffp::LineReader& reader, const std::string& id) {
-  std::string line;
-  while (reader.next(line)) {
-    std::printf("%s\n", line.c_str());
-    const ffp::JsonValue event = ffp::JsonValue::parse(line);
-    const ffp::JsonValue* ev = event.find("event");
-    const ffp::JsonValue* eid = event.find("id");
-    if (ev == nullptr || eid == nullptr || !eid->is_string() ||
-        eid->as_string() != id) {
-      continue;
-    }
-    if (ev->as_string() == "ack") return true;
-    if (ev->as_string() == "error") return false;
-  }
-  throw ffp::Error("server closed the connection before ack of '" + id + "'");
 }
 
 std::string submit_line(const ffp::ArgParser& args, const std::string& id,
@@ -106,8 +60,31 @@ std::string submit_line(const ffp::ArgParser& args, const std::string& id,
   out += ",\"steps\":" + std::to_string(args.get_int("steps"));
   out += ",\"threads\":" + std::to_string(args.get_int("threads"));
   out += ",\"priority\":" + std::to_string(args.get_int("priority"));
+  if (args.get_int("queue-ttl-ms") > 0) {
+    out += ",\"queue_ttl_ms\":" + std::to_string(args.get_int("queue-ttl-ms"));
+  }
   out += "}";
   return out;
+}
+
+/// Extracts the partition array from a raw `result` event line and writes
+/// it as a partition file.
+void write_result_partition(const std::string& result_line,
+                            const std::string& id,
+                            const std::string& out_path) {
+  const ffp::JsonValue event =
+      ffp::JsonValue::parse(result_line, client_limits());
+  const ffp::JsonValue* partition = event.find("partition");
+  if (partition == nullptr || !partition->is_array()) {
+    throw ffp::Error("result event for '" + id + "' has no partition");
+  }
+  const auto& parts_json = partition->as_array();
+  std::vector<int> parts;
+  parts.reserve(parts_json.size());
+  for (const auto& p : parts_json) {
+    parts.push_back(static_cast<int>(p.as_int()));
+  }
+  ffp::write_partition_file(parts, out_path);
 }
 
 int run_script(const ffp::FdHandle& conn, ffp::LineReader& reader,
@@ -138,7 +115,7 @@ int run_script(const ffp::FdHandle& conn, ffp::LineReader& reader,
 int main(int argc, char** argv) {
   ffp::ArgParser args;
   args.flag("connect", "", "ffp_serve port on 127.0.0.1 (required)")
-      .flag("script", "", "file of raw request lines to replay")
+      .flag("script", "", "file of raw request lines to replay (no retries)")
       .flag("graph", "", "graph file to submit (server-side path)")
       .flag("jobs", "1", "number of jobs to submit (ids j0..jN-1)")
       .flag("k", "8", "parts per job")
@@ -148,6 +125,13 @@ int main(int argc, char** argv) {
       .flag("steps", "10000", "deterministic step budget per job")
       .flag("threads", "0", "intra-run worker want per job")
       .flag("priority", "0", "job priority (higher runs first)")
+      .flag("queue-ttl-ms", "0", "per-job queue TTL (0 = none)")
+      .flag("retries", "5", "connection attempts before giving up")
+      .flag("backoff-ms", "100", "base retry backoff (doubles per attempt, "
+                                 "capped at 50x, jittered)")
+      .flag("retry-seed", "1", "jitter seed (deterministic backoff schedule)")
+      .flag("timeout-ms", "0", "per-read/write deadline awaiting responses "
+                               "(0 = block forever)")
       .flag("out-dir", "", "write each partition to <out-dir>/<id>.part")
       .toggle("shutdown", "send shutdown after the last result")
       .toggle("help", "show this help");
@@ -160,10 +144,10 @@ int main(int argc, char** argv) {
     const auto port = ffp::parse_int(args.get("connect"));
     FFP_CHECK(port.has_value() && *port > 0 && *port <= 65535,
               "--connect must be a port number");
-    ffp::FdHandle conn = ffp::tcp_connect(static_cast<int>(*port));
-    ffp::LineReader reader(conn);
 
     if (!args.get("script").empty()) {
+      ffp::FdHandle conn = ffp::tcp_connect(static_cast<int>(*port));
+      ffp::LineReader reader(conn);
       return run_script(conn, reader, args.get("script"),
                         args.get_bool("shutdown"));
     }
@@ -173,34 +157,78 @@ int main(int argc, char** argv) {
     const std::int64_t jobs = args.get_int("jobs");
     FFP_CHECK(jobs >= 1, "--jobs must be >= 1");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const std::int64_t retries = args.get_int("retries");
+    FFP_CHECK(retries >= 1, "--retries must be >= 1");
+    const std::int64_t backoff_ms = args.get_int("backoff-ms");
+    FFP_CHECK(backoff_ms >= 1, "--backoff-ms must be >= 1");
+    const std::int64_t timeout_ms = args.get_int("timeout-ms");
+    FFP_CHECK(timeout_ms >= 0, "--timeout-ms must be >= 0");
 
-    // Submit everything first (the scheduler runs jobs concurrently),
-    // then collect results in submission order.
-    std::set<std::string> failed;
+    ffp::ServiceClientOptions options;
+    options.port = static_cast<int>(*port);
+    options.retry.max_attempts = static_cast<int>(retries);
+    options.retry.base_ms = static_cast<double>(backoff_ms);
+    options.retry.max_ms = static_cast<double>(backoff_ms) * 50;
+    options.retry.seed = static_cast<std::uint64_t>(args.get_int("retry-seed"));
+    options.io_timeout_ms = static_cast<double>(timeout_ms);
+    options.on_line = [](const std::string& line) {
+      std::printf("%s\n", line.c_str());
+    };
+    options.on_backoff = [](int attempt, double wait_ms,
+                            const std::string& why) {
+      std::fprintf(stderr,
+                   "ffp_client: attempt %d failed (%s); retrying in %.0f ms\n",
+                   attempt, why.c_str(), wait_ms);
+    };
+
+    std::vector<ffp::ClientJob> batch;
+    batch.reserve(static_cast<std::size_t>(jobs));
     for (std::int64_t i = 0; i < jobs; ++i) {
       const std::string id = "j" + std::to_string(i);
-      ffp::write_line(conn, submit_line(args, id, seed + static_cast<std::uint64_t>(i)));
-      if (!await_ack(reader, id)) failed.insert(id);
+      batch.push_back(
+          {id, submit_line(args, id, seed + static_cast<std::uint64_t>(i))});
     }
-    for (std::int64_t i = 0; i < jobs; ++i) {
-      const std::string id = "j" + std::to_string(i);
-      if (failed.count(id) > 0) continue;
-      std::string request = "{\"op\":\"result\",\"id\":";
-      ffp::json_append_quoted(request, id);
-      request += "}";
-      ffp::write_line(conn, request);
-      const std::string out_dir = args.get("out-dir");
-      const std::string out_path =
-          out_dir.empty() ? std::string() : out_dir + "/" + id + ".part";
-      if (!await_result(reader, id, out_path)) failed.insert(id);
+
+    ffp::ServiceClient client(options);
+    const std::vector<ffp::ClientResult> results = client.run(batch);
+
+    std::size_t failed = 0;
+    const std::string out_dir = args.get("out-dir");
+    for (const ffp::ClientResult& r : results) {
+      if (!r.ok) {
+        ++failed;
+        std::fprintf(stderr, "ffp_client: job '%s' failed [%.*s]: %s\n",
+                     r.id.c_str(),
+                     static_cast<int>(ffp::err_name(r.code).size()),
+                     ffp::err_name(r.code).data(), r.error.c_str());
+        continue;
+      }
+      if (!out_dir.empty()) {
+        write_result_partition(r.result_line, r.id,
+                               out_dir + "/" + r.id + ".part");
+      }
     }
     if (args.get_bool("shutdown")) {
-      ffp::write_line(conn, "{\"op\":\"shutdown\"}");
-      std::string line;
-      while (reader.next(line)) std::printf("%s\n", line.c_str());
+      // Best-effort: the server may gate remote shutdown (Forbidden) or
+      // be gone already; neither should fail a batch that succeeded.
+      try {
+        ffp::FdHandle conn = ffp::tcp_connect(static_cast<int>(*port));
+        ffp::LineReader reader(conn);
+        if (timeout_ms > 0) {
+          reader.set_timeout_ms(static_cast<double>(timeout_ms));
+        }
+        ffp::write_line(conn, "{\"op\":\"shutdown\"}");
+        std::string line;
+        while (reader.next(line, kClientMaxLineBytes)) {
+          std::printf("%s\n", line.c_str());
+        }
+      } catch (const ffp::Error& e) {
+        std::fprintf(stderr, "ffp_client: shutdown send failed: %s\n",
+                     e.what());
+      }
     }
-    if (!failed.empty()) {
-      std::fprintf(stderr, "ffp_client: %zu job(s) failed\n", failed.size());
+    if (failed > 0) {
+      std::fprintf(stderr, "ffp_client: %zu job(s) failed\n", failed);
       return 1;
     }
     return 0;

@@ -11,7 +11,7 @@
 // port, printed on stderr) and serves up to --max-clients connections
 // CONCURRENTLY, thread-per-connection, every session submitting into one
 // shared ServiceHost — one JobScheduler, one ThreadBudget, one result
-// cache — until a client sends {"op":"shutdown"}.
+// cache — until SIGTERM/SIGINT or an authorized {"op":"shutdown"}.
 //
 // Concurrency model: --runners jobs execute at once across ALL clients,
 // and every solve leases its workers from the process-wide ThreadBudget
@@ -22,18 +22,25 @@
 // validated, graph files go through the hardened readers under
 // --max-vertices/--max-edges, and --no-files restricts submissions to
 // inline graphs.
-#include <condition_variable>
+//
+// Failure hardening (service/server.hpp has the machinery):
+//   * connections beyond --max-clients are told "overloaded" (with a
+//     retry-after hint) and closed immediately — never queued;
+//   * more than --max-queued waiting jobs shed submits the same way;
+//   * a connection idle past --idle-timeout-ms is reaped, so a silent
+//     client cannot hold a slot;
+//   * every response write is bounded by --write-timeout-ms;
+//   * SIGTERM/SIGINT drain gracefully: stop accepting, cancel queued
+//     jobs, let running jobs finish with best-so-far semantics;
+//   * {"op":"shutdown"} from a TCP peer is FORBIDDEN unless the server
+//     was started with --allow-remote-shutdown (pipe mode — the
+//     operator's own terminal — always honors it).
+#include <csignal>
 #include <cstdio>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <utility>
-#include <vector>
 
-#include "service/net.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 #include "service/thread_budget.hpp"
 #include "util/args.hpp"
@@ -47,6 +54,7 @@ ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
       static_cast<std::size_t>(args.get_int("cache-entries"));
   options.stream_progress = args.get_bool("stream");
   options.allow_files = !args.get_bool("no-files");
+  options.max_queued = static_cast<std::size_t>(args.get_int("max-queued"));
   options.limits.graph.max_vertices = args.get_int("max-vertices");
   options.limits.graph.max_edges = args.get_int("max-edges");
   FFP_CHECK(options.limits.graph.max_vertices >= 0,
@@ -56,14 +64,21 @@ ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
 }
 
 /// One session over stdin/stdout. Returns when the client shuts down or
-/// the pipe closes.
+/// the pipe closes. The pipe is the operator's own terminal, so shutdown
+/// stays allowed and teardown waits are unbounded.
 void serve_stdio(const ffp::ArgParser& args) {
   ffp::ServiceHost host(host_options(args));
-  ffp::ServiceSession session(host, [](const std::string& line) {
-    std::fputs(line.c_str(), stdout);
-    std::fputc('\n', stdout);
-    std::fflush(stdout);  // clients poll line by line; never buffer
-  });
+  ffp::SessionPolicy policy;
+  policy.allow_shutdown = true;
+  policy.teardown_wait_ms = 0;  // trusted caller; wait for everything
+  ffp::ServiceSession session(
+      host,
+      [](const std::string& line) {
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);  // clients poll line by line; never buffer
+      },
+      policy);
   std::string line;
   while (std::getline(std::cin, line)) {
     if (!session.handle_line(line)) return;
@@ -73,145 +88,46 @@ void serve_stdio(const ffp::ArgParser& args) {
   session.drain();
 }
 
-/// The accept loop's shared view of every live connection: a slot gate
-/// (--max-clients) plus the fd registry the shutdown path uses to kick
-/// readers loose.
-class ConnectionSet {
- public:
-  explicit ConnectionSet(unsigned max_clients) : max_clients_(max_clients) {}
+/// The signal path: SIGTERM/SIGINT write one byte down the server's
+/// self-pipe (async-signal-safe) and the accept loop drains.
+ffp::TcpServer* g_server = nullptr;
 
-  /// Blocks until a slot is free, then claims it for `conn` and returns a
-  /// connection index. Returns -1 when the server is shutting down.
-  int claim(std::shared_ptr<ffp::FdHandle> conn) {
-    std::unique_lock lock(mu_);
-    freed_.wait(lock, [this] {
-      return stopping_ || live_.size() < max_clients_;
-    });
-    if (stopping_) return -1;
-    const int index = next_index_++;
-    live_.emplace(index, std::move(conn));
-    return index;
-  }
+extern "C" void on_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
 
-  /// Called by a session thread as its last act: frees the slot and queues
-  /// the index for the accept loop to join — so finished threads are
-  /// reaped continuously instead of accumulating until shutdown.
-  void release(int index) {
-    {
-      std::lock_guard lock(mu_);
-      live_.erase(index);
-      finished_.push_back(index);
-    }
-    freed_.notify_one();
-  }
-
-  /// Drains the reap queue (accept loop only).
-  std::vector<int> take_finished() {
-    std::lock_guard lock(mu_);
-    return std::exchange(finished_, {});
-  }
-
-  /// Flips the stop flag and full-closes every live connection so their
-  /// session threads fall out of blocking reads.
-  void stop_all() {
-    std::lock_guard lock(mu_);
-    stopping_ = true;
-    for (const auto& [index, conn] : live_) ffp::shutdown_both(*conn);
-    freed_.notify_all();
-  }
-
-  bool stopping() const {
-    std::lock_guard lock(mu_);
-    return stopping_;
-  }
-
- private:
-  const std::size_t max_clients_;
-  mutable std::mutex mu_;
-  std::condition_variable freed_;
-  std::map<int, std::shared_ptr<ffp::FdHandle>> live_;
-  std::vector<int> finished_;  ///< released, awaiting join by the acceptor
-  int next_index_ = 0;
-  bool stopping_ = false;
-};
-
-/// TCP accept loop: thread-per-connection sessions over one shared host,
-/// capped at --max-clients, until a session ends with shutdown.
 int serve_tcp(const ffp::ArgParser& args, int port) {
   const std::int64_t max_clients = args.get_int("max-clients");
   FFP_CHECK(max_clients >= 1 && max_clients <= 4096,
             "--max-clients must be in [1, 4096]");
+  const std::int64_t idle_ms = args.get_int("idle-timeout-ms");
+  FFP_CHECK(idle_ms >= 0, "--idle-timeout-ms must be >= 0 (0 = no reaping)");
+  const std::int64_t write_ms = args.get_int("write-timeout-ms");
+  FFP_CHECK(write_ms >= 0, "--write-timeout-ms must be >= 0 (0 = unbounded)");
 
   ffp::ServiceHost host(host_options(args));
-  ConnectionSet connections(static_cast<unsigned>(max_clients));
-  int bound = 0;
-  ffp::FdHandle listener = ffp::tcp_listen(port, &bound);
-  std::fprintf(stderr, "ffp_serve: listening on 127.0.0.1:%d (up to %lld "
-                       "concurrent clients)\n",
-               bound, static_cast<long long>(max_clients));
+  ffp::TcpServerOptions options;
+  options.port = port;
+  options.max_clients = static_cast<unsigned>(max_clients);
+  options.idle_timeout_ms = static_cast<double>(idle_ms);
+  options.write_timeout_ms = static_cast<double>(write_ms);
+  options.session.allow_shutdown = args.get_bool("allow-remote-shutdown");
+  ffp::TcpServer server(host, options);
 
-  std::map<int, std::thread> workers;
-  const auto reap = [&] {
-    for (const int done : connections.take_finished()) {
-      const auto it = workers.find(done);
-      if (it == workers.end()) continue;
-      it->second.join();  // already past release(): joins immediately
-      workers.erase(it);
-    }
-  };
-  for (;;) {
-    std::shared_ptr<ffp::FdHandle> conn;
-    try {
-      conn = std::make_shared<ffp::FdHandle>(ffp::tcp_accept(listener));
-    } catch (const ffp::Error& e) {
-      // accept() fails when the shutdown path shuts the listener under
-      // us — the clean exit; anything else is a real error worth logging.
-      if (connections.stopping()) break;
-      std::fprintf(stderr, "ffp_serve: accept error: %s\n", e.what());
-      continue;
-    }
-    const int index = connections.claim(conn);
-    if (index < 0) break;  // shutdown raced the accept
-    reap();  // bounded thread table: join everything that finished
+  g_server = &server;
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // torn peers surface as EPIPE, not death
 
-    workers.emplace(index, std::thread([&host, &connections, &listener, conn,
-                                        index] {
-      {
-        ffp::ServiceSession session(host, [conn](const std::string& line) {
-          ffp::write_line(*conn, line);
-        });
-        ffp::LineReader reader(*conn);
-        std::string line;
-        bool shutdown_requested = false;
-        try {
-          while (reader.next(line)) {
-            if (!session.handle_line(line)) {
-              shutdown_requested = true;
-              break;
-            }
-          }
-          if (!shutdown_requested) session.drain();
-        } catch (const ffp::Error& e) {
-          // Connection-level failure (peer vanished mid-line): log, let the
-          // session destructor cancel the client's leftovers, keep serving.
-          std::fprintf(stderr, "ffp_serve: connection error: %s\n", e.what());
-        }
-        if (shutdown_requested) {
-          // Stop the world: every other client's read returns EOF, and
-          // shutdown(2) on the listener makes the blocked accept() fail.
-          // NOTE: waking accept this way is a Linux behavior (the deploy
-          // target; CI is ubuntu) — BSD/macOS would need a self-pipe.
-          connections.stop_all();
-          ffp::shutdown_both(listener);
-        }
-      }
-      connections.release(index);
-    }));
-  }
-  for (auto& [index, worker] : workers) {
-    (void)index;
-    if (worker.joinable()) worker.join();
-  }
+  std::fprintf(stderr,
+               "ffp_serve: listening on 127.0.0.1:%d (up to %lld "
+               "concurrent clients%s)\n",
+               server.port(), static_cast<long long>(max_clients),
+               options.session.allow_shutdown ? ", remote shutdown allowed"
+                                              : "");
+  server.run();
+  g_server = nullptr;
+  std::fprintf(stderr, "ffp_serve: drained, exiting\n");
   return 0;
 }
 
@@ -224,12 +140,22 @@ int main(int argc, char** argv) {
       .flag("runners", "1", "concurrent jobs (shared by all clients)")
       .flag("budget", "0", "process-wide worker-thread budget "
                            "(0 = hardware concurrency)")
-      .flag("max-clients", "8", "concurrent TCP connections (--listen mode)")
+      .flag("max-clients", "8", "concurrent TCP connections (--listen mode); "
+                                "extra connections are shed, not queued")
+      .flag("max-queued", "0", "waiting-job ceiling across all clients; "
+                               "submits beyond it are shed (0 = unbounded)")
+      .flag("idle-timeout-ms", "30000", "reap connections idle this long "
+                                        "(0 = never)")
+      .flag("write-timeout-ms", "10000", "per-response write deadline "
+                                         "(0 = unbounded)")
       .flag("cache-entries", "64", "result-cache entries (0 = no cache)")
       .flag("max-vertices", "0", "per-graph vertex ceiling (0 = VertexId range)")
       .flag("max-edges", "0", "per-graph edge ceiling (0 = unlimited)")
       .toggle("stream", "stream progress events as improvements happen")
       .toggle("no-files", "reject graph_file submissions (inline graphs only)")
+      .toggle("allow-remote-shutdown",
+              "honor {\"op\":\"shutdown\"} from TCP clients (pipe mode "
+              "always honors it)")
       .toggle("help", "show this help");
   try {
     args.parse(argc, argv);
@@ -242,6 +168,9 @@ int main(int argc, char** argv) {
     const std::int64_t cache_entries = args.get_int("cache-entries");
     FFP_CHECK(cache_entries >= 0 && cache_entries <= 1 << 20,
               "--cache-entries must be in [0, 2^20]");
+    const std::int64_t max_queued = args.get_int("max-queued");
+    FFP_CHECK(max_queued >= 0 && max_queued <= 1 << 20,
+              "--max-queued must be in [0, 2^20] (0 = unbounded)");
     const std::int64_t budget = args.get_int("budget");
     FFP_CHECK(budget >= 0 && budget <= 1 << 20,
               "--budget must be in [0, 2^20] (0 = hardware concurrency)");
