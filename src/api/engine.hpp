@@ -27,6 +27,10 @@
 #include "api/solve_spec.hpp"
 #include "service/job_scheduler.hpp"
 
+namespace ffp::persist {
+class Journal;  // persist/journal.hpp
+}
+
 namespace ffp::api {
 
 struct EngineOptions {
@@ -41,6 +45,18 @@ struct EngineOptions {
   std::size_t max_queued = 0;
   /// Retry-after hint attached to Overloaded rejections, ms.
   double overload_retry_after_ms = 250;
+  /// Durable-state directory (empty = fully in-memory, the historical
+  /// behavior, bit-identical and zero-overhead). When set the engine
+  /// becomes crash-safe: deterministic solves leave a write-ahead record
+  /// in `<dir>/journal.rec` and their finished results as atomic files
+  /// under `<dir>/cache/`; solve checkpoints live under
+  /// `<dir>/checkpoints/`, inline graphs are spilled to `<dir>/graphs/`.
+  /// Construction replays the journal — persisted results reload into the
+  /// result cache and unfinished jobs are resubmitted (idempotent: a
+  /// resubmission whose result already landed is a cache hit). A state
+  /// dir implies a result cache: cache_capacity 0 is bumped to a default
+  /// so durability has somewhere to land.
+  std::string state_dir;
 };
 
 /// Per-solve improvement stream: (seconds since the solve started, new
@@ -118,11 +134,28 @@ class Engine {
   JobScheduler& scheduler();
   ThreadBudget& budget();
 
+  /// Jobs the constructor resubmitted from a recovered journal (0 without
+  /// a state dir, or after a clean shutdown).
+  std::size_t recovered_jobs() const;
+  /// The write-ahead journal; null without a state dir.
+  ffp::persist::Journal* journal();
+
   /// The process-wide engine CLI-style entry points share: one runner over
   /// ThreadBudget::process(), cache disabled. Created on first use.
   static Engine& shared();
 
  private:
+  /// Journal replay half of construction: reload persisted cache entries,
+  /// resubmit unfinished journaled jobs (skipping, with a stderr note, any
+  /// payload that no longer parses).
+  void recover();
+  /// The Problem::from_any form of the graph source stored in journal
+  /// payloads and cache entries; spills inline graphs to the state dir.
+  std::string durable_graph_source(const Problem& problem);
+  static std::string build_payload(const std::string& graph_source,
+                                   const SolveSpec& spec,
+                                   const ResolvedSpec& resolved);
+
   std::shared_ptr<SolveHandle::EngineState> impl_;
 };
 

@@ -18,19 +18,25 @@ std::shared_ptr<const SolverResult> ResultCache::get(const std::string& key) {
 void ResultCache::put(const std::string& key,
                       std::shared_ptr<const SolverResult> result) {
   if (!enabled() || key.empty() || result == nullptr) return;
-  std::lock_guard lock(mu_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(result);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+  std::string evicted;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(result);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(result));
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      evicted = lru_.back().first;
+      index_.erase(evicted);
+      lru_.pop_back();
+    }
   }
-  lru_.emplace_front(key, std::move(result));
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
+  // Outside mu_: the hook may do file I/O (unlinking the durable copy).
+  if (!evicted.empty() && eviction_hook_) eviction_hook_(evicted);
 }
 
 CacheCounters ResultCache::counters() const {

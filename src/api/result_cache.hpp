@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,14 @@ class ResultCache {
 
   CacheCounters counters() const;
 
+  /// Called (outside the cache lock) with the key of each entry dropped by
+  /// capacity pressure — not for refreshes or replacements — so a durable
+  /// tier (the engine's on-disk cache entries) can drop its copy in step.
+  /// Set once at startup, before the cache sees concurrent use.
+  void set_eviction_hook(std::function<void(const std::string&)> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
  private:
   using Entry = std::pair<std::string, std::shared_ptr<const SolverResult>>;
 
@@ -57,6 +66,7 @@ class ResultCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::function<void(const std::string&)> eviction_hook_;
 };
 
 }  // namespace ffp::api

@@ -28,6 +28,11 @@ ResolvedSpec SolveSpec::resolve() const {
 }
 
 std::string SolveSpec::cache_key(const ResolvedSpec& resolved) const {
+  if (warm_start) return {};
+  return checkpoint_key(resolved);
+}
+
+std::string SolveSpec::checkpoint_key(const ResolvedSpec& resolved) const {
   if (!resolved.deterministic) return {};
   std::string key = resolved.canonical_method;
   key += "|k=" + std::to_string(k);

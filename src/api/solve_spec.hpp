@@ -50,6 +50,16 @@ struct SolveSpec {
   /// its caller gave up. 0 = no TTL. Like priority, this shapes WHEN work
   /// runs, never its result — it is excluded from the cache key.
   double queue_ttl_ms = 0;
+  /// Durable checkpointing (engines with a --state-dir only): > 0 writes
+  /// the anytime-best partition atomically at most once per interval,
+  /// keyed by graph digest + checkpoint_key(). Pure observation — the
+  /// solve's result is unchanged — so it is excluded from the cache key.
+  std::int64_t checkpoint_every_ms = 0;
+  /// Resume from the durable checkpoint for (graph, checkpoint_key())
+  /// when one exists (cold start when none does). The result then depends
+  /// on disk state, so a warm-started spec is never cacheable — but it is
+  /// guaranteed to never be WORSE than the checkpoint it restored.
+  bool warm_start = false;
 
   /// Nominal metaheuristic step rate used to turn budget_ms into a step
   /// budget when determinism requires one (steps overrides).
@@ -76,9 +86,17 @@ struct SolveSpec {
   /// independent of where and when the work ran — but the serial-vs-batched
   /// engine choice (threads == 0 vs > 0) is included, because a thread
   /// want selects a different (equally deterministic) engine schedule.
-  /// Returns "" when the spec is not deterministic (never cacheable).
+  /// Returns "" when the spec is not deterministic (never cacheable), and
+  /// when warm_start is set (the result depends on the on-disk checkpoint,
+  /// which is outside the key).
   std::string cache_key(const ResolvedSpec& resolved) const;
   std::string cache_key() const { return cache_key(resolve()); }
+
+  /// The durable-checkpoint identity of this solve: cache_key minus the
+  /// persistence knobs themselves, so the run that WRITES a checkpoint
+  /// (warm_start=false) and the run that RESUMES it (warm_start=true) map
+  /// to the same file. "" when the spec is not deterministic.
+  std::string checkpoint_key(const ResolvedSpec& resolved) const;
 };
 
 }  // namespace ffp::api

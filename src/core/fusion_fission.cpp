@@ -48,6 +48,11 @@ struct FusionFission::State {
   /// marked here so later slots can detect stale speculation. Null outside
   /// the commit phase (serial mode pays one predictable branch per bulk op).
   PartMarkScratch* dirty = nullptr;
+  // Checkpoint pump (options.checkpoint_sink): armed once in run(), so
+  // the disabled path is a single branch in the hot loops.
+  bool ckpt_on = false;
+  WallTimer ckpt_timer;
+  double ckpt_emitted = std::numeric_limits<double>::infinity();
 
   State(Partition p, ObjectiveKind kind, int max_atom, double delta,
         std::uint64_t seed)
@@ -391,6 +396,8 @@ void FusionFission::run_serial(State& s, const StopCondition& stop,
     ++steps;
     step(s);
     note_partition(s, recorder);
+    // Clock reads amortized to every 64th step; emits are rarer still.
+    if (s.ckpt_on && (steps & 63) == 0) maybe_checkpoint(s);
 
     s.temperature -= t_step;
     if (s.temperature <= options_.tmin) reheat(s);
@@ -584,10 +591,33 @@ void FusionFission::run_batched(State& s, const StopCondition& stop,
     }
     s.dirty = nullptr;
     ++s.result->batches;
+    if (s.ckpt_on) maybe_checkpoint(s);
 
     s.temperature = t_base - static_cast<double>(committed) * t_step;
     if (s.temperature <= options_.tmin) reheat(s);
   }
+}
+
+void FusionFission::maybe_checkpoint(State& s) {
+  if (s.ckpt_timer.elapsed_millis() <
+      static_cast<double>(options_.checkpoint_every_ms)) {
+    return;
+  }
+  flush_checkpoint(s);
+  s.ckpt_timer.reset();
+}
+
+void FusionFission::flush_checkpoint(State& s) {
+  if (!s.best_at_k.has_value() || s.best_at_k_value >= s.ckpt_emitted) return;
+  // The live best-at-k molecule can carry empty part slots; checkpoints
+  // store the compacted assignment so a resume (or any other consumer)
+  // sees part ids 0..k-1 exactly as the final result would.
+  Partition snapshot = *s.best_at_k;
+  snapshot.compact();
+  const auto parts = snapshot.assignment();
+  options_.checkpoint_sink(std::vector<int>(parts.begin(), parts.end()),
+                           s.best_at_k_value);
+  s.ckpt_emitted = s.best_at_k_value;
 }
 
 void FusionFission::note_partition(State& s, AnytimeRecorder* recorder) {
@@ -716,16 +746,38 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
 
   // Algorithm 2: build the starting near-k molecule from singletons
   // ("the algorithm of fusion fission starts with the worst
-  // initialization" — the recorder clock covers it).
+  // initialization" — the recorder clock covers it). A warm start
+  // replaces Algorithm 2 entirely: the loop operates on any molecule, and
+  // when the restored partition has exactly k parts the first
+  // note_partition below seeds best-at-k from it, which is what makes a
+  // resumed run monotone with respect to its checkpoint.
   if (recorder != nullptr) recorder->start();
-  Partition start = initialize();
+  Partition start = Partition(*g_, 1);
+  if (options_.warm_start != nullptr) {
+    FFP_CHECK(static_cast<VertexId>(options_.warm_start->size()) ==
+                  g_->num_vertices(),
+              "warm_start assignment covers ", options_.warm_start->size(),
+              " vertices, graph has ", g_->num_vertices());
+    start = Partition::from_assignment(*g_, *options_.warm_start);
+  } else {
+    start = initialize();
+  }
 
   State s(std::move(start), options_.objective, g_->num_vertices(),
           options_.law_delta, options_.seed);
   s.result = &result;
   s.temperature = options_.tmax;
+  s.ckpt_on =
+      options_.checkpoint_sink != nullptr && options_.checkpoint_every_ms > 0;
   if (options_.choice_term_bias > 0.0) s.tracker.track_aux(&leak_ratio_term);
   note_partition(s, recorder);
+  if (options_.warm_start != nullptr && s.best_at_k.has_value() &&
+      options_.warm_start_value < s.best_at_k_value) {
+    // Same partition, two float renderings of its objective (incremental
+    // tracker of the writing run vs this run's fresh accumulation): keep
+    // the checkpointed one so a resume can never report an ulp worse.
+    s.best_at_k_value = options_.warm_start_value;
+  }
   // Seed the reheat target even if we never hit k exactly before freezing.
   s.best = s.cur();
   s.best_energy = s.current_energy;
@@ -735,6 +787,9 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
   } else {
     run_serial(s, stop, recorder);
   }
+  // Final flush: the checkpoint on disk always matches the best this run
+  // will report, even when the run was shorter than one interval.
+  if (s.ckpt_on) flush_checkpoint(s);
 
   // Result: best at k if we ever reached k, else force the best overall to
   // k parts by splitting/merging (degenerate inputs only).

@@ -68,6 +68,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -138,6 +140,30 @@ struct FusionFissionOptions {
   ThreadBudget* budget = nullptr;
 
   std::uint64_t seed = 17;
+
+  // Durable-solve hooks (persist/). FF is anytime by construction — the
+  // loop operates on ANY partition, not just the Algorithm 2 start — so
+  // resume is just a different initialization and checkpointing is just a
+  // different observer. Both default off and cost nothing when off.
+  /// Skip Algorithm 2 and build the starting molecule from this
+  /// assignment (one part id per vertex; must cover every vertex). When
+  /// it has exactly k parts it also seeds best-at-k, so the run can never
+  /// report a worse result than the partition it resumed from.
+  std::shared_ptr<const std::vector<int>> warm_start;
+  /// The checkpointed objective value of `warm_start` (see
+  /// SolverRequest::warm_start_value): when it is LOWER than what the
+  /// incremental tracker computes for the restored partition — float
+  /// summation order can differ by an ulp — best-at-k adopts it, keeping
+  /// the resume contract exact. Infinity = unknown.
+  double warm_start_value = std::numeric_limits<double>::infinity();
+  /// With checkpoint_sink set and checkpoint_every_ms > 0, the best-at-k
+  /// partition (compacted assignment + objective value) is pushed through
+  /// the sink at most once per interval — and once more at the end of the
+  /// run — but only when it improved since the last push. The sink runs
+  /// on the solve thread; persist::save_checkpoint is the intended body.
+  std::int64_t checkpoint_every_ms = 0;
+  std::function<void(const std::vector<int>& assignment, double value)>
+      checkpoint_sink;
 };
 
 struct FusionFissionResult {
@@ -221,6 +247,11 @@ class FusionFission {
   /// low_temperature (Algorithm 1): back to tmax, restart from the best.
   void reheat(State& s);
   void note_partition(State& s, AnytimeRecorder* recorder);
+  /// Checkpoint pump: emits best-at-k through options_.checkpoint_sink
+  /// when the interval elapsed and the value improved. Callers gate on
+  /// State::ckpt_on so the disabled path pays one branch.
+  void maybe_checkpoint(State& s);
+  void flush_checkpoint(State& s);
 
   const Graph* g_;
   int k_;

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "persist/atomic_file.hpp"
 #include "util/strings.hpp"
 
 namespace ffp {
@@ -33,12 +34,6 @@ bool next_line(std::istream& in, std::string& line, std::int64_t& line_no) {
     if (!is_comment(line)) return true;
   }
   return false;
-}
-
-std::ofstream open_out(const std::string& path) {
-  std::ofstream out(path);
-  FFP_CHECK(out.good(), "cannot open for writing: ", path);
-  return out;
 }
 
 std::ifstream open_in(const std::string& path) {
@@ -244,8 +239,11 @@ void write_chaco(const Graph& g, std::ostream& out) {
 }
 
 void write_chaco_file(const Graph& g, const std::string& path) {
-  auto out = open_out(path);
+  // Atomic replace (persist/atomic_file.hpp): a crash or full disk mid-
+  // write leaves the previous file, never a torn one.
+  std::ostringstream out;
   write_chaco(g, out);
+  persist::atomic_write_file(path, out.str());
 }
 
 Graph read_edge_list(std::istream& in, const IoLimits& limits) {
@@ -334,8 +332,11 @@ void write_partition(std::span<const int> parts, std::ostream& out) {
 
 void write_partition_file(std::span<const int> parts,
                           const std::string& path) {
-  auto out = open_out(path);
+  // Atomic replace, same contract as write_chaco_file: downstream tooling
+  // reading a .part mid-rewrite sees the old partition or the new one.
+  std::ostringstream out;
   write_partition(parts, out);
+  persist::atomic_write_file(path, out.str());
 }
 
 }  // namespace ffp

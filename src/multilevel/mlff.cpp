@@ -1,6 +1,7 @@
 #include "multilevel/mlff.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -130,6 +131,74 @@ MlffResult mlff_partition(const Graph& g, int k, const MlffOptions& options,
   const std::vector<CoarseLevel> chain = coarsen_chain(g, copt);
   const Graph& coarse = chain.empty() ? g : chain.back().coarse;
 
+  // Projects a coarsest-level assignment up the whole chain to an
+  // input-graph assignment (no refinement — checkpoints trade polish for
+  // immediacy; the refined version lands with the final emit).
+  const auto project_to_fine = [&chain](const std::vector<int>& at_coarse) {
+    std::vector<int> cur = at_coarse;
+    for (std::size_t l = chain.size(); l-- > 0;) {
+      const auto& map = chain[l].fine_to_coarse;
+      std::vector<int> fine(map.size());
+      for (std::size_t v = 0; v < map.size(); ++v) {
+        fine[v] = cur[static_cast<std::size_t>(map[v])];
+      }
+      cur = std::move(fine);
+    }
+    return cur;
+  };
+
+  // Warm start: project the restored input-graph assignment DOWN the
+  // chain — each coarse vertex takes the part of its first (lowest-id)
+  // fine constituent, which is deterministic and cheap. Parts can merge
+  // away in the descent; the final keep-better guard below is what makes
+  // the monotonicity contract hold regardless.
+  double warm_value = std::numeric_limits<double>::infinity();
+  std::shared_ptr<const std::vector<int>> coarse_warm;
+  if (options.warm_start != nullptr) {
+    FFP_CHECK(static_cast<VertexId>(options.warm_start->size()) ==
+                  g.num_vertices(),
+              "warm_start assignment covers ", options.warm_start->size(),
+              " vertices, graph has ", g.num_vertices());
+    // min of the re-evaluation and the checkpoint's stored rendering of
+    // the same value — summation order can differ by an ulp, and the
+    // monotonicity contract is against what the checkpoint reported.
+    warm_value = std::min(
+        objective(options.objective)
+            .evaluate(Partition::from_assignment(g, *options.warm_start)),
+        options.warm_start_value);
+    std::vector<int> cur = *options.warm_start;
+    for (const CoarseLevel& level : chain) {
+      const auto& map = level.fine_to_coarse;
+      std::vector<int> down(
+          static_cast<std::size_t>(level.coarse.num_vertices()), -1);
+      for (std::size_t v = 0; v < map.size(); ++v) {
+        auto& slot = down[static_cast<std::size_t>(map[v])];
+        if (slot == -1) slot = cur[v];
+      }
+      cur = std::move(down);
+    }
+    coarse_warm = std::make_shared<const std::vector<int>>(std::move(cur));
+  }
+
+  // Checkpoint plumbing: wrap the caller's sink so it always receives
+  // input-graph assignments with input-graph objective values, and only
+  // improvements over what it has already seen (a projected coarse best
+  // is not guaranteed to improve at the fine level even when the coarse
+  // value does).
+  double emitted_best = warm_value;
+  std::function<void(const std::vector<int>&, double)> coarse_sink;
+  if (options.checkpoint_sink != nullptr && options.checkpoint_every_ms > 0) {
+    coarse_sink = [&](const std::vector<int>& at_coarse, double) {
+      const std::vector<int> fine = project_to_fine(at_coarse);
+      const double fine_value =
+          objective(options.objective)
+              .evaluate(Partition::from_assignment(g, fine, k));
+      if (fine_value >= emitted_best) return;
+      emitted_best = fine_value;
+      options.checkpoint_sink(fine, fine_value);
+    };
+  }
+
   // 2. Full fusion-fission on the coarsest graph, under the caller's stop.
   FusionFissionOptions ffopt;
   ffopt.objective = options.objective;
@@ -138,6 +207,9 @@ MlffResult mlff_partition(const Graph& g, int k, const MlffOptions& options,
   ffopt.pool = options.pool;
   ffopt.budget = options.budget;
   ffopt.seed = ff_seed;
+  ffopt.warm_start = coarse_warm;
+  ffopt.checkpoint_every_ms = options.checkpoint_every_ms;
+  ffopt.checkpoint_sink = coarse_sink;
   FusionFission ff(coarse, k, ffopt);
   FusionFissionResult coarse_res = ff.run(stop, nullptr);
 
@@ -187,6 +259,23 @@ MlffResult mlff_partition(const Graph& g, int k, const MlffOptions& options,
                            : Partition::from_assignment(g, parts, k);
   out.best.compact();
   out.best_value = objective(options.objective).evaluate(out.best);
+
+  // Keep-better guard (the memetic never-worsen rule): a resumed run must
+  // not report worse than the partition it restored, even when the
+  // down-projection merged parts away and the coarse phase lost ground.
+  if (options.warm_start != nullptr && warm_value < out.best_value) {
+    out.best = Partition::from_assignment(g, *options.warm_start);
+    out.best.compact();
+    out.best_value = warm_value;
+  }
+  // Final checkpoint: the refined result, so a future resume starts from
+  // exactly what this run reported.
+  if (options.checkpoint_sink != nullptr && options.checkpoint_every_ms > 0 &&
+      out.best_value < emitted_best) {
+    const auto span = out.best.assignment();
+    options.checkpoint_sink(std::vector<int>(span.begin(), span.end()),
+                            out.best_value);
+  }
   if (recorder != nullptr) recorder->record(out.best_value);
   return out;
 }

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "core/fusion_fission.hpp"
@@ -52,6 +53,24 @@ struct MlffOptions {
   ThreadBudget* budget = nullptr;
 
   std::uint64_t seed = 2006;
+
+  // Durable-solve hooks, mirroring FusionFissionOptions. The warm
+  // assignment lives on the INPUT graph; mlff projects it down the
+  // coarsening chain (each coarse vertex takes its first fine
+  // constituent's part) to seed the coarse FF phase, and guarantees the
+  // final result is never worse than the restored partition's objective.
+  // Checkpoints flow the other way: the coarse phase's best-at-k is
+  // projected up the chain, evaluated on the input graph, and emitted
+  // only when that fine-level value improves — so the sink always sees
+  // input-graph assignments with comparable values.
+  std::shared_ptr<const std::vector<int>> warm_start;
+  /// Checkpointed objective of `warm_start` on the INPUT graph (see
+  /// SolverRequest::warm_start_value); the keep-better guard compares
+  /// against min(re-evaluation, this). Infinity = unknown.
+  double warm_start_value = std::numeric_limits<double>::infinity();
+  std::int64_t checkpoint_every_ms = 0;
+  std::function<void(const std::vector<int>& assignment, double value)>
+      checkpoint_sink;
 };
 
 struct MlffResult {

@@ -88,6 +88,16 @@ std::string_view objective_name(ObjectiveKind kind) {
   return objective(kind).name();
 }
 
+std::string_view objective_token(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::Cut: return "cut";
+    case ObjectiveKind::NormalizedCut: return "ncut";
+    case ObjectiveKind::MinMaxCut: return "mcut";
+    case ObjectiveKind::RatioCut: return "rcut";
+  }
+  throw Error("unknown ObjectiveKind");
+}
+
 std::optional<ObjectiveKind> objective_from_name(std::string_view name) {
   if (name == "cut") return ObjectiveKind::Cut;
   if (name == "ncut") return ObjectiveKind::NormalizedCut;

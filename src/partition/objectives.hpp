@@ -28,9 +28,14 @@ enum class ObjectiveKind { Cut, NormalizedCut, MinMaxCut, RatioCut };
 
 std::string_view objective_name(ObjectiveKind kind);
 
+/// The short CLI/protocol token (cut|ncut|mcut|rcut) — the exact spelling
+/// objective_from_name accepts. Durable formats (journal payloads) must use
+/// this, not the display name, so a write→recover round trip cannot drift.
+std::string_view objective_token(ObjectiveKind kind);
+
 /// Inverse for the short CLI/protocol names (cut|ncut|mcut|rcut, case
-/// sensitive); nullopt on anything else. ffp_part and the service protocol
-/// share this single mapping.
+/// sensitive); nullopt on anything else. ffp_part, the service protocol and
+/// the job journal share this single mapping.
 std::optional<ObjectiveKind> objective_from_name(std::string_view name);
 
 class ObjectiveFn {

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "persist/journal.hpp"
 #include "solver/portfolio.hpp"
 #include "solver/registry.hpp"
 #include "util/timer.hpp"
@@ -91,6 +92,13 @@ std::uint64_t JobScheduler::submit(JobSpec spec) {
           options_.overload_retry_after_ms);
     }
     id = next_id_++;
+    if (options_.journal != nullptr && !spec.journal_payload.empty()) {
+      // WAL discipline: the submitted record is durable before the job
+      // becomes visible to runners. If the append throws, the submit
+      // fails outright; a stray record for a never-queued job only costs
+      // an idempotent resubmission on recovery.
+      options_.journal->submitted(id, spec.journal_payload);
+    }
     auto job = std::make_unique<Job>();
     job->id = id;
     job->spec = std::move(spec);
@@ -237,6 +245,15 @@ void JobScheduler::runner_loop() {
       job->state = JobState::Running;
       job->timer.reset();
     }
+    if (options_.journal != nullptr && !job->spec.journal_payload.empty()) {
+      // Outside mu_ (the append fsyncs); spec is immutable after submit.
+      try {
+        options_.journal->started(job->id);
+      } catch (const std::exception&) {
+        // A failed started record never fails the job — it only widens
+        // the recovery window back to "submitted".
+      }
+    }
 
     // The runner's own slot: the one blocking wait in the whole budget
     // protocol, safe exactly here because the runner holds nothing while
@@ -257,13 +274,28 @@ void JobScheduler::runner_loop() {
 }
 
 void JobScheduler::notify_terminal(std::uint64_t id) {
-  if (!options_.on_terminal) return;
   JobStatus status;
+  bool journaled = false;
   {
     std::lock_guard lock(mu_);
-    status = status_locked(*jobs_.at(id));
+    const Job& job = *jobs_.at(id);
+    status = status_locked(job);
+    journaled =
+        options_.journal != nullptr && !job.spec.journal_payload.empty();
   }
-  options_.on_terminal(id, status);
+  // Order matters: on_terminal persists the engine's durable cache entry
+  // FIRST, so by the time the journal's terminal record lands the result
+  // is already on disk. A crash between the two resubmits the job on
+  // recovery — duplicated work, never lost work.
+  if (options_.on_terminal) options_.on_terminal(id, status);
+  if (journaled) {
+    try {
+      options_.journal->terminal(id, std::string(to_string(status.state)));
+    } catch (const std::exception&) {
+      // Journal damage must not take the scheduler down; the record is
+      // re-derived from a resubmission after restart.
+    }
+  }
 }
 
 void JobScheduler::run_job(Job& job) {
@@ -275,6 +307,10 @@ void JobScheduler::run_job(Job& job) {
   request.threads = spec.threads;
   request.budget = budget_;
   request.recorder = job.recorder.get();
+  request.warm_start = spec.warm_start;
+  request.warm_start_value = spec.warm_start_value;
+  request.checkpoint_every_ms = spec.checkpoint_every_ms;
+  request.checkpoint_sink = spec.checkpoint_sink;
   request.stop = spec.steps > 0 ? StopCondition::after_steps(spec.steps)
                                 : StopCondition::after_millis(spec.budget_ms);
   request.stop.set_cancel_flag(&job.cancel_flag);

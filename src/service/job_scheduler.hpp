@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -44,6 +45,10 @@
 #include "solver/solver.hpp"
 
 namespace ffp {
+
+namespace persist {
+class Journal;  // persist/journal.hpp
+}
 
 enum class JobState { Queued, Running, Done, Cancelled, Failed };
 
@@ -75,6 +80,20 @@ struct JobSpec {
   /// keeps the best — the per-restart seed stream depends only on `seed`,
   /// so the job stays deterministic under a step budget.
   int restarts = 1;
+  // Durable-solve hooks, forwarded verbatim into the SolverRequest (see
+  // solver/solver.hpp for the contract). The api engine fills them from
+  // the SolveSpec + its state dir; direct scheduler users may too.
+  std::shared_ptr<const std::vector<int>> warm_start;
+  double warm_start_value = std::numeric_limits<double>::infinity();
+  std::int64_t checkpoint_every_ms = 0;
+  std::function<void(const std::vector<int>& assignment, double value)>
+      checkpoint_sink;
+  /// Write-ahead journaling: when non-empty AND the scheduler has a
+  /// journal, this job leaves submitted/started/terminal records, each
+  /// durable before the transition it describes becomes visible. The
+  /// payload is opaque to the scheduler — api::Engine builds it with
+  /// everything needed to resubmit the job after a crash.
+  std::string journal_payload;
 };
 
 /// Point-in-time view of a job. `result` is set once the job is terminal
@@ -115,6 +134,13 @@ struct JobSchedulerOptions {
   /// lock (from runner threads, or from the thread driving cancel/
   /// shutdown); must be thread-safe.
   std::function<void(std::uint64_t job, const JobStatus& status)> on_terminal;
+  /// Write-ahead journal for jobs carrying a journal_payload; null turns
+  /// journaling off. Must outlive the scheduler. The terminal record is
+  /// appended AFTER on_terminal returns, so by the time the journal calls
+  /// a job finished, whatever on_terminal persisted (the engine's durable
+  /// cache entry) is already on disk — a crash can duplicate work, never
+  /// lose it.
+  persist::Journal* journal = nullptr;
 };
 
 class JobScheduler {

@@ -19,7 +19,8 @@ const std::set<std::string_view>& submit_keys() {
   static const std::set<std::string_view> keys = {
       "op",        "id",    "graph_file", "graph",     "method",   "k",
       "objective", "seed",  "steps",      "budget_ms", "priority",
-      "threads",   "restarts", "queue_ttl_ms"};
+      "threads",   "restarts", "queue_ttl_ms", "checkpoint_every_ms",
+      "warm_start"};
   return keys;
 }
 
@@ -195,6 +196,14 @@ Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
              std::to_string(limits.max_budget_ms) + "]");
     }
     req.spec.queue_ttl_ms = ms;
+  }
+  // Durable-state knobs (no-ops on a server without --state-dir).
+  req.spec.checkpoint_every_ms = int_field(
+      root, "checkpoint_every_ms", 0, 0,
+      static_cast<std::int64_t>(limits.max_budget_ms));
+  if (const JsonValue* w = root.find("warm_start"); w != nullptr) {
+    if (!w->is_bool()) reject("'warm_start' must be a boolean");
+    req.spec.warm_start = w->as_bool();
   }
   return req;
 }

@@ -19,6 +19,7 @@ api::EngineOptions engine_options(const ServiceOptions& options) {
   out.cache_capacity = options.cache_capacity;
   out.max_queued = options.max_queued;
   out.overload_retry_after_ms = options.overload_retry_after_ms;
+  out.state_dir = options.state_dir;
   return out;
 }
 

@@ -35,6 +35,10 @@ SolverResult FusionFissionSolver::run(const Graph& g,
   FusionFissionOptions opt = base_;
   opt.objective = request.objective;
   opt.seed = request.seed;
+  opt.warm_start = request.warm_start;
+  opt.warm_start_value = request.warm_start_value;
+  opt.checkpoint_every_ms = request.checkpoint_every_ms;
+  opt.checkpoint_sink = request.checkpoint_sink;
   if (request.threads > 0) opt.threads = static_cast<int>(request.threads);
   if (opt.budget == nullptr) opt.budget = request.budget;
   if (opt.threads > 1 && opt.pool == nullptr && opt.budget == nullptr) {
@@ -73,6 +77,10 @@ SolverResult MlffSolver::run(const Graph& g,
   MlffOptions opt = base_;
   opt.objective = request.objective;
   opt.seed = request.seed;
+  opt.warm_start = request.warm_start;
+  opt.warm_start_value = request.warm_start_value;
+  opt.checkpoint_every_ms = request.checkpoint_every_ms;
+  opt.checkpoint_sink = request.checkpoint_sink;
   if (request.threads > 0) opt.threads = static_cast<int>(request.threads);
   if (opt.budget == nullptr) opt.budget = request.budget;
   if (opt.threads > 1 && opt.pool == nullptr && opt.budget == nullptr) {

@@ -15,6 +15,7 @@
 // multi-start composition lives in solver/portfolio.hpp.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -60,6 +61,19 @@ struct SolverRequest {
   /// to fewer lanes — never changing the result, only where phase work
   /// runs. Null keeps the historical fixed-size-pool behavior.
   ThreadBudget* budget = nullptr;
+  // Durable-solve hooks (persist/), honored by the anytime-capable
+  // fusion-fission and mlff adapters and ignored by the rest. See
+  // FusionFissionOptions for the contract.
+  std::shared_ptr<const std::vector<int>> warm_start;
+  /// The objective value the checkpoint recorded for `warm_start`, as
+  /// accumulated by the run that wrote it. Re-evaluating the restored
+  /// partition can land an ulp away (different summation order); adopting
+  /// the lower rendering keeps resume monotonicity exact. Infinity (the
+  /// default) means "unknown — trust the re-evaluation".
+  double warm_start_value = std::numeric_limits<double>::infinity();
+  std::int64_t checkpoint_every_ms = 0;
+  std::function<void(const std::vector<int>& assignment, double value)>
+      checkpoint_sink;
 };
 
 struct SolverResult {

@@ -35,6 +35,10 @@ int point_index(std::string_view key) {
   if (key == "delay_response") return static_cast<int>(Point::DelayResponse);
   if (key == "conn_drop") return static_cast<int>(Point::ConnDrop);
   if (key == "accept_fail") return static_cast<int>(Point::AcceptFail);
+  if (key == "crash_after_append") {
+    return static_cast<int>(Point::CrashAfterAppend);
+  }
+  if (key == "torn_checkpoint") return static_cast<int>(Point::TornCheckpoint);
   return -1;
 }
 
@@ -81,7 +85,8 @@ void apply_spec(Injector& inj, const std::string& spec) {
     } else {
       FFP_CHECK(false, "FFP_FAULT: unknown key '", std::string(key),
                 "' (short_read|torn_write|delay_response|conn_drop|"
-                "accept_fail|delay_ms|seed|max_fires)");
+                "accept_fail|crash_after_append|torn_checkpoint|"
+                "delay_ms|seed|max_fires)");
     }
   }
   inj.rng.reseed(seed);

@@ -18,6 +18,12 @@
 //   delay_response=P  sleep delay_ms before the protocol action
 //   conn_drop=P       the connection is dropped before the I/O
 //   accept_fail=P     an accepted connection is destroyed immediately
+//   crash_after_append=P  _exit(137) right after a journal record is made
+//                     durable (persist/journal.cpp) — the kill -9-at-the-
+//                     worst-moment drill for crash recovery
+//   torn_checkpoint=P persist::atomic_write_file writes a truncated
+//                     prefix straight to the final path, no rename — the
+//                     legacy torn write the CRC framing must reject
 //   delay_ms=N        sleep per delay_response fire (default 100)
 //   seed=N            RNG seed (default 1)
 //   max_fires=N       total faults across all points; once spent the
@@ -43,8 +49,10 @@ enum class Point : int {
   DelayResponse,
   ConnDrop,
   AcceptFail,
+  CrashAfterAppend,
+  TornCheckpoint,
 };
-inline constexpr int kNumPoints = 5;
+inline constexpr int kNumPoints = 7;
 
 /// True when any point has positive probability (and the fires budget is
 /// not yet spent). Cheap: one relaxed atomic load.

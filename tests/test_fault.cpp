@@ -54,6 +54,22 @@ TEST(Fault, PointsAreIndependent) {
   EXPECT_FALSE(fault::fire(fault::Point::AcceptFail));
 }
 
+TEST(Fault, PersistencePointsParseAndFire) {
+  FaultGuard guard;
+  // The durable-state drill points (persist/): parse, fire, and stay
+  // independent of each other. crash_after_append's _exit side effect
+  // lives in the journal, not the injector, so firing it here is safe.
+  fault::configure("crash_after_append=1;max_fires=1");
+  EXPECT_FALSE(fault::fire(fault::Point::TornCheckpoint));
+  EXPECT_TRUE(fault::fire(fault::Point::CrashAfterAppend));
+  EXPECT_FALSE(fault::fire(fault::Point::CrashAfterAppend));  // budget spent
+
+  fault::configure("torn_checkpoint=1;max_fires=1");
+  EXPECT_FALSE(fault::fire(fault::Point::CrashAfterAppend));
+  EXPECT_TRUE(fault::fire(fault::Point::TornCheckpoint));
+  EXPECT_FALSE(fault::fire(fault::Point::TornCheckpoint));
+}
+
 TEST(Fault, SeededRollStreamIsDeterministic) {
   FaultGuard guard;
   const auto roll_sequence = [] {

@@ -81,6 +81,22 @@ TEST(Objectives, NamesAreStable) {
   EXPECT_EQ(objective_name(ObjectiveKind::RatioCut), "RatioCut");
 }
 
+// Durable formats (journal payloads, the CLI, the wire protocol) store the
+// token; if this round trip ever breaks, journal recovery silently skips
+// every job it should resubmit.
+TEST(Objectives, TokenRoundTripsThroughFromName) {
+  for (const auto kind :
+       {ObjectiveKind::Cut, ObjectiveKind::NormalizedCut,
+        ObjectiveKind::MinMaxCut, ObjectiveKind::RatioCut}) {
+    const auto parsed = objective_from_name(objective_token(kind));
+    ASSERT_TRUE(parsed.has_value()) << objective_token(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  // The display name is NOT the token — recovery must never write it.
+  EXPECT_EQ(objective_from_name(objective_name(ObjectiveKind::MinMaxCut)),
+            std::nullopt);
+}
+
 TEST(Objectives, CutDeltaMatchesKnownMove) {
   const auto g = make_path(4);
   auto p = Partition::from_assignment(g, std::vector<int>{0, 0, 1, 1});

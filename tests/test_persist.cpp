@@ -1,0 +1,224 @@
+// persist/atomic_file + persist/checkpoint: the crash-only primitives
+// every durable write rides on. CRC known-answer, atomic replace, framed
+// record round-trips, torn-tail tolerance, format-error loudness, the
+// torn_checkpoint fault drill, and checkpoint save/load under damage.
+#include "persist/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/fault.hpp"
+
+namespace ffp {
+namespace {
+
+struct FaultGuard {
+  ~FaultGuard() { fault::configure(""); }
+};
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(AtomicFile, Crc32KnownAnswer) {
+  // The IEEE 802.3 check value every CRC-32 implementation must match.
+  EXPECT_EQ(persist::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(persist::crc32(""), 0u);
+  EXPECT_NE(persist::crc32("a"), persist::crc32("b"));
+}
+
+TEST(AtomicFile, AtomicWriteReplacesWholeFile) {
+  const std::string path = tmp_path("atomic_replace.txt");
+  persist::atomic_write_file(path, "first contents\n");
+  EXPECT_EQ(persist::read_file(path).value(), "first contents\n");
+  persist::atomic_write_file(path, "x");
+  EXPECT_EQ(persist::read_file(path).value(), "x");
+  persist::remove_file(path);
+  EXPECT_FALSE(persist::read_file(path).has_value());
+}
+
+TEST(AtomicFile, EnsureDirAndListDir) {
+  const std::string dir = tmp_path("persist_dir/a/b");
+  persist::ensure_dir(dir);
+  persist::ensure_dir(dir);  // idempotent
+  persist::atomic_write_file(dir + "/zz.txt", "z");
+  persist::atomic_write_file(dir + "/aa.txt", "a");
+  const auto names = persist::list_dir(dir);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aa.txt");  // sorted
+  EXPECT_EQ(names[1], "zz.txt");
+  EXPECT_TRUE(persist::list_dir(dir + "/missing").empty());
+}
+
+TEST(AtomicFile, RecordRoundTrip) {
+  const std::string path = tmp_path("records_roundtrip.rec");
+  persist::remove_file(path);
+  {
+    persist::RecordWriter writer(path, 7);
+    writer.append("alpha");
+    writer.append("");  // empty payloads are legal records
+    writer.append(std::string(10000, 'x'));
+  }
+  // Re-open appends, never rewrites.
+  {
+    persist::RecordWriter writer(path, 7);
+    writer.append("beta");
+  }
+  const auto read = persist::read_records(path, 7);
+  EXPECT_FALSE(read.truncated);
+  ASSERT_EQ(read.records.size(), 4u);
+  EXPECT_EQ(read.records[0], "alpha");
+  EXPECT_EQ(read.records[1], "");
+  EXPECT_EQ(read.records[2], std::string(10000, 'x'));
+  EXPECT_EQ(read.records[3], "beta");
+}
+
+TEST(AtomicFile, MissingFileReadsEmpty) {
+  const auto read = persist::read_records(tmp_path("never_written.rec"), 1);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_FALSE(read.truncated);
+}
+
+TEST(AtomicFile, TornTailDropsOnlyTheDamage) {
+  const std::string path = tmp_path("torn_tail.rec");
+  persist::remove_file(path);
+  {
+    persist::RecordWriter writer(path, 1);
+    writer.append("keep me");
+    writer.append("tear me");
+  }
+  // Simulate kill -9 mid-append: chop bytes off the end of the file.
+  std::string bytes = persist::read_file(path).value();
+  persist::atomic_write_file(path, bytes.substr(0, bytes.size() - 3));
+  const auto read = persist::read_records(path, 1);
+  EXPECT_TRUE(read.truncated);
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0], "keep me");
+  // A writer re-opening the damaged file appends after what it can trust.
+  // (The journal compacts first, so this path only matters for tools.)
+}
+
+TEST(AtomicFile, CorruptCrcDropsTheRecord) {
+  const std::string path = tmp_path("bad_crc.rec");
+  persist::remove_file(path);
+  {
+    persist::RecordWriter writer(path, 1);
+    writer.append("good");
+    writer.append("flip a payload bit");
+  }
+  std::string bytes = persist::read_file(path).value();
+  bytes.back() ^= 0x40;  // corrupt the LAST record's payload
+  persist::atomic_write_file(path, bytes);
+  const auto read = persist::read_records(path, 1);
+  EXPECT_TRUE(read.truncated);
+  ASSERT_EQ(read.records.size(), 1u);
+  EXPECT_EQ(read.records[0], "good");
+}
+
+TEST(AtomicFile, WrongMagicAndVersionFailLoudly) {
+  const std::string path = tmp_path("wrong_header.rec");
+  // Not a crash artifact — a format error: reading must throw, not
+  // silently treat the file as empty.
+  persist::atomic_write_file(path, "this is not a record file at all....");
+  EXPECT_THROW(persist::read_records(path, 1), Error);
+  EXPECT_THROW(persist::RecordWriter(path, 1), Error);
+
+  persist::remove_file(path);
+  { persist::RecordWriter writer(path, 2); }
+  EXPECT_THROW(persist::read_records(path, 1), Error);  // version mismatch
+  EXPECT_THROW(persist::RecordWriter(path, 99), Error);
+}
+
+TEST(AtomicFile, WriteRecordsAtomicCompacts) {
+  const std::string path = tmp_path("compacted.rec");
+  persist::write_records_atomic(path, 3, {"one", "two"});
+  auto read = persist::read_records(path, 3);
+  EXPECT_FALSE(read.truncated);
+  ASSERT_EQ(read.records.size(), 2u);
+  persist::write_records_atomic(path, 3, {});
+  read = persist::read_records(path, 3);
+  EXPECT_TRUE(read.records.empty());
+  EXPECT_FALSE(read.truncated);
+}
+
+TEST(AtomicFile, TornCheckpointFaultProducesRejectedFile) {
+  FaultGuard guard;
+  const std::string path = tmp_path("torn_fault.rec");
+  persist::write_records_atomic(path, 1, {"the good version"});
+  // The fault point bypasses the atomic dance and short-writes half the
+  // bytes straight to the final path — the legacy non-atomic failure
+  // mode. The framing must refuse to surface a record from the wreck.
+  fault::configure("torn_checkpoint=1;max_fires=1");
+  persist::write_records_atomic(path, 1,
+                                {"a replacement that never fully lands"});
+  const auto read = persist::read_records(path, 1);
+  EXPECT_TRUE(read.truncated);
+  EXPECT_TRUE(read.records.empty());
+}
+
+TEST(Checkpoint, RoundTripExactly) {
+  const std::string path = tmp_path("ckpt_roundtrip.rec");
+  persist::Checkpoint ck;
+  ck.k = 4;
+  ck.value = 0.1 + 0.2;  // a value that needs %.17g to round-trip
+  ck.assignment = {0, 1, 2, 3, 0, 1, 2, 3};
+  persist::save_checkpoint(path, ck);
+  const auto loaded = persist::load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->k, 4);
+  EXPECT_EQ(loaded->value, ck.value);  // bit-exact
+  EXPECT_EQ(loaded->assignment, ck.assignment);
+}
+
+TEST(Checkpoint, DamageReadsAsNoCheckpoint) {
+  const std::string path = tmp_path("ckpt_damage.rec");
+  EXPECT_FALSE(persist::load_checkpoint(path).has_value());  // missing
+
+  persist::Checkpoint ck;
+  ck.k = 2;
+  ck.value = 1.0;
+  ck.assignment = {0, 1};
+  persist::save_checkpoint(path, ck);
+  std::string bytes = persist::read_file(path).value();
+  persist::atomic_write_file(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(persist::load_checkpoint(path).has_value());  // torn
+
+  persist::atomic_write_file(path, "garbage");
+  EXPECT_FALSE(persist::load_checkpoint(path).has_value());  // wrong magic
+
+  persist::write_records_atomic(path, persist::kCheckpointVersion,
+                                {"k 2\nvalue nonsense\n0\n1\n"});
+  EXPECT_FALSE(persist::load_checkpoint(path).has_value());  // unparsable
+}
+
+TEST(Checkpoint, TornCheckpointFaultLoadsAsCold) {
+  FaultGuard guard;
+  const std::string path = tmp_path("ckpt_torn_fault.rec");
+  persist::remove_file(path);
+  fault::configure("torn_checkpoint=1;max_fires=1");
+  persist::Checkpoint ck;
+  ck.k = 2;
+  ck.value = 3.5;
+  ck.assignment = {0, 0, 1, 1};
+  persist::save_checkpoint(path, ck);  // short-writes via the fault
+  EXPECT_FALSE(persist::load_checkpoint(path).has_value());
+  // Next save (fault budget spent) repairs the file completely.
+  persist::save_checkpoint(path, ck);
+  ASSERT_TRUE(persist::load_checkpoint(path).has_value());
+}
+
+TEST(Checkpoint, PathIsDeterministicAndKeyed) {
+  const std::string a = persist::checkpoint_path("d", 1, "spec-a");
+  EXPECT_EQ(a, persist::checkpoint_path("d", 1, "spec-a"));
+  EXPECT_NE(a, persist::checkpoint_path("d", 2, "spec-a"));
+  EXPECT_NE(a, persist::checkpoint_path("d", 1, "spec-b"));
+  EXPECT_EQ(a.rfind("d/", 0), 0u);
+}
+
+}  // namespace
+}  // namespace ffp

@@ -63,6 +63,11 @@ std::string submit_line(const ffp::ArgParser& args, const std::string& id,
   if (args.get_int("queue-ttl-ms") > 0) {
     out += ",\"queue_ttl_ms\":" + std::to_string(args.get_int("queue-ttl-ms"));
   }
+  if (args.get_int("checkpoint-every-ms") > 0) {
+    out += ",\"checkpoint_every_ms\":" +
+           std::to_string(args.get_int("checkpoint-every-ms"));
+  }
+  if (args.get_bool("warm-start")) out += ",\"warm_start\":true";
   out += "}";
   return out;
 }
@@ -126,6 +131,10 @@ int main(int argc, char** argv) {
       .flag("threads", "0", "intra-run worker want per job")
       .flag("priority", "0", "job priority (higher runs first)")
       .flag("queue-ttl-ms", "0", "per-job queue TTL (0 = none)")
+      .flag("checkpoint-every-ms", "0", "durable checkpoint interval per job "
+                                        "(needs a --state-dir server; 0 = off)")
+      .toggle("warm-start", "resume each job from its durable checkpoint "
+                            "when one exists")
       .flag("retries", "5", "connection attempts before giving up")
       .flag("backoff-ms", "100", "base retry backoff (doubles per attempt, "
                                  "capped at 50x, jittered)")

@@ -55,6 +55,7 @@ ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
   options.stream_progress = args.get_bool("stream");
   options.allow_files = !args.get_bool("no-files");
   options.max_queued = static_cast<std::size_t>(args.get_int("max-queued"));
+  options.state_dir = args.get("state-dir");
   options.limits.graph.max_vertices = args.get_int("max-vertices");
   options.limits.graph.max_edges = args.get_int("max-edges");
   FFP_CHECK(options.limits.graph.max_vertices >= 0,
@@ -106,6 +107,10 @@ int serve_tcp(const ffp::ArgParser& args, int port) {
   FFP_CHECK(write_ms >= 0, "--write-timeout-ms must be >= 0 (0 = unbounded)");
 
   ffp::ServiceHost host(host_options(args));
+  if (!args.get("state-dir").empty()) {
+    std::fprintf(stderr, "ffp_serve: recovered %zu journaled job(s)\n",
+                 host.engine().recovered_jobs());
+  }
   ffp::TcpServerOptions options;
   options.port = port;
   options.max_clients = static_cast<unsigned>(max_clients);
@@ -149,6 +154,10 @@ int main(int argc, char** argv) {
       .flag("write-timeout-ms", "10000", "per-response write deadline "
                                          "(0 = unbounded)")
       .flag("cache-entries", "64", "result-cache entries (0 = no cache)")
+      .flag("state-dir", "", "durable-state directory: write-ahead job "
+                             "journal, persisted results, solve checkpoints; "
+                             "startup replays the journal and resubmits "
+                             "unfinished jobs (unset = in-memory only)")
       .flag("max-vertices", "0", "per-graph vertex ceiling (0 = VertexId range)")
       .flag("max-edges", "0", "per-graph edge ceiling (0 = unlimited)")
       .toggle("stream", "stream progress events as improvements happen")
