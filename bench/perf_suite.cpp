@@ -432,6 +432,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ----------------------------------------------- evolve gain axis ------
+  // evolve_*_mcut: best-of-R portfolio quality with and without the elite
+  // archive at an EQUAL total step budget. Both modes run `rounds`
+  // sequential R-restart portfolios with identical seeds and step budgets;
+  // "cold" starts every restart from scratch (archive off), "seeded" lets
+  // the archive carry elites across rounds (mutate/crossover seeding).
+  // Recorded as min/med/max over the per-round best values, plus the gain
+  // (cold min − seeded min; positive means evolution found a better
+  // partition for the same work).
+  {
+    struct Point {
+      const char* family;
+      int n, k;
+      std::int64_t steps;
+    };
+    const std::vector<Point> points =
+        quick ? std::vector<Point>{{"grid", 1024, 8, 600}}
+              : std::vector<Point>{{"grid", 2500, 8, 1500},
+                                   {"geometric", 2500, 8, 1500}};
+    const int rounds = quick ? 3 : 5;
+    for (const auto& pt : points) {
+      const Family* family = nullptr;
+      for (const auto& f : kFamilies) {
+        if (std::string_view(f.name) == pt.family) family = &f;
+      }
+      FFP_CHECK(family != nullptr, "unknown family '", pt.family,
+                "' in the evolve point table");
+      const Graph g = family->make(pt.n, seed);
+      const auto problem = api::Problem::viewing(g);
+      const auto run_mode = [&](bool seeded) {
+        ThreadBudget budget(1);
+        api::EngineOptions options;
+        options.budget = &budget;
+        options.evolve_capacity = seeded ? 8 : 0;
+        api::Engine engine(options);
+        std::vector<double> values;
+        for (int round = 0; round < rounds; ++round) {
+          api::SolveSpec spec;
+          spec.k = pt.k;
+          spec.seed = seed + static_cast<std::uint64_t>(round);
+          spec.steps = pt.steps;
+          spec.restarts = 3;
+          spec.evolve = seeded;
+          values.push_back(engine.solve(problem, spec).best_value);
+        }
+        std::sort(values.begin(), values.end());
+        return values;
+      };
+      const std::vector<double> cold = run_mode(false);
+      const std::vector<double> fed = run_mode(true);
+      const auto spread = [&](const char* metric,
+                              const std::vector<double>& v) {
+        record(point_name((std::string(metric) + "_min").c_str(), pt.family,
+                          g.num_vertices(), pt.k),
+               v.front(), "obj");
+        record(point_name((std::string(metric) + "_med").c_str(), pt.family,
+                          g.num_vertices(), pt.k),
+               v[v.size() / 2], "obj");
+        record(point_name((std::string(metric) + "_max").c_str(), pt.family,
+                          g.num_vertices(), pt.k),
+               v.back(), "obj");
+      };
+      spread("evolve_cold_mcut", cold);
+      spread("evolve_seeded_mcut", fed);
+      record(point_name("evolve_gain_mcut", pt.family, g.num_vertices(),
+                        pt.k),
+             cold.front() - fed.front(), "obj");
+    }
+  }
+
   // ----------------------------------------- service job throughput ------
   // serve_jobs_per_sec: how many small solve jobs the facade completes per
   // second — engine submit + scheduler dispatch + budget leasing + per-job

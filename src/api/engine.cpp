@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "evolve/plan.hpp"
 #include "persist/checkpoint.hpp"
 #include "persist/journal.hpp"
 #include "util/strings.hpp"
@@ -66,7 +67,11 @@ struct SolveHandle::EngineState {
       : cache(options.cache_capacity == 0 && !options.state_dir.empty()
                   ? kDefaultDurableCacheCapacity
                   : options.cache_capacity),
-        state_dir(options.state_dir) {
+        state_dir(options.state_dir),
+        archive(evolve::ArchiveOptions{
+            options.evolve_capacity,
+            options.state_dir.empty() ? std::string()
+                                      : options.state_dir + "/evolve"}) {
     JobSchedulerOptions sched;
     sched.runners = options.runners;
     sched.budget = options.budget;
@@ -102,6 +107,10 @@ struct SolveHandle::EngineState {
     /// entry (empty when this job is not persisted).
     std::string graph_source;
     ImprovementFn on_improvement;
+    /// Archive feedback: Done results admit into this population (every
+    /// finished solve grows the archive, evolve-mode or not).
+    evolve::PopulationKey population;
+    bool feed_archive = false;
   };
 
   void handle_improvement(std::uint64_t job, double seconds, double value) {
@@ -127,17 +136,28 @@ struct SolveHandle::EngineState {
   void finalize(std::uint64_t job, const JobStatus& status) {
     std::string key;
     std::string source;
+    evolve::PopulationKey population;
+    bool feed = false;
     {
       std::lock_guard lock(mu);
       const auto it = pending.find(job);
       if (it == pending.end()) return;
       key = std::move(it->second.cache_key);
       source = std::move(it->second.graph_source);
+      population = it->second.population;
+      feed = it->second.feed_archive;
       pending.erase(it);
     }
     if (status.state != JobState::Done) return;
     cache.put(key, status.result);
     persist_cache_entry(key, source, status.result.get());
+    if (feed && status.result != nullptr) {
+      // Cross-job learning: every finished partition is offered to its
+      // population (exact duplicates are rejected there, so the evolve
+      // per-restart feedback and this winner feedback never double up).
+      archive.admit(population, status.result->best.assignment(),
+                    status.result->best_value);
+    }
   }
 
   /// Durable twin of cache.put(): the finished result as one atomic CRC-
@@ -229,6 +249,9 @@ struct SolveHandle::EngineState {
   /// Graphs backing reloaded cache entries (Partition holds a Graph*).
   std::vector<std::shared_ptr<const Graph>> pinned_graphs;
   std::size_t recovered_count = 0;
+  /// Declared before the scheduler: portfolio feedback closures hold a raw
+  /// pointer to it, so it must outlive the runner threads.
+  evolve::EliteArchive archive;
   /// Last member: destroyed (and its runner threads joined) first, so the
   /// hooks above can never fire into a dead EngineState.
   std::unique_ptr<JobScheduler> scheduler;
@@ -290,10 +313,11 @@ SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
   const ResolvedSpec resolved = spec.resolve();
 
   std::string key;
-  if (impl_->cache.enabled() && resolved.deterministic) {
+  const std::string spec_key = spec.cache_key(resolved);
+  if (impl_->cache.enabled() && resolved.deterministic && !spec_key.empty()) {
     key = format("g%016llx|",
                  static_cast<unsigned long long>(problem.digest())) +
-          spec.cache_key(resolved);
+          spec_key;
     if (auto hit = impl_->cache.get(key)) {
       auto status = std::make_shared<JobStatus>();
       status->state = JobState::Done;
@@ -316,6 +340,38 @@ SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
   job.threads = spec.threads;
   job.restarts = spec.restarts;
   job.queue_ttl_ms = spec.queue_ttl_ms;
+
+  // Evolutionary portfolio wiring (src/evolve/). Only the FF-family
+  // methods honor the warm-start/incumbent seeding channels with the
+  // never-worsen contract the plan relies on; for anything else an
+  // evolve spec degrades to a plain (uncached) portfolio. The plan is
+  // computed HERE, from one archive snapshot and the spec seed, so the
+  // restart workers only read immutable state — byte-identical at any
+  // thread count for a fixed archive.
+  const evolve::PopulationKey population{problem.digest(), spec.k,
+                                         spec.objective};
+  const bool ff_family = resolved.solver->name() == "fusion_fission" ||
+                         resolved.solver->name() == "mlff";
+  const bool feed_archive =
+      impl_->archive.enabled() && resolved.metaheuristic;
+  if (spec.evolve && impl_->archive.enabled() && ff_family) {
+    auto plan = std::make_shared<const evolve::EvolvePlan>(evolve::plan_evolve(
+        impl_->archive, population, spec.restarts, spec.seed,
+        /*allow_crossover=*/resolved.solver->name() == "fusion_fission",
+        static_cast<std::size_t>(problem.graph().num_vertices())));
+    job.seed_restart = [plan, graph = job.graph](int restart,
+                                                 SolverRequest& request) {
+      evolve::apply_restart_seed(*plan, *graph, restart, request);
+    };
+    // Raw pointer, not the shared EngineState: the archive outlives the
+    // scheduler by member order, and a shared_ptr here would cycle
+    // (state -> scheduler -> job -> closure -> state).
+    job.on_restart_result = [archive = &impl_->archive, population](
+                                int, const SolverResult& result) {
+      archive->admit(population, result.best.assignment(),
+                     result.best_value);
+    };
+  }
 
   // Durable-state wiring — deterministic solves only: a wall-clock run is
   // not reproducible, so journaling its spec or keying a checkpoint on it
@@ -366,7 +422,8 @@ SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
     impl_->pending.emplace(
         id, SolveHandle::EngineState::Pending{std::move(key),
                                               std::move(graph_source),
-                                              std::move(on_improvement)});
+                                              std::move(on_improvement),
+                                              population, feed_archive});
   }
   return SolveHandle(impl_, id, nullptr);
 }
@@ -414,6 +471,7 @@ std::string Engine::build_payload(const std::string& graph_source,
   p += "checkpoint_every_ms=" + std::to_string(spec.checkpoint_every_ms) +
        "\n";
   p += std::string("warm_start=") + (spec.warm_start ? "1" : "0") + "\n";
+  p += std::string("evolve=") + (spec.evolve ? "1" : "0") + "\n";
   return p;
 }
 
@@ -446,6 +504,9 @@ void Engine::recover() {
       spec.checkpoint_every_ms =
           std::stoll(payload_field(f, "checkpoint_every_ms"));
       spec.warm_start = payload_field(f, "warm_start") == "1";
+      // Tolerant of pre-evolve journals, which have no such field.
+      const auto evolve_it = f.find("evolve");
+      spec.evolve = evolve_it != f.end() && evolve_it->second == "1";
       submit(problem, spec);
       ++impl_->recovered_count;
     } catch (const std::exception& e) {
@@ -492,6 +553,16 @@ void Engine::drain() {
 }
 
 CacheCounters Engine::cache_counters() const { return impl_->cache.counters(); }
+
+evolve::ArchiveCounters Engine::archive_counters() const {
+  return impl_->archive.counters();
+}
+
+std::optional<double> Engine::archive_best(std::uint64_t digest, int k,
+                                           ObjectiveKind objective) const {
+  return impl_->archive.best_value(
+      evolve::PopulationKey{digest, k, objective});
+}
 
 JobScheduler& Engine::scheduler() { return *impl_->scheduler; }
 

@@ -25,6 +25,7 @@
 #include "api/problem.hpp"
 #include "api/result_cache.hpp"
 #include "api/solve_spec.hpp"
+#include "evolve/elite_archive.hpp"
 #include "service/job_scheduler.hpp"
 
 namespace ffp::persist {
@@ -57,6 +58,12 @@ struct EngineOptions {
   /// dir implies a result cache: cache_capacity 0 is bumped to a default
   /// so durability has somewhere to land.
   std::string state_dir;
+  /// Elite-archive capacity per (graph digest, k, objective) population
+  /// (src/evolve/): every finished Done solve feeds its partition back,
+  /// and SolveSpec::evolve portfolios seed from the population. 0 turns
+  /// the archive (and evolve mode) off. With a state_dir, populations
+  /// persist under `<dir>/evolve/` and survive restarts.
+  std::size_t evolve_capacity = 8;
 };
 
 /// Per-solve improvement stream: (seconds since the solve started, new
@@ -131,6 +138,12 @@ class Engine {
   void drain();
 
   CacheCounters cache_counters() const;
+  /// Elite-archive health (admissions, evictions, snapshot hit rate, …).
+  evolve::ArchiveCounters archive_counters() const;
+  /// Best archived objective value for one population, if any — the
+  /// per-digest quality floor status replies report.
+  std::optional<double> archive_best(std::uint64_t digest, int k,
+                                     ObjectiveKind objective) const;
   JobScheduler& scheduler();
   ThreadBudget& budget();
 

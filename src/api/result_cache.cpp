@@ -33,6 +33,7 @@ void ResultCache::put(const std::string& key,
       evicted = lru_.back().first;
       index_.erase(evicted);
       lru_.pop_back();
+      ++evictions_;
     }
   }
   // Outside mu_: the hook may do file I/O (unlinking the durable copy).
@@ -46,6 +47,7 @@ CacheCounters ResultCache::counters() const {
   out.misses = misses_;
   out.entries = static_cast<std::int64_t>(lru_.size());
   out.capacity = static_cast<std::int64_t>(capacity_);
+  out.evictions = evictions_;
   return out;
 }
 

@@ -28,6 +28,7 @@ struct CacheCounters {
   std::int64_t misses = 0;
   std::int64_t entries = 0;
   std::int64_t capacity = 0;
+  std::int64_t evictions = 0;  ///< entries dropped by capacity pressure
 };
 
 class ResultCache {
@@ -66,6 +67,7 @@ class ResultCache {
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
   std::function<void(const std::string&)> eviction_hook_;
 };
 

@@ -28,7 +28,9 @@ ResolvedSpec SolveSpec::resolve() const {
 }
 
 std::string SolveSpec::cache_key(const ResolvedSpec& resolved) const {
-  if (warm_start) return {};
+  // Warm-started and evolve-mode solves depend on state outside the spec
+  // (the on-disk checkpoint / the elite archive) — never cacheable.
+  if (warm_start || evolve) return {};
   return checkpoint_key(resolved);
 }
 

@@ -60,6 +60,16 @@ struct SolveSpec {
   /// on disk state, so a warm-started spec is never cacheable — but it is
   /// guaranteed to never be WORSE than the checkpoint it restored.
   bool warm_start = false;
+  /// Evolutionary portfolio (src/evolve/): draw the `restarts` starting
+  /// partitions from the engine's elite archive — crossover offspring,
+  /// mutated elites, and fresh cold starts — and feed every restart's
+  /// result back. Honored for the FF-family methods (fusion_fission,
+  /// mlff) on an engine with a non-zero archive; otherwise the job runs
+  /// as a plain portfolio. Like warm_start, the result depends on state
+  /// outside the spec (the archive), so an evolve spec is never cacheable
+  /// — but for a FIXED archive state it stays deterministic at any
+  /// thread count (the plan is computed at submit from the spec seed).
+  bool evolve = false;
 
   /// Nominal metaheuristic step rate used to turn budget_ms into a step
   /// budget when determinism requires one (steps overrides).
@@ -87,8 +97,8 @@ struct SolveSpec {
   /// engine choice (threads == 0 vs > 0) is included, because a thread
   /// want selects a different (equally deterministic) engine schedule.
   /// Returns "" when the spec is not deterministic (never cacheable), and
-  /// when warm_start is set (the result depends on the on-disk checkpoint,
-  /// which is outside the key).
+  /// when warm_start or evolve is set (the result then depends on the
+  /// on-disk checkpoint / the elite archive, which are outside the key).
   std::string cache_key(const ResolvedSpec& resolved) const;
   std::string cache_key() const { return cache_key(resolve()); }
 

@@ -778,6 +778,26 @@ FusionFissionResult FusionFission::run(const StopCondition& stop,
     // the checkpointed one so a resume can never report an ulp worse.
     s.best_at_k_value = options_.warm_start_value;
   }
+  if (options_.incumbent != nullptr) {
+    // The memetic-crossover cap: best-at-k starts at the incumbent (the
+    // better parent), so the result is min(search, incumbent) whatever
+    // the overlay start evolves into. Adopt the lower of the archived
+    // value and a fresh evaluation — same ulp discipline as warm starts.
+    FFP_CHECK(static_cast<VertexId>(options_.incumbent->size()) ==
+                  g_->num_vertices(),
+              "incumbent assignment covers ", options_.incumbent->size(),
+              " vertices, graph has ", g_->num_vertices());
+    Partition inc = Partition::from_assignment(*g_, *options_.incumbent);
+    if (inc.num_nonempty_parts() == k_) {
+      double value = objective(options_.objective).evaluate(inc);
+      if (options_.incumbent_value < value) value = options_.incumbent_value;
+      if (value < s.best_at_k_value) {
+        s.best_at_k_value = value;
+        s.best_at_k = std::move(inc);
+        if (recorder != nullptr) recorder->record(value);
+      }
+    }
+  }
   // Seed the reheat target even if we never hit k exactly before freezing.
   s.best = s.cur();
   s.best_energy = s.current_energy;

@@ -156,6 +156,17 @@ struct FusionFissionOptions {
   /// summation order can differ by an ulp — best-at-k adopts it, keeping
   /// the resume contract exact. Infinity = unknown.
   double warm_start_value = std::numeric_limits<double>::infinity();
+  /// Memetic incumbent (evolve crossover's better parent): a full k-part
+  /// assignment whose objective CAPS the result. Unlike warm_start it
+  /// does not replace the starting molecule — the run still starts from
+  /// warm_start (the parents' overlay) — it seeds best-at-k directly, so
+  /// a crossover offspring can never report worse than its better parent
+  /// no matter where the search wanders. Ignored when its part count is
+  /// not exactly k (the guarantee would be meaningless).
+  std::shared_ptr<const std::vector<int>> incumbent;
+  /// The archived objective value of `incumbent`; the lower of it and the
+  /// fresh re-evaluation is adopted (same ulp rule as warm_start_value).
+  double incumbent_value = std::numeric_limits<double>::infinity();
   /// With checkpoint_sink set and checkpoint_every_ms > 0, the best-at-k
   /// partition (compacted assignment + objective value) is pushed through
   /// the sink at most once per interval — and once more at the end of the

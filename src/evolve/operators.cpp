@@ -1,0 +1,39 @@
+#include "evolve/operators.hpp"
+
+#include "util/check.hpp"
+
+namespace ffp::evolve {
+
+std::vector<int> overlay_assignment(const Graph& g, std::span<const int> a,
+                                    std::span<const int> b) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  FFP_CHECK(a.size() == n, "overlay parent A covers ", a.size(),
+            " vertices, graph has ", n);
+  FFP_CHECK(b.size() == n, "overlay parent B covers ", b.size(),
+            " vertices, graph has ", n);
+
+  std::vector<int> out(n, -1);
+  std::vector<VertexId> stack;
+  int blocks = 0;
+  for (VertexId v = 0; v < static_cast<VertexId>(n); ++v) {
+    if (out[static_cast<std::size_t>(v)] != -1) continue;
+    const int label = blocks++;
+    out[static_cast<std::size_t>(v)] = label;
+    stack.push_back(v);
+    while (!stack.empty()) {
+      const VertexId u = stack.back();
+      stack.pop_back();
+      for (const VertexId w : g.neighbors(u)) {
+        const auto wi = static_cast<std::size_t>(w);
+        if (out[wi] == -1 && a[wi] == a[static_cast<std::size_t>(v)] &&
+            b[wi] == b[static_cast<std::size_t>(v)]) {
+          out[wi] = label;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ffp::evolve

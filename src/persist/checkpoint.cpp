@@ -21,19 +21,25 @@ std::uint64_t fnv1a(std::string_view data, std::uint64_t h) {
 
 }  // namespace
 
-std::string checkpoint_path(const std::string& dir,
-                            std::uint64_t graph_digest,
-                            const std::string& solve_key) {
-  std::uint64_t h = fnv1a(solve_key, 14695981039346656037ull);
+std::string keyed_record_path(const std::string& dir, std::string_view stem,
+                              std::uint64_t graph_digest,
+                              const std::string& key) {
+  std::uint64_t h = fnv1a(key, 14695981039346656037ull);
   char digest_bytes[8];
   for (int i = 0; i < 8; ++i) {
     digest_bytes[i] = static_cast<char>((graph_digest >> (8 * i)) & 0xff);
   }
   h = fnv1a(std::string_view(digest_bytes, 8), h);
   char name[32];
-  std::snprintf(name, sizeof(name), "ck-%016llx.rec",
+  std::snprintf(name, sizeof(name), "-%016llx.rec",
                 static_cast<unsigned long long>(h));
-  return dir + "/" + name;
+  return dir + "/" + std::string(stem) + name;
+}
+
+std::string checkpoint_path(const std::string& dir,
+                            std::uint64_t graph_digest,
+                            const std::string& solve_key) {
+  return keyed_record_path(dir, "ck", graph_digest, solve_key);
 }
 
 void save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {

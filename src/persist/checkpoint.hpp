@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ffp::persist {
@@ -27,6 +28,14 @@ struct Checkpoint {
   double value = 0.0;  ///< objective of `assignment` (exact round-trip)
   std::vector<int> assignment;
 };
+
+/// Deterministic record-file path for (graph digest, canonical key) under
+/// `dir`: "<dir>/<stem>-<fnv1a64(key, digest)>.rec". Any process computes
+/// the same path for the same identity — checkpoints use stem "ck", the
+/// evolve archive's populations use stem "pop".
+std::string keyed_record_path(const std::string& dir, std::string_view stem,
+                              std::uint64_t graph_digest,
+                              const std::string& key);
 
 /// The checkpoint file for (graph digest, canonical solve key) under
 /// `dir`. Deterministic — any process computes the same path.

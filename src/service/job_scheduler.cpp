@@ -318,14 +318,18 @@ void JobScheduler::run_job(Job& job) {
   std::shared_ptr<const SolverResult> result;
   std::string error;
   try {
-    if (spec.restarts > 1) {
+    if (spec.restarts > 1 || spec.seed_restart || spec.on_restart_result) {
       // Portfolio multi-start inside the job: restart workers and each
       // restart's intra-run engine all lease from the scheduler's budget,
       // so a portfolio job obeys the same machine-wide cap as any other.
+      // Evolve hooks force this path even at restarts=1, so their seeding
+      // and feedback contracts hold uniformly.
       PortfolioOptions popt;
       popt.restarts = spec.restarts;
       popt.threads = spec.threads;
       popt.budget = budget_;
+      popt.seed_restart = spec.seed_restart;
+      popt.on_result = spec.on_restart_result;
       result = std::make_shared<const SolverResult>(
           PortfolioRunner(job.solver, popt).run(*spec.graph, request));
     } else {

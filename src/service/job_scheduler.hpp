@@ -88,6 +88,12 @@ struct JobSpec {
   std::int64_t checkpoint_every_ms = 0;
   std::function<void(const std::vector<int>& assignment, double value)>
       checkpoint_sink;
+  // Evolve-mode portfolio hooks, forwarded into PortfolioOptions (see
+  // solver/portfolio.hpp for the thread-safety/ordering contract). Setting
+  // either routes the job through the PortfolioRunner even at restarts=1.
+  std::function<void(int restart, SolverRequest& request)> seed_restart;
+  std::function<void(int restart, const SolverResult& result)>
+      on_restart_result;
   /// Write-ahead journaling: when non-empty AND the scheduler has a
   /// journal, this job leaves submitted/started/terminal records, each
   /// durable before the transition it describes becomes visible. The

@@ -20,7 +20,7 @@ const std::set<std::string_view>& submit_keys() {
       "op",        "id",    "graph_file", "graph",     "method",   "k",
       "objective", "seed",  "steps",      "budget_ms", "priority",
       "threads",   "restarts", "queue_ttl_ms", "checkpoint_every_ms",
-      "warm_start"};
+      "warm_start", "evolve"};
   return keys;
 }
 
@@ -205,6 +205,10 @@ Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
     if (!w->is_bool()) reject("'warm_start' must be a boolean");
     req.spec.warm_start = w->as_bool();
   }
+  if (const JsonValue* e = root.find("evolve"); e != nullptr) {
+    if (!e->is_bool()) reject("'evolve' must be a boolean");
+    req.spec.evolve = e->as_bool();
+  }
   return req;
 }
 
@@ -293,7 +297,9 @@ std::string format_progress(std::string_view id, double seconds,
 }
 
 std::string format_status(std::string_view id, const JobStatus& status,
-                          const api::CacheCounters* cache) {
+                          const api::CacheCounters* cache,
+                          const evolve::ArchiveCounters* archive,
+                          const double* archive_best) {
   std::string out = "{\"event\":\"status\",\"id\":";
   json_append_quoted(out, id);
   out += ",\"state\":\"";
@@ -308,6 +314,24 @@ std::string format_status(std::string_view id, const JobStatus& status,
   if (cache != nullptr) {
     out += ",\"cache_hits\":" + std::to_string(cache->hits);
     out += ",\"cache_misses\":" + std::to_string(cache->misses);
+    out += ",\"cache_entries\":" + std::to_string(cache->entries);
+    out += ",\"cache_capacity\":" + std::to_string(cache->capacity);
+    out += ",\"cache_evictions\":" + std::to_string(cache->evictions);
+  }
+  if (archive != nullptr) {
+    out += ",\"archive_elites\":" + std::to_string(archive->elites);
+    out += ",\"archive_populations\":" + std::to_string(archive->populations);
+    out += ",\"archive_admitted\":" + std::to_string(archive->admitted);
+    out += ",\"archive_evicted\":" + std::to_string(archive->evicted);
+    out += ",\"archive_hit_rate\":";
+    append_number(out, archive->lookups > 0
+                           ? static_cast<double>(archive->hits) /
+                                 static_cast<double>(archive->lookups)
+                           : 0.0);
+  }
+  if (archive_best != nullptr) {
+    out += ",\"archive_best\":";
+    append_number(out, *archive_best);
   }
   out += "}";
   return out;

@@ -43,6 +43,7 @@
 
 #include "api/result_cache.hpp"
 #include "api/solve_spec.hpp"
+#include "evolve/elite_archive.hpp"
 #include "graph/io.hpp"
 #include "service/job_scheduler.hpp"
 #include "service/json.hpp"
@@ -97,10 +98,16 @@ std::string format_error(std::string_view id, std::string_view message,
 std::string format_progress(std::string_view id, double seconds, double value);
 /// `status` event: state, seconds, best value seen (absent before the
 /// first improvement) and the improvement count. When `cache` is non-null
-/// the event also carries the host's result-cache hit/miss counters —
-/// every status reply doubles as a cache health probe.
+/// the event also carries the host's result-cache counters (hits, misses,
+/// entries, capacity, evictions — everything an operator needs to size
+/// --cache-entries); when `archive` is non-null, the elite-archive stats
+/// (size, populations, admissions, snapshot hit rate); when
+/// `archive_best` is non-null, the best archived value for THIS job's
+/// population — every status reply doubles as a health probe.
 std::string format_status(std::string_view id, const JobStatus& status,
-                          const api::CacheCounters* cache = nullptr);
+                          const api::CacheCounters* cache = nullptr,
+                          const evolve::ArchiveCounters* archive = nullptr,
+                          const double* archive_best = nullptr);
 /// `result` event for a terminal job with a partition attached (Done, or
 /// Cancelled mid-run). Failed/cancelled-before-running jobs get `error`.
 std::string format_result(std::string_view id, const JobStatus& status);

@@ -20,6 +20,7 @@ api::EngineOptions engine_options(const ServiceOptions& options) {
   out.max_queued = options.max_queued;
   out.overload_retry_after_ms = options.overload_retry_after_ms;
   out.state_dir = options.state_dir;
+  out.evolve_capacity = options.evolve_capacity;
   return out;
 }
 
@@ -164,6 +165,12 @@ bool ServiceSession::handle_line(std::string_view line) {
         {
           std::lock_guard lock(mu_);
           handles_.emplace(request.id, std::move(handle));
+          if (host_.options().evolve_capacity > 0) {
+            populations_.emplace(
+                request.id, evolve::PopulationKey{problem.digest(),
+                                                  request.spec.k,
+                                                  request.spec.objective});
+          }
         }
         emit(format_ack(request.id));
         return true;
@@ -173,7 +180,23 @@ bool ServiceSession::handle_line(std::string_view line) {
         const bool cache_on = host_.options().cache_capacity > 0;
         const api::CacheCounters counters =
             cache_on ? host_.engine().cache_counters() : api::CacheCounters{};
-        emit(format_status(id, status, cache_on ? &counters : nullptr));
+        const bool archive_on = host_.options().evolve_capacity > 0;
+        const evolve::ArchiveCounters archive =
+            archive_on ? host_.engine().archive_counters()
+                       : evolve::ArchiveCounters{};
+        std::optional<double> best;
+        if (archive_on) {
+          std::lock_guard lock(mu_);
+          const auto it = populations_.find(id);
+          if (it != populations_.end()) {
+            best = host_.engine().archive_best(it->second.digest,
+                                               it->second.k,
+                                               it->second.objective);
+          }
+        }
+        emit(format_status(id, status, cache_on ? &counters : nullptr,
+                           archive_on ? &archive : nullptr,
+                           best.has_value() ? &*best : nullptr));
         return true;
       }
       case RequestOp::Cancel:

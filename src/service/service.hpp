@@ -66,6 +66,10 @@ struct ServiceOptions {
   /// (see there for the layout and recovery semantics). Empty keeps the
   /// historical fully-in-memory server.
   std::string state_dir;
+  /// Elite-archive capacity per (graph digest, k, objective) population,
+  /// forwarded to api::EngineOptions::evolve_capacity. 0 turns the archive
+  /// (and `"evolve":true` submissions) off.
+  std::size_t evolve_capacity = 8;
   ProtocolLimits limits;
 };
 
@@ -162,8 +166,12 @@ class ServiceSession {
   SessionPolicy policy_;
   std::shared_ptr<EmitState> emit_;
 
-  std::mutex mu_;  ///< handle map
+  std::mutex mu_;  ///< handle + population maps
   std::map<std::string, api::SolveHandle> handles_;  ///< client id → handle
+  /// client id → the job's elite-archive population, recorded at submit so
+  /// a later status can report archive_best for exactly this job's
+  /// (digest, k, objective) without re-loading the graph.
+  std::map<std::string, evolve::PopulationKey> populations_;
 };
 
 }  // namespace ffp

@@ -100,9 +100,18 @@ SolverResult PortfolioRunner::run(const Graph& g,
       SolverRequest local = request;
       local.seed = seeds[idx];
       local.recorder = shared.has_value() ? &*shared : nullptr;
+      if (options_.seed_restart) {
+        options_.seed_restart(static_cast<int>(i), local);
+      }
       const Solver& solver = *solvers_[idx % solvers_.size()];
       results[idx].emplace(solver.run(g, local));
     });
+  }
+
+  if (options_.on_result) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      options_.on_result(static_cast<int>(i), *results[i]);
+    }
   }
 
   // Winner: lowest value, ties broken by lowest restart index — an order

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "solver/solver.hpp"
@@ -36,6 +37,17 @@ struct PortfolioOptions {
   /// same governor down). Restarts × intra-run threads can therefore never
   /// exceed the budget. Null keeps the historical fixed-size pool.
   ThreadBudget* budget = nullptr;
+  /// Per-restart request customization (the evolve layer's seeding hook):
+  /// called on the restart's WORKER thread, after the stream seed is set,
+  /// with the restart index and the request the restart will run. Must be
+  /// thread-safe and a pure function of (index, request) — e.g. reading a
+  /// precomputed immutable plan — or the determinism contract breaks.
+  std::function<void(int restart, SolverRequest& request)> seed_restart = {};
+  /// Per-restart result observation (the evolve layer's feedback hook):
+  /// called SERIALLY, in restart-index order, after every restart finished
+  /// and before the winner is selected — so feeding results into an
+  /// archive happens in an order that cannot depend on scheduling.
+  std::function<void(int restart, const SolverResult& result)> on_result = {};
 };
 
 class PortfolioRunner {

@@ -74,6 +74,13 @@ struct SolverRequest {
   std::int64_t checkpoint_every_ms = 0;
   std::function<void(const std::vector<int>& assignment, double value)>
       checkpoint_sink;
+  /// Memetic incumbent (evolve crossover): a k-part assignment that CAPS
+  /// the reported result — the run can never return worse than
+  /// min(incumbent_value, its evaluation). Fusion-fission seeds best-at-k
+  /// from it in-search (the offspring may still improve on it); mlff
+  /// applies it as a post-hoc guard; the other solvers ignore it.
+  std::shared_ptr<const std::vector<int>> incumbent;
+  double incumbent_value = std::numeric_limits<double>::infinity();
 };
 
 struct SolverResult {

@@ -303,6 +303,31 @@ TEST(EngineCache, CanonicalizationMakesEquivalentSpecsCollide) {
   EXPECT_EQ(engine.cache_counters().misses, 1);
 }
 
+// Evolve-mode solves draw on (and feed) the elite archive, so the same
+// spec legitimately returns different partitions over time: they must
+// never be cached — and never even move the counters (the empty key is
+// dropped before accounting, like warm starts).
+TEST(EngineCache, EvolveSolvesBypassTheCache) {
+  api::SolveSpec spec;
+  spec.k = 3;
+  spec.steps = 500;
+  EXPECT_FALSE(spec.cache_key().empty());
+  spec.evolve = true;
+  EXPECT_TRUE(spec.cache_key().empty());
+
+  api::EngineOptions options;
+  options.cache_capacity = 4;
+  api::Engine engine(options);
+  const api::Problem problem = api::Problem::generated("grid2d:8,8");
+  engine.solve(problem, spec);
+  engine.solve(problem, spec);
+  EXPECT_EQ(engine.cache_counters().hits, 0);
+  EXPECT_EQ(engine.cache_counters().misses, 0);
+  EXPECT_EQ(engine.cache_counters().entries, 0);
+  // The archive, by contrast, did learn from both runs.
+  EXPECT_GE(engine.archive_counters().elites, 1);
+}
+
 TEST(EngineCache, WallClockSolvesNeverTouchTheCache) {
   api::EngineOptions options;
   options.cache_capacity = 2;

@@ -430,6 +430,23 @@ TEST(ServiceHost, RepeatSubmissionsHitTheResultCache) {
   ASSERT_NE(status.find("cache_hits"), nullptr);
   EXPECT_GE(status.find("cache_hits")->as_int(), 1);
   EXPECT_GE(status.find("cache_misses")->as_int(), 1);
+  // Status doubles as a cache-health probe: occupancy, bound, churn.
+  ASSERT_NE(status.find("cache_entries"), nullptr);
+  EXPECT_GE(status.find("cache_entries")->as_int(), 1);
+  ASSERT_NE(status.find("cache_capacity"), nullptr);
+  EXPECT_GT(status.find("cache_capacity")->as_int(), 0);
+  ASSERT_NE(status.find("cache_evictions"), nullptr);
+  EXPECT_GE(status.find("cache_evictions")->as_int(), 0);
+  // ... and an elite-archive probe: the finished job fed its population,
+  // and archive_best reports this job's (digest, k, objective) floor.
+  ASSERT_NE(status.find("archive_elites"), nullptr);
+  EXPECT_GE(status.find("archive_elites")->as_int(), 1);
+  ASSERT_NE(status.find("archive_populations"), nullptr);
+  EXPECT_GE(status.find("archive_populations")->as_int(), 1);
+  ASSERT_NE(status.find("archive_admitted"), nullptr);
+  ASSERT_NE(status.find("archive_best"), nullptr);
+  EXPECT_EQ(status.find("archive_best")->as_number(),
+            JsonValue::parse(first).find("value")->as_number());
   EXPECT_EQ(h.host.engine().cache_counters().hits, 1);
 }
 

@@ -60,6 +60,9 @@ std::string submit_line(const ffp::ArgParser& args, const std::string& id,
   out += ",\"steps\":" + std::to_string(args.get_int("steps"));
   out += ",\"threads\":" + std::to_string(args.get_int("threads"));
   out += ",\"priority\":" + std::to_string(args.get_int("priority"));
+  if (args.get_int("restarts") > 1) {
+    out += ",\"restarts\":" + std::to_string(args.get_int("restarts"));
+  }
   if (args.get_int("queue-ttl-ms") > 0) {
     out += ",\"queue_ttl_ms\":" + std::to_string(args.get_int("queue-ttl-ms"));
   }
@@ -68,6 +71,7 @@ std::string submit_line(const ffp::ArgParser& args, const std::string& id,
            std::to_string(args.get_int("checkpoint-every-ms"));
   }
   if (args.get_bool("warm-start")) out += ",\"warm_start\":true";
+  if (args.get_bool("evolve")) out += ",\"evolve\":true";
   out += "}";
   return out;
 }
@@ -130,11 +134,15 @@ int main(int argc, char** argv) {
       .flag("steps", "10000", "deterministic step budget per job")
       .flag("threads", "0", "intra-run worker want per job")
       .flag("priority", "0", "job priority (higher runs first)")
+      .flag("restarts", "1", "restart portfolio width per job")
       .flag("queue-ttl-ms", "0", "per-job queue TTL (0 = none)")
       .flag("checkpoint-every-ms", "0", "durable checkpoint interval per job "
                                         "(needs a --state-dir server; 0 = off)")
       .toggle("warm-start", "resume each job from its durable checkpoint "
                             "when one exists")
+      .toggle("evolve", "seed each job's restarts from the server's elite "
+                        "archive and feed results back (needs a server with "
+                        "--evolve-elites > 0)")
       .flag("retries", "5", "connection attempts before giving up")
       .flag("backoff-ms", "100", "base retry backoff (doubles per attempt, "
                                  "capped at 50x, jittered)")
@@ -165,6 +173,7 @@ int main(int argc, char** argv) {
               "need --graph (or --script) to submit jobs");
     const std::int64_t jobs = args.get_int("jobs");
     FFP_CHECK(jobs >= 1, "--jobs must be >= 1");
+    FFP_CHECK(args.get_int("restarts") >= 1, "--restarts must be >= 1");
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const std::int64_t retries = args.get_int("retries");
     FFP_CHECK(retries >= 1, "--retries must be >= 1");

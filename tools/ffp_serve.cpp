@@ -56,6 +56,8 @@ ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
   options.allow_files = !args.get_bool("no-files");
   options.max_queued = static_cast<std::size_t>(args.get_int("max-queued"));
   options.state_dir = args.get("state-dir");
+  options.evolve_capacity =
+      static_cast<std::size_t>(args.get_int("evolve-elites"));
   options.limits.graph.max_vertices = args.get_int("max-vertices");
   options.limits.graph.max_edges = args.get_int("max-edges");
   FFP_CHECK(options.limits.graph.max_vertices >= 0,
@@ -154,6 +156,10 @@ int main(int argc, char** argv) {
       .flag("write-timeout-ms", "10000", "per-response write deadline "
                                          "(0 = unbounded)")
       .flag("cache-entries", "64", "result-cache entries (0 = no cache)")
+      .flag("evolve-elites", "8", "elite-archive capacity per (graph, k, "
+                                  "objective) population; feeds "
+                                  "\"evolve\":true submissions (0 = off; "
+                                  "persists under --state-dir)")
       .flag("state-dir", "", "durable-state directory: write-ahead job "
                              "journal, persisted results, solve checkpoints; "
                              "startup replays the journal and resubmits "
@@ -177,6 +183,9 @@ int main(int argc, char** argv) {
     const std::int64_t cache_entries = args.get_int("cache-entries");
     FFP_CHECK(cache_entries >= 0 && cache_entries <= 1 << 20,
               "--cache-entries must be in [0, 2^20]");
+    const std::int64_t evolve_elites = args.get_int("evolve-elites");
+    FFP_CHECK(evolve_elites >= 0 && evolve_elites <= 4096,
+              "--evolve-elites must be in [0, 4096]");
     const std::int64_t max_queued = args.get_int("max-queued");
     FFP_CHECK(max_queued >= 0 && max_queued <= 1 << 20,
               "--max-queued must be in [0, 2^20] (0 = unbounded)");
