@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_choice.dir/bench/ablation_choice.cpp.o"
+  "CMakeFiles/bench_ablation_choice.dir/bench/ablation_choice.cpp.o.d"
+  "bench_ablation_choice"
+  "bench_ablation_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_laws.dir/bench/ablation_laws.cpp.o"
+  "CMakeFiles/bench_ablation_laws.dir/bench/ablation_laws.cpp.o.d"
+  "bench_ablation_laws"
+  "bench_ablation_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_anytime.dir/bench/fig1_anytime.cpp.o"
+  "CMakeFiles/bench_fig1_anytime.dir/bench/fig1_anytime.cpp.o.d"
+  "bench_fig1_anytime"
+  "bench_fig1_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

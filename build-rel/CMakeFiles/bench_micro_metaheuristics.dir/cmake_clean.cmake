@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_metaheuristics.dir/bench/micro_metaheuristics.cpp.o"
+  "CMakeFiles/bench_micro_metaheuristics.dir/bench/micro_metaheuristics.cpp.o.d"
+  "bench_micro_metaheuristics"
+  "bench_micro_metaheuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_metaheuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

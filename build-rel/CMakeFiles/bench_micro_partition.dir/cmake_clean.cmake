@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_partition.dir/bench/micro_partition.cpp.o"
+  "CMakeFiles/bench_micro_partition.dir/bench/micro_partition.cpp.o.d"
+  "bench_micro_partition"
+  "bench_micro_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

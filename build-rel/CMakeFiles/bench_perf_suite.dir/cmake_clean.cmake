@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_suite.dir/bench/perf_suite.cpp.o"
+  "CMakeFiles/bench_perf_suite.dir/bench/perf_suite.cpp.o.d"
+  "bench_perf_suite"
+  "bench_perf_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_k_robustness.dir/bench/sweep_k_robustness.cpp.o"
+  "CMakeFiles/bench_sweep_k_robustness.dir/bench/sweep_k_robustness.cpp.o.d"
+  "bench_sweep_k_robustness"
+  "bench_sweep_k_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_k_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compare.dir/bench/table1_compare.cpp.o"
+  "CMakeFiles/bench_table1_compare.dir/bench/table1_compare.cpp.o.d"
+  "bench_table1_compare"
+  "bench_table1_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

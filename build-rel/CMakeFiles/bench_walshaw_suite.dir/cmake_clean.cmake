@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_walshaw_suite.dir/bench/walshaw_suite.cpp.o"
+  "CMakeFiles/bench_walshaw_suite.dir/bench/walshaw_suite.cpp.o.d"
+  "bench_walshaw_suite"
+  "bench_walshaw_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_walshaw_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

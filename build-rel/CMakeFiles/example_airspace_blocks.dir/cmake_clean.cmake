@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_airspace_blocks.dir/examples/airspace_blocks.cpp.o"
+  "CMakeFiles/example_airspace_blocks.dir/examples/airspace_blocks.cpp.o.d"
+  "example_airspace_blocks"
+  "example_airspace_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_airspace_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

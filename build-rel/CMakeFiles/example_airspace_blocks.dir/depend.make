@@ -1,0 +1,2 @@
+# Empty dependencies file for example_airspace_blocks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_objective.dir/examples/custom_objective.cpp.o"
+  "CMakeFiles/example_custom_objective.dir/examples/custom_objective.cpp.o.d"
+  "example_custom_objective"
+  "example_custom_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mesh_partitioning.dir/examples/mesh_partitioning.cpp.o"
+  "CMakeFiles/example_mesh_partitioning.dir/examples/mesh_partitioning.cpp.o.d"
+  "example_mesh_partitioning"
+  "example_mesh_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mesh_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/engine.cpp" "CMakeFiles/ffp.dir/src/api/engine.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/api/engine.cpp.o.d"
+  "/root/repo/src/api/problem.cpp" "CMakeFiles/ffp.dir/src/api/problem.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/api/problem.cpp.o.d"
+  "/root/repo/src/api/result_cache.cpp" "CMakeFiles/ffp.dir/src/api/result_cache.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/api/result_cache.cpp.o.d"
+  "/root/repo/src/api/solve_spec.cpp" "CMakeFiles/ffp.dir/src/api/solve_spec.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/api/solve_spec.cpp.o.d"
+  "/root/repo/src/atc/airspace.cpp" "CMakeFiles/ffp.dir/src/atc/airspace.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/atc/airspace.cpp.o.d"
+  "/root/repo/src/atc/core_area.cpp" "CMakeFiles/ffp.dir/src/atc/core_area.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/atc/core_area.cpp.o.d"
+  "/root/repo/src/atc/flows.cpp" "CMakeFiles/ffp.dir/src/atc/flows.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/atc/flows.cpp.o.d"
+  "/root/repo/src/atc/geojson.cpp" "CMakeFiles/ffp.dir/src/atc/geojson.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/atc/geojson.cpp.o.d"
+  "/root/repo/src/benchlib/budget.cpp" "CMakeFiles/ffp.dir/src/benchlib/budget.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/benchlib/budget.cpp.o.d"
+  "/root/repo/src/benchlib/methods.cpp" "CMakeFiles/ffp.dir/src/benchlib/methods.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/benchlib/methods.cpp.o.d"
+  "/root/repo/src/benchlib/table.cpp" "CMakeFiles/ffp.dir/src/benchlib/table.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/benchlib/table.cpp.o.d"
+  "/root/repo/src/core/batch_scheduler.cpp" "CMakeFiles/ffp.dir/src/core/batch_scheduler.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/core/batch_scheduler.cpp.o.d"
+  "/root/repo/src/core/choice.cpp" "CMakeFiles/ffp.dir/src/core/choice.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/core/choice.cpp.o.d"
+  "/root/repo/src/core/fusion_fission.cpp" "CMakeFiles/ffp.dir/src/core/fusion_fission.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/core/fusion_fission.cpp.o.d"
+  "/root/repo/src/core/laws.cpp" "CMakeFiles/ffp.dir/src/core/laws.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/core/laws.cpp.o.d"
+  "/root/repo/src/core/scaling.cpp" "CMakeFiles/ffp.dir/src/core/scaling.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/core/scaling.cpp.o.d"
+  "/root/repo/src/evolve/elite_archive.cpp" "CMakeFiles/ffp.dir/src/evolve/elite_archive.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/evolve/elite_archive.cpp.o.d"
+  "/root/repo/src/evolve/operators.cpp" "CMakeFiles/ffp.dir/src/evolve/operators.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/evolve/operators.cpp.o.d"
+  "/root/repo/src/evolve/plan.cpp" "CMakeFiles/ffp.dir/src/evolve/plan.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/evolve/plan.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "CMakeFiles/ffp.dir/src/graph/connectivity.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/ffp.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/ffp.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/ffp.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "CMakeFiles/ffp.dir/src/linalg/lanczos.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/operators.cpp" "CMakeFiles/ffp.dir/src/linalg/operators.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/linalg/operators.cpp.o.d"
+  "/root/repo/src/linalg/rqi.cpp" "CMakeFiles/ffp.dir/src/linalg/rqi.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/linalg/rqi.cpp.o.d"
+  "/root/repo/src/linalg/symmlq.cpp" "CMakeFiles/ffp.dir/src/linalg/symmlq.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/linalg/symmlq.cpp.o.d"
+  "/root/repo/src/linalg/tridiag.cpp" "CMakeFiles/ffp.dir/src/linalg/tridiag.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/linalg/tridiag.cpp.o.d"
+  "/root/repo/src/metaheuristics/annealing.cpp" "CMakeFiles/ffp.dir/src/metaheuristics/annealing.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/metaheuristics/annealing.cpp.o.d"
+  "/root/repo/src/metaheuristics/ant_colony.cpp" "CMakeFiles/ffp.dir/src/metaheuristics/ant_colony.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/metaheuristics/ant_colony.cpp.o.d"
+  "/root/repo/src/metaheuristics/percolation.cpp" "CMakeFiles/ffp.dir/src/metaheuristics/percolation.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/metaheuristics/percolation.cpp.o.d"
+  "/root/repo/src/multilevel/coarsen.cpp" "CMakeFiles/ffp.dir/src/multilevel/coarsen.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/multilevel/coarsen.cpp.o.d"
+  "/root/repo/src/multilevel/matching.cpp" "CMakeFiles/ffp.dir/src/multilevel/matching.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/multilevel/matching.cpp.o.d"
+  "/root/repo/src/multilevel/mlff.cpp" "CMakeFiles/ffp.dir/src/multilevel/mlff.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/multilevel/mlff.cpp.o.d"
+  "/root/repo/src/multilevel/multilevel.cpp" "CMakeFiles/ffp.dir/src/multilevel/multilevel.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/multilevel/multilevel.cpp.o.d"
+  "/root/repo/src/partition/balance.cpp" "CMakeFiles/ffp.dir/src/partition/balance.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/partition/balance.cpp.o.d"
+  "/root/repo/src/partition/objective_tracker.cpp" "CMakeFiles/ffp.dir/src/partition/objective_tracker.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/partition/objective_tracker.cpp.o.d"
+  "/root/repo/src/partition/objectives.cpp" "CMakeFiles/ffp.dir/src/partition/objectives.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/partition/objectives.cpp.o.d"
+  "/root/repo/src/partition/partition.cpp" "CMakeFiles/ffp.dir/src/partition/partition.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/partition/partition.cpp.o.d"
+  "/root/repo/src/partition/report.cpp" "CMakeFiles/ffp.dir/src/partition/report.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/partition/report.cpp.o.d"
+  "/root/repo/src/persist/atomic_file.cpp" "CMakeFiles/ffp.dir/src/persist/atomic_file.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/persist/atomic_file.cpp.o.d"
+  "/root/repo/src/persist/checkpoint.cpp" "CMakeFiles/ffp.dir/src/persist/checkpoint.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/persist/checkpoint.cpp.o.d"
+  "/root/repo/src/persist/journal.cpp" "CMakeFiles/ffp.dir/src/persist/journal.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/persist/journal.cpp.o.d"
+  "/root/repo/src/refine/fm_bisection.cpp" "CMakeFiles/ffp.dir/src/refine/fm_bisection.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/refine/fm_bisection.cpp.o.d"
+  "/root/repo/src/refine/kl_bisection.cpp" "CMakeFiles/ffp.dir/src/refine/kl_bisection.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/refine/kl_bisection.cpp.o.d"
+  "/root/repo/src/refine/kway_fm.cpp" "CMakeFiles/ffp.dir/src/refine/kway_fm.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/refine/kway_fm.cpp.o.d"
+  "/root/repo/src/service/client.cpp" "CMakeFiles/ffp.dir/src/service/client.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/client.cpp.o.d"
+  "/root/repo/src/service/errors.cpp" "CMakeFiles/ffp.dir/src/service/errors.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/errors.cpp.o.d"
+  "/root/repo/src/service/job_scheduler.cpp" "CMakeFiles/ffp.dir/src/service/job_scheduler.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/job_scheduler.cpp.o.d"
+  "/root/repo/src/service/json.cpp" "CMakeFiles/ffp.dir/src/service/json.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/json.cpp.o.d"
+  "/root/repo/src/service/net.cpp" "CMakeFiles/ffp.dir/src/service/net.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/net.cpp.o.d"
+  "/root/repo/src/service/protocol.cpp" "CMakeFiles/ffp.dir/src/service/protocol.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/protocol.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "CMakeFiles/ffp.dir/src/service/server.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/server.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "CMakeFiles/ffp.dir/src/service/service.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/service.cpp.o.d"
+  "/root/repo/src/service/thread_budget.cpp" "CMakeFiles/ffp.dir/src/service/thread_budget.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/service/thread_budget.cpp.o.d"
+  "/root/repo/src/solver/portfolio.cpp" "CMakeFiles/ffp.dir/src/solver/portfolio.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/solver/portfolio.cpp.o.d"
+  "/root/repo/src/solver/registry.cpp" "CMakeFiles/ffp.dir/src/solver/registry.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/solver/registry.cpp.o.d"
+  "/root/repo/src/solver/solver.cpp" "CMakeFiles/ffp.dir/src/solver/solver.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/solver/solver.cpp.o.d"
+  "/root/repo/src/solver/worker_pool.cpp" "CMakeFiles/ffp.dir/src/solver/worker_pool.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/solver/worker_pool.cpp.o.d"
+  "/root/repo/src/spectral/fiedler.cpp" "CMakeFiles/ffp.dir/src/spectral/fiedler.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/spectral/fiedler.cpp.o.d"
+  "/root/repo/src/spectral/laplacian.cpp" "CMakeFiles/ffp.dir/src/spectral/laplacian.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/spectral/laplacian.cpp.o.d"
+  "/root/repo/src/spectral/linear_partition.cpp" "CMakeFiles/ffp.dir/src/spectral/linear_partition.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/spectral/linear_partition.cpp.o.d"
+  "/root/repo/src/spectral/spectral_partition.cpp" "CMakeFiles/ffp.dir/src/spectral/spectral_partition.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/spectral/spectral_partition.cpp.o.d"
+  "/root/repo/src/util/fault.cpp" "CMakeFiles/ffp.dir/src/util/fault.cpp.o" "gcc" "CMakeFiles/ffp.dir/src/util/fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffp_client.dir/tools/ffp_client.cpp.o"
+  "CMakeFiles/ffp_client.dir/tools/ffp_client.cpp.o.d"
+  "ffp_client"
+  "ffp_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffp_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffp_gen.dir/tools/ffp_gen.cpp.o"
+  "CMakeFiles/ffp_gen.dir/tools/ffp_gen.cpp.o.d"
+  "ffp_gen"
+  "ffp_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffp_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffp_part.dir/tools/ffp_part.cpp.o"
+  "CMakeFiles/ffp_part.dir/tools/ffp_part.cpp.o.d"
+  "ffp_part"
+  "ffp_part.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffp_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

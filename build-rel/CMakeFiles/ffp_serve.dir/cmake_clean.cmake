@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffp_serve.dir/tools/ffp_serve.cpp.o"
+  "CMakeFiles/ffp_serve.dir/tools/ffp_serve.cpp.o.d"
+  "ffp_serve"
+  "ffp_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffp_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
