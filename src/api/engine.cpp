@@ -107,6 +107,10 @@ struct SolveHandle::EngineState {
     /// entry (empty when this job is not persisted).
     std::string graph_source;
     ImprovementFn on_improvement;
+    /// Fired exactly once by finalize(), for any terminal state, after
+    /// the cache/archive feedback — the async delivery channel the event
+    /// loop's sessions use instead of blocking in wait().
+    TerminalFn on_terminal;
     /// Archive feedback: Done results admit into this population (every
     /// finished solve grows the archive, evolve-mode or not).
     evolve::PopulationKey population;
@@ -136,6 +140,7 @@ struct SolveHandle::EngineState {
   void finalize(std::uint64_t job, const JobStatus& status) {
     std::string key;
     std::string source;
+    TerminalFn done;
     evolve::PopulationKey population;
     bool feed = false;
     {
@@ -144,20 +149,26 @@ struct SolveHandle::EngineState {
       if (it == pending.end()) return;
       key = std::move(it->second.cache_key);
       source = std::move(it->second.graph_source);
+      done = std::move(it->second.on_terminal);
       population = it->second.population;
       feed = it->second.feed_archive;
       pending.erase(it);
     }
-    if (status.state != JobState::Done) return;
-    cache.put(key, status.result);
-    persist_cache_entry(key, source, status.result.get());
-    if (feed && status.result != nullptr) {
-      // Cross-job learning: every finished partition is offered to its
-      // population (exact duplicates are rejected there, so the evolve
-      // per-restart feedback and this winner feedback never double up).
-      archive.admit(population, status.result->best.assignment(),
-                    status.result->best_value);
+    if (status.state == JobState::Done) {
+      cache.put(key, status.result);
+      persist_cache_entry(key, source, status.result.get());
+      if (feed && status.result != nullptr) {
+        // Cross-job learning: every finished partition is offered to its
+        // population (exact duplicates are rejected there, so the evolve
+        // per-restart feedback and this winner feedback never double up).
+        archive.admit(population, status.result->best.assignment(),
+                      status.result->best_value);
+      }
     }
+    // After the cache/archive feed: a terminal notification implies the
+    // result is observable through the cache. Outside mu — the callback
+    // may re-enter the engine (status probes, even submits).
+    if (done) done(status);
   }
 
   /// Durable twin of cache.put(): the finished result as one atomic CRC-
@@ -305,7 +316,8 @@ Engine::Engine(EngineOptions options)
 Engine::~Engine() { impl_->scheduler->shutdown(); }
 
 SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
-                           ImprovementFn on_improvement) {
+                           ImprovementFn on_improvement,
+                           TerminalFn on_terminal) {
   FFP_CHECK(problem.valid(), "submit needs a valid Problem");
 
   // One resolution pass answers everything method-dependent (and rejects
@@ -423,6 +435,7 @@ SolveHandle Engine::submit(const Problem& problem, const SolveSpec& spec,
         id, SolveHandle::EngineState::Pending{std::move(key),
                                               std::move(graph_source),
                                               std::move(on_improvement),
+                                              std::move(on_terminal),
                                               population, feed_archive});
   }
   return SolveHandle(impl_, id, nullptr);
@@ -562,6 +575,18 @@ std::optional<double> Engine::archive_best(std::uint64_t digest, int k,
                                            ObjectiveKind objective) const {
   return impl_->archive.best_value(
       evolve::PopulationKey{digest, k, objective});
+}
+
+bool Engine::archive_admit(std::uint64_t digest, int k,
+                           ObjectiveKind objective,
+                           std::span<const int> assignment, double value) {
+  return impl_->archive.admit(evolve::PopulationKey{digest, k, objective},
+                              assignment, value);
+}
+
+std::vector<std::pair<evolve::PopulationKey, evolve::Elite>>
+Engine::archive_exports() const {
+  return impl_->archive.best_elites();
 }
 
 JobScheduler& Engine::scheduler() { return *impl_->scheduler; }

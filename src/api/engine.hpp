@@ -71,6 +71,14 @@ struct EngineOptions {
 /// thread-safe against the caller's own state.
 using ImprovementFn = std::function<void(double seconds, double value)>;
 
+/// Per-solve terminal notification: fired exactly once, after the result
+/// has been cached and fed to the elite archive, for ANY terminal state
+/// (Done, Failed, Cancelled). Called from whichever thread finalizes the
+/// job — usually an engine runner, but possibly a handle's poll/wait path
+/// — so it must be thread-safe and must not block. Cache hits never fire
+/// it (the handle is already terminal at submit; poll it first).
+using TerminalFn = std::function<void(const JobStatus& status)>;
+
 class Engine;
 
 /// Async handle on one submitted solve. Cheap to copy; the default-
@@ -126,7 +134,8 @@ class Engine {
   /// happen at the API boundary, not inside a runner. `on_improvement`
   /// streams best-so-far improvements for this solve only.
   SolveHandle submit(const Problem& problem, const SolveSpec& spec,
-                     ImprovementFn on_improvement = {});
+                     ImprovementFn on_improvement = {},
+                     TerminalFn on_terminal = {});
 
   /// submit + wait with throwing semantics: returns the finished result,
   /// throws ffp::Error when the solve failed or was cancelled before
@@ -144,6 +153,15 @@ class Engine {
   /// per-digest quality floor status replies report.
   std::optional<double> archive_best(std::uint64_t digest, int k,
                                      ObjectiveKind objective) const;
+  /// Offers a foreign partition (an elite migrated from a peer shard) to
+  /// the archive under the usual diversity-aware admission rules. Returns
+  /// true when the population changed. No-op (false) with the archive off.
+  bool archive_admit(std::uint64_t digest, int k, ObjectiveKind objective,
+                     std::span<const int> assignment, double value);
+  /// Best elite of every non-empty population — what elite migration
+  /// ships to peer shards.
+  std::vector<std::pair<evolve::PopulationKey, evolve::Elite>>
+  archive_exports() const;
   JobScheduler& scheduler();
   ThreadBudget& budget();
 

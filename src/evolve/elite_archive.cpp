@@ -141,6 +141,26 @@ std::optional<double> EliteArchive::best_value(
   return best;
 }
 
+std::vector<std::pair<PopulationKey, Elite>> EliteArchive::best_elites()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<PopulationKey, Elite>> out;
+  out.reserve(populations_.size());
+  for (const auto& [key, population] : populations_) {
+    if (population.empty()) continue;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < population.size(); ++i) {
+      if (population[i].value < population[best].value ||
+          (population[i].value == population[best].value &&
+           population[i].stamp < population[best].stamp)) {
+        best = i;
+      }
+    }
+    out.emplace_back(key, population[best]);
+  }
+  return out;
+}
+
 ArchiveCounters EliteArchive::counters() const {
   std::lock_guard lock(mu_);
   ArchiveCounters out;

@@ -117,6 +117,11 @@ class EliteArchive {
   /// lookup/hit accounting (status probes must not skew the hit rate).
   std::optional<double> best_value(const PopulationKey& key) const;
 
+  /// The best elite (lowest value, oldest stamp among ties) of every
+  /// non-empty population — what inter-shard migration ships. Pure
+  /// observation, same accounting rules as best_value().
+  std::vector<std::pair<PopulationKey, Elite>> best_elites() const;
+
   ArchiveCounters counters() const;
 
  private:

@@ -96,7 +96,10 @@ FdHandle tcp_listen(int port, int* bound_port) {
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     fail_errno("bind 127.0.0.1:" + std::to_string(port));
   }
-  if (::listen(fd.get(), 8) != 0) fail_errno("listen");
+  // A deep backlog: the event-loop server absorbs thousand-connection
+  // bursts, and a full backlog turns into SYN-retransmit stalls (seconds
+  // per connect) on the client side, not a clean refusal.
+  if (::listen(fd.get(), SOMAXCONN) != 0) fail_errno("listen");
   if (bound_port != nullptr) {
     sockaddr_in actual{};
     socklen_t len = sizeof(actual);

@@ -212,6 +212,80 @@ Request parse_submit(const JsonValue& root, const ProtocolLimits& limits) {
   return req;
 }
 
+/// migrate_elite: the inter-shard elite push. Input is as untrusted as any
+/// other op — a hostile peer must not be able to plant an oversized
+/// assignment or an out-of-range part id in the archive.
+Request parse_migrate(const JsonValue& root, const ProtocolLimits& limits) {
+  Request req;
+  req.op = RequestOp::MigrateElite;
+  for (const auto& [key, unused] : root.as_object()) {
+    (void)unused;
+    if (key != "op" && key != "digest" && key != "k" && key != "objective" &&
+        key != "value" && key != "assignment") {
+      reject("unknown key '" + key + "' in migrate_elite");
+    }
+  }
+
+  const JsonValue* d = root.find("digest");
+  if (d == nullptr || !d->is_string()) reject("'digest' must be a hex string");
+  const std::string& hex = d->as_string();
+  if (hex.empty() || hex.size() > 16) {
+    reject("'digest' must be 1..16 hex digits");
+  }
+  std::uint64_t digest = 0;
+  for (const char c : hex) {
+    int v = -1;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else reject("'digest' must be 1..16 hex digits");
+    digest = digest * 16 + static_cast<std::uint64_t>(v);
+  }
+  req.digest = digest;
+
+  if (root.find("k") == nullptr) reject("missing 'k'");
+  req.spec.k = static_cast<int>(int_field(root, "k", 0, 1, 1 << 24));
+  const JsonValue* o = root.find("objective");
+  if (o == nullptr || !o->is_string()) reject("'objective' must be a string");
+  const auto kind = objective_from_name(o->as_string());
+  if (!kind) {
+    reject("unknown objective '" + o->as_string() +
+           "' (expected cut|ncut|mcut|rcut)");
+  }
+  req.spec.objective = *kind;
+
+  const JsonValue* v = root.find("value");
+  if (v == nullptr || !v->is_number()) reject("'value' must be a number");
+  req.migrate_value = v->as_number();
+  if (!std::isfinite(req.migrate_value)) reject("'value' must be finite");
+
+  const JsonValue* a = root.find("assignment");
+  if (a == nullptr || !a->is_array()) reject("'assignment' must be an array");
+  const auto& raw = a->as_array();
+  const std::int64_t vcap =
+      std::min(limits.graph.vertex_cap(), limits.max_inline_vertices);
+  if (raw.empty() || static_cast<std::int64_t>(raw.size()) > vcap) {
+    reject("'assignment' size out of range [1, " + std::to_string(vcap) +
+           "]");
+  }
+  auto parts = std::make_shared<std::vector<int>>();
+  parts->reserve(raw.size());
+  for (const JsonValue& e : raw) {
+    std::int64_t p = 0;
+    try {
+      p = e.as_int();
+    } catch (const Error&) {
+      reject("'assignment' entries must be integers");
+    }
+    if (p < 0 || p >= req.spec.k) {
+      reject("'assignment' entry out of range [0, k)");
+    }
+    parts->push_back(static_cast<int>(p));
+  }
+  req.migrate_assignment = std::move(parts);
+  return req;
+}
+
 }  // namespace
 
 Request parse_request(std::string_view line, const ProtocolLimits& limits) {
@@ -222,6 +296,7 @@ Request parse_request(std::string_view line, const ProtocolLimits& limits) {
   const std::string& name = op->as_string();
 
   if (name == "submit") return parse_submit(root, limits);
+  if (name == "migrate_elite") return parse_migrate(root, limits);
 
   if (name == "shutdown") {
     for (const auto& [key, unused] : root.as_object()) {
@@ -299,7 +374,8 @@ std::string format_progress(std::string_view id, double seconds,
 std::string format_status(std::string_view id, const JobStatus& status,
                           const api::CacheCounters* cache,
                           const evolve::ArchiveCounters* archive,
-                          const double* archive_best) {
+                          const double* archive_best,
+                          const ServeCounters* serve) {
   std::string out = "{\"event\":\"status\",\"id\":";
   json_append_quoted(out, id);
   out += ",\"state\":\"";
@@ -333,6 +409,15 @@ std::string format_status(std::string_view id, const JobStatus& status,
     out += ",\"archive_best\":";
     append_number(out, *archive_best);
   }
+  if (serve != nullptr) {
+    out += ",\"conns_open\":" + std::to_string(serve->connections_open);
+    out += ",\"conns_total\":" + std::to_string(serve->connections_total);
+    out += ",\"loop_wakeups\":" + std::to_string(serve->loop_wakeups);
+    out += ",\"sheds\":" + std::to_string(serve->sheds);
+    out += ",\"migrations_sent\":" + std::to_string(serve->migrations_sent);
+    out += ",\"migrations_received\":" +
+           std::to_string(serve->migrations_received);
+  }
   out += "}";
   return out;
 }
@@ -358,6 +443,43 @@ std::string format_result(std::string_view id, const JobStatus& status) {
   return out;
 }
 
+std::string format_terminal(std::string_view id, const JobStatus& status) {
+  if (status.result != nullptr) return format_result(id, status);
+  if (status.state == JobState::Failed) {
+    // Preserve the scheduler's code (QueueExpired is retryable; solver
+    // failures are not) instead of flattening to one class.
+    return format_error(id, "job failed: " + status.error,
+                        status.error_code != ErrCode::None
+                            ? status.error_code
+                            : ErrCode::JobFailed);
+  }
+  return format_error(id, "job was cancelled before it ran",
+                      ErrCode::Cancelled);
+}
+
 std::string format_bye() { return "{\"event\":\"bye\"}"; }
+
+std::string format_migrate(bool admitted) {
+  return admitted ? "{\"event\":\"migrate\",\"admitted\":true}"
+                  : "{\"event\":\"migrate\",\"admitted\":false}";
+}
+
+std::string format_migrate_elite(const evolve::PopulationKey& key,
+                                 double value, std::span<const int> parts) {
+  std::string out = "{\"op\":\"migrate_elite\",\"digest\":\"";
+  out += format("%016llx", static_cast<unsigned long long>(key.digest));
+  out += "\",\"k\":" + std::to_string(key.k);
+  out += ",\"objective\":\"";
+  out += objective_token(key.objective);
+  out += "\",\"value\":";
+  append_number(out, value);
+  out += ",\"assignment\":[";
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(parts[i]);
+  }
+  out += "]}";
+  return out;
+}
 
 }  // namespace ffp

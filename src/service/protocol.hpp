@@ -13,6 +13,8 @@
 //   {"op":"cancel","id":"j1"}
 //   {"op":"result","id":"j1"}          // blocks until the job is terminal
 //   {"op":"shutdown"}
+//   {"op":"migrate_elite","digest":"00c4f2...","k":8,"objective":"mcut",
+//    "value":5.9,"assignment":[0,1,0,...]}   // shard-to-shard elite push
 //
 // Responses:
 //
@@ -27,6 +29,7 @@
 //   {"event":"result","id":"j1","state":"done","value":5.9,"seconds":1.2,
 //    "partition":[0,1,0,2,...]}
 //   {"event":"bye"}
+//   {"event":"migrate","admitted":true}      // migrate_elite outcome
 //
 // Input is UNTRUSTED: the parser is strict (unknown ops, unknown keys, bad
 // types, out-of-range values, oversized ids and documents all fail with a
@@ -38,8 +41,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/result_cache.hpp"
 #include "api/solve_spec.hpp"
@@ -66,7 +71,19 @@ struct ProtocolLimits {
   int max_restarts = 4096;
 };
 
-enum class RequestOp { Submit, Status, Cancel, Result, Shutdown };
+enum class RequestOp {
+  Submit,
+  Status,
+  Cancel,
+  Result,
+  Shutdown,
+  /// Shard-to-shard elite push (inter-shard evolution, KaFFPaE style):
+  /// offers one foreign partition to this server's elite archive under the
+  /// usual diversity-aware admission rules. Keyed on (digest, k,
+  /// objective) — the digest is sent as a hex string because a 64-bit
+  /// value does not survive a signed JSON integer.
+  MigrateElite,
+};
 
 /// A validated request. For Submit, `spec` is the facade SolveSpec — the
 /// protocol submits through api::Engine like every other entry point; the
@@ -75,14 +92,31 @@ enum class RequestOp { Submit, Status, Cancel, Result, Shutdown };
 struct Request {
   RequestOp op = RequestOp::Shutdown;
   std::string id;       ///< client job id (empty only for shutdown/status)
-  api::SolveSpec spec;  ///< Submit only
+  api::SolveSpec spec;  ///< Submit only (MigrateElite reuses k/objective)
   std::string graph_file;                  ///< Submit, file variant
   std::shared_ptr<const Graph> inline_graph;  ///< Submit, inline variant
+  // MigrateElite only:
+  std::uint64_t digest = 0;         ///< graph content digest of the elite
+  double migrate_value = 0;         ///< the elite's objective value
+  std::shared_ptr<const std::vector<int>> migrate_assignment;
 };
 
 /// Parses and validates one request line. Throws ffp::Error on anything
 /// malformed — syntax, unknown op, unknown key, bad type or range.
 Request parse_request(std::string_view line, const ProtocolLimits& limits = {});
+
+/// Serving-layer counters surfaced in status replies so the new scale-out
+/// path is observable: connection gauges (both server modes), event-loop
+/// wakeups, overload sheds, and elite migrations in either direction.
+/// Collected by ServiceHost::serve_stats(); formatted when non-null.
+struct ServeCounters {
+  std::int64_t connections_open = 0;
+  std::int64_t connections_total = 0;
+  std::int64_t loop_wakeups = 0;  ///< epoll_wait returns (0 in thread mode)
+  std::int64_t sheds = 0;         ///< connections refused at max_clients
+  std::int64_t migrations_sent = 0;
+  std::int64_t migrations_received = 0;
+};
 
 // ---- response formatting (one line each, no trailing newline) ----------
 
@@ -107,10 +141,22 @@ std::string format_progress(std::string_view id, double seconds, double value);
 std::string format_status(std::string_view id, const JobStatus& status,
                           const api::CacheCounters* cache = nullptr,
                           const evolve::ArchiveCounters* archive = nullptr,
-                          const double* archive_best = nullptr);
+                          const double* archive_best = nullptr,
+                          const ServeCounters* serve = nullptr);
 /// `result` event for a terminal job with a partition attached (Done, or
 /// Cancelled mid-run). Failed/cancelled-before-running jobs get `error`.
 std::string format_result(std::string_view id, const JobStatus& status);
+/// The one response a terminal job gets from a `result` op, whichever side
+/// renders it (the blocking wait() path and the event loop's async
+/// delivery must emit byte-identical lines): `result` when a partition is
+/// attached, the classified `error` event otherwise.
+std::string format_terminal(std::string_view id, const JobStatus& status);
 std::string format_bye();
+/// `migrate` event answering a migrate_elite push.
+std::string format_migrate(bool admitted);
+/// The migrate_elite request line itself — shared by the EliteMigrator and
+/// the tests so the wire spelling has exactly one producer.
+std::string format_migrate_elite(const evolve::PopulationKey& key,
+                                 double value, std::span<const int> parts);
 
 }  // namespace ffp

@@ -141,6 +141,7 @@ void TcpServer::run() {
       // Overload shedding: an immediate structured rejection instead of
       // queueing behind live clients. Best-effort — a peer that vanished
       // before reading its rejection costs nothing.
+      host_.serve_stats().sheds.fetch_add(1, std::memory_order_relaxed);
       try {
         write_line(*conn,
                    format_error("",
@@ -175,6 +176,10 @@ void TcpServer::run() {
 }
 
 void TcpServer::serve_connection(int index, std::shared_ptr<FdHandle> conn) {
+  host_.serve_stats().connections_total.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  host_.serve_stats().connections_open.fetch_add(1,
+                                                 std::memory_order_relaxed);
   {
     ServiceSession session(
         host_,
@@ -221,6 +226,8 @@ void TcpServer::serve_connection(int index, std::shared_ptr<FdHandle> conn) {
     }
     if (shutdown_requested) request_stop();
   }
+  host_.serve_stats().connections_open.fetch_sub(1,
+                                                 std::memory_order_relaxed);
   connections_->release(index);
 }
 

@@ -71,7 +71,8 @@ ServiceSession::ServiceSession(ServiceHost& host, Emit emit,
                                SessionPolicy policy)
     : host_(host),
       policy_(policy),
-      emit_(std::make_shared<EmitState>()) {
+      emit_(std::make_shared<EmitState>()),
+      waits_(policy.async_results ? std::make_shared<AsyncWaits>() : nullptr) {
   emit_->sink = std::move(emit);
 }
 
@@ -90,7 +91,8 @@ ServiceSession::~ServiceSession() {
   std::size_t abandoned = 0;
   const WallTimer timer;
   for (const auto& handle : handles) {
-    if (policy_.teardown_wait_ms <= 0) {
+    if (policy_.teardown_wait_ms < 0) continue;  // no-wait transports
+    if (policy_.teardown_wait_ms == 0) {
       handle.wait();
       continue;
     }
@@ -160,8 +162,27 @@ bool ServiceSession::handle_line(std::string_view line) {
             }
           };
         }
-        api::SolveHandle handle =
-            host_.engine().submit(problem, request.spec, std::move(stream));
+        api::TerminalFn done;
+        if (policy_.async_results) {
+          // Fires once per job, from whichever thread finalizes it. Emits
+          // only if a result op has registered interest (the claim set) —
+          // otherwise the terminal status stays queryable and a later
+          // result op delivers it synchronously via poll().
+          done = [waits = waits_, state = emit_,
+                  client = request.id](const JobStatus& status) {
+            {
+              std::lock_guard lock(waits->mu);
+              if (waits->wanted.erase(client) == 0) return;
+            }
+            try {
+              emit_to(state, format_terminal(client, status));
+            } catch (const std::exception&) {
+              // Peer gone; the claim is consumed either way.
+            }
+          };
+        }
+        api::SolveHandle handle = host_.engine().submit(
+            problem, request.spec, std::move(stream), std::move(done));
         {
           std::lock_guard lock(mu_);
           handles_.emplace(request.id, std::move(handle));
@@ -194,9 +215,10 @@ bool ServiceSession::handle_line(std::string_view line) {
                                                it->second.objective);
           }
         }
+        const ServeCounters serve = host_.serve_stats().snapshot();
         emit(format_status(id, status, cache_on ? &counters : nullptr,
                            archive_on ? &archive : nullptr,
-                           best.has_value() ? &*best : nullptr));
+                           best.has_value() ? &*best : nullptr, &serve));
         return true;
       }
       case RequestOp::Cancel:
@@ -206,20 +228,48 @@ bool ServiceSession::handle_line(std::string_view line) {
         emit(format_ack(id));
         return true;
       case RequestOp::Result: {
-        const JobStatus status = lookup(id).wait();
-        if (status.result != nullptr) {
-          emit(format_result(id, status));
-        } else if (status.state == JobState::Failed) {
-          // Preserve the scheduler's code (QueueExpired is retryable;
-          // solver failures are not) instead of flattening to one class.
-          throw ServiceError(status.error_code != ErrCode::None
-                                 ? status.error_code
-                                 : ErrCode::JobFailed,
-                             "job failed: " + status.error);
-        } else {
-          throw ServiceError(ErrCode::Cancelled,
-                             "job was cancelled before it ran");
+        const api::SolveHandle handle = lookup(id);
+        if (!policy_.async_results) {
+          emit(format_terminal(id, handle.wait()));
+          return true;
         }
+        // Async mode: register interest FIRST, then poll. Already
+        // terminal -> reclaim the interest and answer inline (the
+        // terminal callback, if it raced us here, consumed the claim and
+        // emitted — then our erase finds nothing and we stay silent).
+        // Still running -> the callback owns delivery.
+        {
+          std::lock_guard lock(waits_->mu);
+          waits_->wanted.insert(id);
+        }
+        const JobStatus status = handle.poll();
+        if (status.state == JobState::Done ||
+            status.state == JobState::Failed ||
+            status.state == JobState::Cancelled) {
+          bool claimed = false;
+          {
+            std::lock_guard lock(waits_->mu);
+            claimed = waits_->wanted.erase(id) > 0;
+          }
+          if (claimed) emit(format_terminal(id, status));
+        }
+        return true;
+      }
+      case RequestOp::MigrateElite: {
+        if (host_.options().evolve_capacity == 0) {
+          throw ServiceError(ErrCode::Forbidden,
+                             "the elite archive is disabled on this server "
+                             "(--evolve-elites 0)");
+        }
+        // Foreign partitions go through the same diversity-aware admission
+        // as local results; a wrong-size assignment is harmless (the
+        // evolve planner skips elites that do not match its graph).
+        const bool admitted = host_.engine().archive_admit(
+            request.digest, request.spec.k, request.spec.objective,
+            *request.migrate_assignment, request.migrate_value);
+        host_.serve_stats().migrations_received.fetch_add(
+            1, std::memory_order_relaxed);
+        emit(format_migrate(admitted));
         return true;
       }
       case RequestOp::Shutdown:
@@ -253,6 +303,27 @@ void ServiceSession::drain() {
     for (auto& [id, handle] : handles_) handles.push_back(handle);
   }
   for (const auto& handle : handles) handle.wait();
+}
+
+std::size_t ServiceSession::pending_work() {
+  std::size_t open = 0;
+  if (waits_ != nullptr) {
+    std::lock_guard lock(waits_->mu);
+    open += waits_->wanted.size();
+  }
+  std::vector<api::SolveHandle> handles;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [id, handle] : handles_) handles.push_back(handle);
+  }
+  for (const auto& handle : handles) {
+    const JobState state = handle.poll().state;
+    if (state != JobState::Done && state != JobState::Failed &&
+        state != JobState::Cancelled) {
+      ++open;
+    }
+  }
+  return open;
 }
 
 }  // namespace ffp

@@ -33,10 +33,12 @@
 // runners.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
@@ -44,6 +46,33 @@
 #include "service/protocol.hpp"
 
 namespace ffp {
+
+/// Process-wide serving counters (protocol.hpp ServeCounters is the wire
+/// rendering): maintained by whichever transports are running — the
+/// thread-per-connection TcpServer, the epoll EventLoopServer, and the
+/// EliteMigrator all update the one instance their ServiceHost owns, so a
+/// status probe on any connection sees the whole server.
+class ServeStats {
+ public:
+  std::atomic<std::int64_t> connections_open{0};
+  std::atomic<std::int64_t> connections_total{0};
+  std::atomic<std::int64_t> loop_wakeups{0};
+  std::atomic<std::int64_t> sheds{0};
+  std::atomic<std::int64_t> migrations_sent{0};
+  std::atomic<std::int64_t> migrations_received{0};
+
+  ServeCounters snapshot() const {
+    ServeCounters out;
+    out.connections_open = connections_open.load(std::memory_order_relaxed);
+    out.connections_total = connections_total.load(std::memory_order_relaxed);
+    out.loop_wakeups = loop_wakeups.load(std::memory_order_relaxed);
+    out.sheds = sheds.load(std::memory_order_relaxed);
+    out.migrations_sent = migrations_sent.load(std::memory_order_relaxed);
+    out.migrations_received =
+        migrations_received.load(std::memory_order_relaxed);
+    return out;
+  }
+};
 
 struct ServiceOptions {
   unsigned runners = 1;  ///< concurrent jobs across ALL sessions
@@ -85,6 +114,7 @@ class ServiceHost {
 
   api::Engine& engine() { return engine_; }
   const ServiceOptions& options() const { return options_; }
+  ServeStats& serve_stats() { return serve_stats_; }
 
   /// Resolves a submit's graph: inline graphs pass through; file graphs go
   /// through the hardened reader under the host's limits and the weak
@@ -104,6 +134,7 @@ class ServiceHost {
   ServiceOptions options_;
   std::mutex mu_;  ///< graph cache
   std::map<std::string, CachedGraph> graph_cache_;
+  ServeStats serve_stats_;
   api::Engine engine_;
 };
 
@@ -117,8 +148,19 @@ struct SessionPolicy {
   bool allow_shutdown = true;
   /// Teardown deadline: how long the destructor waits (total, across all
   /// of the session's jobs) after cancelling them before abandoning the
-  /// stragglers. <= 0 waits forever (trusted in-process sessions).
+  /// stragglers. 0 waits forever (trusted in-process sessions); < 0 does
+  /// not wait at all — cancel and abandon immediately, for transports
+  /// that must never block (the event loop tears sessions down on its one
+  /// thread; the server's drain bounds the stragglers instead).
   double teardown_wait_ms = 5000;
+  /// Async result delivery: `result` replies are emitted by the engine's
+  /// terminal callback instead of a blocking wait() in handle_line — the
+  /// event-loop transport multiplexes thousands of connections on one
+  /// thread and can afford neither the block nor a thread per waiter.
+  /// The wait() path and the callback render byte-identical lines
+  /// (format_terminal); which side emits is settled by a claim set, so
+  /// every result op gets exactly one reply either way.
+  bool async_results = false;
 };
 
 class ServiceSession {
@@ -144,6 +186,11 @@ class ServiceSession {
   /// Blocks until every job this session submitted is terminal.
   void drain();
 
+  /// Unfinished (non-terminal) jobs plus unclaimed result interests — the
+  /// event loop uses this to decide when a read-closed connection has
+  /// nothing left to say and can be reaped.
+  std::size_t pending_work();
+
   ServiceHost& host() { return host_; }
 
  private:
@@ -162,9 +209,20 @@ class ServiceSession {
   void emit(const std::string& line) { emit_to(emit_, line); }
   api::SolveHandle lookup(const std::string& id);
 
+  /// Async-result bookkeeping, shared with every terminal callback this
+  /// session registered: `wanted` holds the client ids whose result op is
+  /// awaiting delivery. Whoever erases an id (the callback or a poll that
+  /// found the job already terminal) owns the emit — exactly one side
+  /// renders the reply. Outlives the session like EmitState does.
+  struct AsyncWaits {
+    std::mutex mu;
+    std::set<std::string> wanted;
+  };
+
   ServiceHost& host_;
   SessionPolicy policy_;
   std::shared_ptr<EmitState> emit_;
+  std::shared_ptr<AsyncWaits> waits_;
 
   std::mutex mu_;  ///< handle + population maps
   std::map<std::string, api::SolveHandle> handles_;  ///< client id → handle

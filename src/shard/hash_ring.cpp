@@ -1,0 +1,64 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ffp::shard {
+
+HashRing::HashRing(std::size_t shards, int vnodes) : shards_(shards) {
+  FFP_CHECK(shards >= 1, "HashRing needs at least one shard");
+  FFP_CHECK(vnodes >= 1, "HashRing needs at least one vnode per shard");
+  ring_.reserve(shards * static_cast<std::size_t>(vnodes));
+  for (std::size_t s = 0; s < shards; ++s) {
+    // One splitmix64 stream per shard: point sequences are stable under
+    // shard-count changes, which is what bounds remapping to ~1/N. The
+    // origin must go through the mixer — splitmix64 steps its state by
+    // the same golden-ratio constant, so seeding shard s at a multiple
+    // of it would make every shard's sequence a shift of shard 0's
+    // (near-total point collisions, ties all won by shard 0).
+    std::uint64_t origin = 0x2545f4914f6cdd1dull + s;
+    std::uint64_t state = splitmix64(origin);
+    for (int v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(splitmix64(state), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::owner(std::uint64_t digest) const {
+  // Hash the digest once more: raw digests are FNV over graph bytes and
+  // arrive pre-clustered; one splitmix64 round decorrelates them from
+  // the ring-point stream.
+  std::uint64_t state = digest;
+  const std::uint64_t point = splitmix64(state);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(point, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<std::size_t> HashRing::preference(std::uint64_t digest) const {
+  std::uint64_t state = digest;
+  const std::uint64_t point = splitmix64(state);
+  auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(point, std::size_t{0}));
+  if (start == ring_.end()) start = ring_.begin();
+
+  std::vector<std::size_t> order;
+  order.reserve(shards_);
+  std::vector<bool> seen(shards_, false);
+  auto it = start;
+  do {
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      order.push_back(it->second);
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  } while (it != start && order.size() < shards_);
+  return order;
+}
+
+}  // namespace ffp::shard

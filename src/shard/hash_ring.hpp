@@ -1,0 +1,43 @@
+// Consistent hashing for the shard router: maps a graph content digest to
+// one of N backend shards so that repeat submissions of the same graph
+// always land on the same shard — its result cache answers the repeats
+// and its elite archive keeps learning that graph — while adding or
+// losing a shard remaps only ~1/N of the digest space instead of
+// reshuffling everything (the classic ring argument).
+//
+// Deterministic by construction: ring points are splitmix64 expansions of
+// (shard index, vnode index), so every router over the same shard count
+// computes the identical ring — two routers in front of the same fleet
+// agree on ownership with no coordination.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace ffp::shard {
+
+class HashRing {
+ public:
+  /// `vnodes` points per shard smooth the arc lengths; 64 keeps the
+  /// imbalance within a few ten percent at small N.
+  explicit HashRing(std::size_t shards, int vnodes = 64);
+
+  std::size_t shards() const { return shards_; }
+
+  /// The shard owning `digest`: the first ring point clockwise from the
+  /// digest's hash.
+  std::size_t owner(std::uint64_t digest) const;
+
+  /// Failover order for `digest`: the owner first, then each remaining
+  /// shard in the order their ring points appear clockwise — the
+  /// deterministic "next replica" walk the router uses when a shard is
+  /// down.
+  std::vector<std::size_t> preference(std::uint64_t digest) const;
+
+ private:
+  std::size_t shards_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;  ///< sorted
+};
+
+}  // namespace ffp::shard

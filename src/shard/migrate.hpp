@@ -1,0 +1,74 @@
+// EliteMigrator — the distributed half of the KaFFPaE evolve engine: a
+// background thread that periodically ships this shard's best elite per
+// (graph digest, k, objective) population to its peer shards as
+// `migrate_elite` protocol ops. The receiving shard admits the foreign
+// partition through its own diversity-aware EliteArchive rules, so
+// concurrent evolve traffic on the same graph converges across the fleet
+// instead of each shard learning alone.
+//
+// Send policy: an elite is pushed to a peer only when it improves on what
+// this migrator last sent that peer for that population (strictly lower
+// value), so a quiet archive costs zero wire traffic on every tick. A
+// peer that is down is skipped without fuss and retried with the next
+// improvement — migration is gossip, not delivery-guaranteed replication;
+// the archive's own persistence is the durability story.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "evolve/elite_archive.hpp"
+#include "service/service.hpp"
+
+namespace ffp::shard {
+
+struct MigrateOptions {
+  std::vector<int> peer_ports;  ///< 127.0.0.1 shard peers
+  double period_ms = 1000;      ///< tick interval
+  double io_timeout_ms = 5000;  ///< per-peer connect/write/read deadline
+};
+
+class EliteMigrator {
+ public:
+  /// Starts the migration thread. Engine and stats must outlive it.
+  EliteMigrator(api::Engine& engine, ServeStats& stats,
+                MigrateOptions options);
+  ~EliteMigrator();  ///< stop() + join
+
+  EliteMigrator(const EliteMigrator&) = delete;
+  EliteMigrator& operator=(const EliteMigrator&) = delete;
+
+  void stop();
+
+  /// One synchronous sweep (what the thread runs per tick) — exposed so
+  /// tests can force a migration without sleeping through a period.
+  /// Returns the number of accepted pushes.
+  std::size_t migrate_once();
+
+ private:
+  void loop();
+  /// Sends one elite to one peer; true on a confirmed admit-or-reject
+  /// response (the peer is up and spoke the protocol).
+  bool send_elite(int port, const evolve::PopulationKey& key,
+                  const evolve::Elite& elite);
+
+  api::Engine& engine_;
+  ServeStats& stats_;
+  MigrateOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// Per peer: the best value already pushed per population (only a
+  /// strict improvement is sent again).
+  std::vector<std::map<evolve::PopulationKey, double>> sent_;
+
+  std::thread thread_;  ///< last member: joined before the rest dies
+};
+
+}  // namespace ffp::shard

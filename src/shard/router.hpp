@@ -1,0 +1,119 @@
+// Router — the scale-out front end (ffp_router): accepts the same wire
+// protocol as ffp_serve and forwards each request to one of N backend
+// shards, chosen by graph digest on a consistent-hash ring (hash_ring.hpp)
+// so that repeat traffic on one graph always hits the same shard — that
+// shard's result cache answers the repeats and its elite archive keeps
+// learning the graph. The router holds no solver state at all: every
+// response line from the shard is relayed to the client verbatim.
+//
+// Routing identity: inline graphs route by their content digest (the same
+// api::graph_digest the cache keys on); graph_file submissions route by a
+// hash of the path string — the router never opens graph files, and same
+// path means same shard means the digest computed THERE is hot.
+//
+// Failure story (the retryable-error taxonomy end to end):
+//   * A shard that refuses, resets, or times out is marked down for
+//     `down_cooldown_ms` and the submit fails over along the ring's
+//     preference order in the same request — the client sees the ack from
+//     whichever shard took the job.
+//   * Ops pinned to a shard that died mid-flight (status/cancel/result of
+//     a routed job) are answered with a retryable `shutting_down` error;
+//     a ServiceClient resubmits the job on its next attempt and the ring
+//     routes it to the failover shard — idempotent via the shard caches.
+//   * A shard's own connection-level rejections (overload shed, idle
+//     reap) relay verbatim; the client's backoff applies unchanged.
+//
+// Shutdown ops are router-local (gated by allow_shutdown) — a client must
+// not be able to stop a whole fleet through the front door. migrate_elite
+// is rejected: migration is shard-to-shard gossip, not client traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+#include "shard/hash_ring.hpp"
+#include "util/timer.hpp"
+
+namespace ffp::shard {
+
+struct RouterOptions {
+  int port = 0;               ///< 127.0.0.1 port; 0 picks ephemeral
+  std::vector<int> shard_ports;  ///< backend ffp_serve ports, 127.0.0.1
+  unsigned max_clients = 64;  ///< live client sessions; beyond this, shed
+  double idle_timeout_ms = 30000;   ///< client idle reap
+  double write_timeout_ms = 10000;  ///< client response write deadline
+  /// Relay read deadline per backend response line. <= 0 blocks forever —
+  /// the right default, because a `result` op legitimately waits out the
+  /// whole solve; a shard that dies mid-wait closes the socket and fails
+  /// the read immediately either way.
+  double backend_io_timeout_ms = 0;
+  double overload_retry_after_ms = 250;
+  /// How long a failed shard stays out of the rotation before the next
+  /// request may probe it again.
+  double down_cooldown_ms = 2000;
+  int vnodes = 64;  ///< ring points per shard
+  bool allow_shutdown = false;  ///< honor client {"op":"shutdown"} (router-local)
+  ProtocolLimits limits;
+};
+
+class Router {
+ public:
+  /// Binds the listener (throws ffp::Error when the port is taken).
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  int port() const { return port_; }
+  std::size_t shards() const { return options_.shard_ports.size(); }
+
+  /// Serves until request_stop() (or an allowed client shutdown op).
+  void run();
+
+  /// Async-signal-safe stop request (self-pipe write); idempotent.
+  void request_stop() noexcept;
+
+ private:
+  class ConnectionSet;
+  struct ClientCtx;
+
+  void serve_client(int index, std::shared_ptr<FdHandle> conn);
+  bool handle_request(ClientCtx& ctx, const std::string& raw_line);
+  /// Writes one line to the client; rethrows write failures as a distinct
+  /// type so they never masquerade as shard failures.
+  void write_client(ClientCtx& ctx, const std::string& line);
+
+  bool shard_up(std::size_t s);
+  void mark_down(std::size_t s);
+  void mark_up(std::size_t s);
+  /// Routes one submit: tries the ring's preference order, skipping
+  /// shards in cooldown (falling back to them last-resort when everyone
+  /// is down). Returns the shard that settled the op.
+  std::size_t forward_submit(ClientCtx& ctx, std::uint64_t digest,
+                             const std::string& raw_line,
+                             const std::string& id);
+  /// Forwards one raw line to `shard` and relays responses until the op
+  /// settles (terminal event for `id`, or a connection-level error).
+  /// Throws ServiceError on backend transport failure.
+  void forward_op(ClientCtx& ctx, std::size_t shard,
+                  const std::string& raw_line, const std::string& id);
+
+  RouterOptions options_;
+  HashRing ring_;
+  FdHandle listener_;
+  int port_ = 0;
+  FdHandle stop_read_;
+  FdHandle stop_write_;
+  std::unique_ptr<ConnectionSet> connections_;
+
+  WallTimer clock_;
+  std::mutex health_mu_;
+  std::vector<double> down_until_ms_;  ///< per shard; 0 = up
+};
+
+}  // namespace ffp::shard

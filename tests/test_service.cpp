@@ -518,5 +518,109 @@ TEST(ServiceProtocol, RestartsFieldValidatedAndAccepted) {
   EXPECT_EQ(h.last_event(), "result");
 }
 
+// Status pins the serving counters (event loop + migration observability):
+// the KEY SET is part of the wire contract — dashboards and the CI smoke
+// grep these names, so renaming one is a protocol change, not a refactor.
+TEST(ServiceProtocol, StatusCarriesServeCounters) {
+  Harness h;
+  h.feed(kInlineSubmit);
+  h.feed(R"({"op":"status","id":"job"})");
+  const JsonValue status = h.last();
+  for (const char* key :
+       {"conns_open", "conns_total", "loop_wakeups", "sheds",
+        "migrations_sent", "migrations_received"}) {
+    ASSERT_NE(status.find(key), nullptr) << key;
+    EXPECT_GE(status.find(key)->as_int(), 0) << key;
+  }
+}
+
+// The migrate_elite op end to end in one process: a foreign elite is
+// admitted into the archive (status-visible) and then seeds the digest's
+// population floor reported by archive_best.
+TEST(ServiceSession, MigrateEliteAdmitsIntoTheArchive) {
+  Harness h;
+  // Solve once so the population (digest, k=2, cut) exists and we know
+  // the digest the submit routed to... actually the op creates the
+  // population on demand; push into a fresh one.
+  h.feed(
+      R"({"op":"migrate_elite","digest":"deadbeef","k":2,"objective":"cut",)"
+      R"("value":4.5,"assignment":[0,0,1,1,0,1]})");
+  const JsonValue admit = h.last();
+  ASSERT_EQ(admit.find("event")->as_string(), "migrate") << h.lines.back();
+  EXPECT_TRUE(admit.find("admitted")->as_bool());
+
+  // The same elite again: a duplicate is rejected by the archive's
+  // near-dup rule, answered (not errored) so gossip settles.
+  h.feed(
+      R"({"op":"migrate_elite","digest":"deadbeef","k":2,"objective":"cut",)"
+      R"("value":4.5,"assignment":[0,0,1,1,0,1]})");
+  EXPECT_EQ(h.last().find("event")->as_string(), "migrate");
+  EXPECT_FALSE(h.last().find("admitted")->as_bool());
+  EXPECT_EQ(h.host.serve_stats().snapshot().migrations_received, 2);
+
+  // Status shows the archive grew (a second population appears next to
+  // the job's own) even though no job carried this digest — migration is
+  // archive traffic, not job traffic.
+  h.feed(kInlineSubmit);
+  h.feed(R"({"op":"result","id":"job"})");
+  h.feed(R"({"op":"status","id":"job"})");
+  EXPECT_GE(h.last().find("archive_populations")->as_int(), 2);
+}
+
+TEST(ServiceSession, MigrateEliteForbiddenWhenArchiveDisabled) {
+  ServiceOptions options;
+  options.evolve_capacity = 0;
+  Harness h(std::move(options));
+  h.feed(
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut",)"
+      R"("value":1.0,"assignment":[0,1]})");
+  const JsonValue err = h.last();
+  ASSERT_EQ(err.find("event")->as_string(), "error");
+  EXPECT_EQ(err.find("code")->as_string(), "forbidden");
+}
+
+TEST(ServiceProtocol, MigrateEliteRejectsMalformedPushes) {
+  Harness h;
+  const std::vector<std::string> bad = {
+      // missing fields
+      R"({"op":"migrate_elite"})",
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":1.0})",
+      R"({"op":"migrate_elite","digest":"1f","k":2,"value":1.0,"assignment":[0,1]})",
+      // digest not hex / too long
+      R"({"op":"migrate_elite","digest":"xyz","k":2,"objective":"cut","value":1.0,"assignment":[0,1]})",
+      R"({"op":"migrate_elite","digest":"00112233445566778","k":2,"objective":"cut","value":1.0,"assignment":[0,1]})",
+      // parts out of [0, k)
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":1.0,"assignment":[0,2]})",
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":1.0,"assignment":[0,-1]})",
+      // value not finite / not a number
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":"low","assignment":[0,1]})",
+      // unknown key
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":1.0,"assignment":[0,1],"extra":1})",
+      // empty assignment
+      R"({"op":"migrate_elite","digest":"1f","k":2,"objective":"cut","value":1.0,"assignment":[]})",
+  };
+  for (const auto& line : bad) {
+    EXPECT_TRUE(h.feed(line)) << line;
+    EXPECT_EQ(h.last_event(), "error") << line << " -> " << h.lines.back();
+  }
+}
+
+// format_migrate_elite is the only producer of the push line; it must
+// round-trip through the strict parser (the receiving shard's view).
+TEST(ServiceProtocol, MigrateEliteWireLineRoundTrips) {
+  const evolve::PopulationKey key{0x00c0ffee12345678ull, 3,
+                                  ObjectiveKind::Cut};
+  const std::vector<int> parts = {0, 1, 2, 1, 0};
+  const std::string line = format_migrate_elite(key, 6.25, parts);
+  const Request request = parse_request(line, ProtocolLimits{});
+  EXPECT_EQ(request.op, RequestOp::MigrateElite);
+  EXPECT_EQ(request.digest, key.digest);
+  EXPECT_EQ(request.spec.k, 3);
+  EXPECT_EQ(request.spec.objective, ObjectiveKind::Cut);
+  EXPECT_EQ(request.migrate_value, 6.25);
+  ASSERT_NE(request.migrate_assignment, nullptr);
+  EXPECT_EQ(*request.migrate_assignment, parts);
+}
+
 }  // namespace
 }  // namespace ffp

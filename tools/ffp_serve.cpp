@@ -35,17 +35,49 @@
 //   * {"op":"shutdown"} from a TCP peer is FORBIDDEN unless the server
 //     was started with --allow-remote-shutdown (pipe mode — the
 //     operator's own terminal — always honors it).
+//
+// Scale-out: --event-loop swaps thread-per-connection for one epoll
+// thread (src/net/event_loop.hpp) so --max-clients can go to the
+// thousands with a bounded thread count; --peers lists sibling shard
+// ports and turns on periodic elite migration (src/shard/migrate.hpp).
+// Both speak the identical wire protocol with identical results.
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "net/event_loop.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "service/thread_budget.hpp"
+#include "shard/migrate.hpp"
 #include "util/args.hpp"
+#include "util/strings.hpp"
 
 namespace {
+
+/// "17917,17918" -> ports. Used by --peers.
+std::vector<int> parse_ports(const std::string& csv) {
+  std::vector<int> ports;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string_view piece =
+        ffp::trim(std::string_view(csv).substr(start, comma - start));
+    if (!piece.empty()) {
+      const auto port = ffp::parse_int(piece);
+      FFP_CHECK(port.has_value() && *port >= 1 && *port <= 65535,
+                "--peers entries must be ports (1..65535), got '",
+                std::string(piece), "'");
+      ports.push_back(static_cast<int>(*port));
+    }
+    start = comma + 1;
+  }
+  return ports;
+}
 
 ffp::ServiceOptions host_options(const ffp::ArgParser& args) {
   ffp::ServiceOptions options;
@@ -92,11 +124,31 @@ void serve_stdio(const ffp::ArgParser& args) {
 }
 
 /// The signal path: SIGTERM/SIGINT write one byte down the server's
-/// self-pipe (async-signal-safe) and the accept loop drains.
+/// self-pipe / eventfd (both async-signal-safe) and the serving loop
+/// drains. Exactly one of the two pointers is set at a time.
 ffp::TcpServer* g_server = nullptr;
+ffp::EventLoopServer* g_loop_server = nullptr;
 
 extern "C" void on_stop_signal(int) {
   if (g_server != nullptr) g_server->request_stop();
+  if (g_loop_server != nullptr) g_loop_server->request_stop();
+}
+
+/// Inter-shard elite migration rides along either server type: a nullptr
+/// when --peers is empty, a running EliteMigrator otherwise.
+std::unique_ptr<ffp::shard::EliteMigrator> make_migrator(
+    const ffp::ArgParser& args, ffp::ServiceHost& host) {
+  const std::vector<int> peers = parse_ports(args.get("peers"));
+  if (peers.empty()) return nullptr;
+  const std::int64_t period = args.get_int("migrate-every-ms");
+  FFP_CHECK(period >= 1, "--migrate-every-ms must be >= 1");
+  ffp::shard::MigrateOptions options;
+  options.peer_ports = peers;
+  options.period_ms = static_cast<double>(period);
+  std::fprintf(stderr, "ffp_serve: migrating elites to %zu peer(s) every "
+               "%lld ms\n", peers.size(), static_cast<long long>(period));
+  return std::make_unique<ffp::shard::EliteMigrator>(
+      host.engine(), host.serve_stats(), std::move(options));
 }
 
 int serve_tcp(const ffp::ArgParser& args, int port) {
@@ -113,27 +165,52 @@ int serve_tcp(const ffp::ArgParser& args, int port) {
     std::fprintf(stderr, "ffp_serve: recovered %zu journaled job(s)\n",
                  host.engine().recovered_jobs());
   }
-  ffp::TcpServerOptions options;
-  options.port = port;
-  options.max_clients = static_cast<unsigned>(max_clients);
-  options.idle_timeout_ms = static_cast<double>(idle_ms);
-  options.write_timeout_ms = static_cast<double>(write_ms);
-  options.session.allow_shutdown = args.get_bool("allow-remote-shutdown");
-  ffp::TcpServer server(host, options);
+  const std::unique_ptr<ffp::shard::EliteMigrator> migrator =
+      make_migrator(args, host);
 
-  g_server = &server;
-  std::signal(SIGTERM, on_stop_signal);
-  std::signal(SIGINT, on_stop_signal);
   std::signal(SIGPIPE, SIG_IGN);  // torn peers surface as EPIPE, not death
 
-  std::fprintf(stderr,
-               "ffp_serve: listening on 127.0.0.1:%d (up to %lld "
-               "concurrent clients%s)\n",
-               server.port(), static_cast<long long>(max_clients),
-               options.session.allow_shutdown ? ", remote shutdown allowed"
-                                              : "");
-  server.run();
-  g_server = nullptr;
+  if (args.get_bool("event-loop")) {
+    ffp::EventLoopOptions options;
+    options.port = port;
+    options.max_clients = static_cast<unsigned>(max_clients);
+    options.idle_timeout_ms = static_cast<double>(idle_ms);
+    options.write_timeout_ms = static_cast<double>(write_ms);
+    options.session.allow_shutdown = args.get_bool("allow-remote-shutdown");
+    ffp::EventLoopServer server(host, options);
+
+    g_loop_server = &server;
+    std::signal(SIGTERM, on_stop_signal);
+    std::signal(SIGINT, on_stop_signal);
+    std::fprintf(stderr,
+                 "ffp_serve: listening on 127.0.0.1:%d (event loop, up to "
+                 "%lld concurrent clients%s)\n",
+                 server.port(), static_cast<long long>(max_clients),
+                 options.session.allow_shutdown ? ", remote shutdown allowed"
+                                                : "");
+    server.run();
+    g_loop_server = nullptr;
+  } else {
+    ffp::TcpServerOptions options;
+    options.port = port;
+    options.max_clients = static_cast<unsigned>(max_clients);
+    options.idle_timeout_ms = static_cast<double>(idle_ms);
+    options.write_timeout_ms = static_cast<double>(write_ms);
+    options.session.allow_shutdown = args.get_bool("allow-remote-shutdown");
+    ffp::TcpServer server(host, options);
+
+    g_server = &server;
+    std::signal(SIGTERM, on_stop_signal);
+    std::signal(SIGINT, on_stop_signal);
+    std::fprintf(stderr,
+                 "ffp_serve: listening on 127.0.0.1:%d (up to %lld "
+                 "concurrent clients%s)\n",
+                 server.port(), static_cast<long long>(max_clients),
+                 options.session.allow_shutdown ? ", remote shutdown allowed"
+                                                : "");
+    server.run();
+    g_server = nullptr;
+  }
   std::fprintf(stderr, "ffp_serve: drained, exiting\n");
   return 0;
 }
@@ -166,6 +243,12 @@ int main(int argc, char** argv) {
                              "unfinished jobs (unset = in-memory only)")
       .flag("max-vertices", "0", "per-graph vertex ceiling (0 = VertexId range)")
       .flag("max-edges", "0", "per-graph edge ceiling (0 = unlimited)")
+      .flag("peers", "", "comma-separated peer shard ports; best elites "
+                         "migrate to them every --migrate-every-ms")
+      .flag("migrate-every-ms", "1000", "elite-migration tick interval")
+      .toggle("event-loop", "serve all connections on one epoll thread "
+                            "instead of thread-per-connection (--listen "
+                            "mode; identical wire protocol and results)")
       .toggle("stream", "stream progress events as improvements happen")
       .toggle("no-files", "reject graph_file submissions (inline graphs only)")
       .toggle("allow-remote-shutdown",
